@@ -1,0 +1,100 @@
+// E4 -- Theorem 1 / Section 3.2: ApproxTop(S, k, eps) end to end.
+//
+// Sizes the sketch from the stream's own statistics via Lemma 5, runs the
+// paper's sketch+heap algorithm, and checks the output contract: every
+// candidate has n_i >= (1-eps) n_k, and every item with n_i >= (1+eps) n_k
+// is present. Also runs a "practical" sketch at 1/16 of the Lemma 5 width
+// (the paper's constants are worst-case) and the adversarial boundary
+// instance that motivates the ApproxTop relaxation.
+//
+// Expected shape: Lemma 5 widths always PASS; the 1/16 widths still
+// mostly pass; the adversarial instance passes ApproxTop even though exact
+// CandidateTop would be information-theoretically brutal there.
+#include <iostream>
+
+#include "core/sketch_params.h"
+#include "core/top_k_tracker.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "stream/adversarial.h"
+#include "util/logging.h"
+#include "eval/report.h"
+#include "util/table_printer.h"
+
+using namespace streamfreq;
+
+namespace {
+
+void RunCase(const std::string& label, const Stream& stream,
+             const ExactCounter& oracle, size_t k, double eps,
+             double width_scale, TablePrinter* table) {
+  ApproxTopSpec spec;
+  spec.stream_length = stream.size();
+  spec.k = k;
+  spec.epsilon = eps;
+  spec.delta = 0.05;
+  spec.residual_f2 = oracle.ResidualF2(k);
+  spec.nk = static_cast<double>(oracle.NthCount(k));
+  auto sizing = SizeForApproxTop(spec);
+  SFQ_CHECK_OK(sizing.status());
+
+  CountSketchParams params;
+  params.depth = sizing->depth;
+  params.width = std::max<size_t>(
+      8, static_cast<size_t>(static_cast<double>(sizing->width) * width_scale));
+  params.seed = 4242;
+  auto algo = CountSketchTopK::Make(params, k);
+  SFQ_CHECK_OK(algo.status());
+  algo->AddAll(stream);
+
+  const auto verdict = CheckApproxTop(algo->Candidates(k), oracle, k, eps);
+  table->AddRowValues(label, eps, params.depth, params.width,
+                      verdict.Pass() ? "PASS" : "FAIL", verdict.violations_low,
+                      verdict.violations_missing);
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kK = 10;
+  std::cout << "E4: ApproxTop(S, k=" << kK << ", eps) via Lemma 5 sizing\n\n";
+  TablePrinter table({"instance", "eps", "t", "b", "verdict",
+                      "low-count candidates", "missing mandatory"});
+
+  auto zipf = MakeZipfWorkload(20000, 1.0, 300000, 5150);
+  SFQ_CHECK_OK(zipf.status());
+  for (double eps : {0.05, 0.1, 0.2}) {
+    RunCase("Zipf(1.0), Lemma5 b", zipf->stream, zipf->oracle, kK, eps, 1.0,
+            &table);
+  }
+  for (double eps : {0.05, 0.1, 0.2}) {
+    RunCase("Zipf(1.0), b/16", zipf->stream, zipf->oracle, kK, eps,
+            1.0 / 16.0, &table);
+  }
+
+  // The adversarial boundary family from the paper's introduction:
+  // n_k = n_{l+1} + 1. ApproxTop tolerates shadow items; exact top-k
+  // recovery would require distinguishing counts 2000 vs 1999.
+  AdversarialSpec aspec;
+  aspec.k = kK;
+  aspec.shadows = 30;
+  aspec.head_count = 2000;
+  aspec.gap = 1;
+  aspec.tail_items = 20000;
+  aspec.tail_count = 4;
+  aspec.seed = 77;
+  auto adversarial = MakeAdversarialStream(aspec);
+  SFQ_CHECK_OK(adversarial.status());
+  ExactCounter oracle;
+  oracle.AddAll(*adversarial);
+  for (double eps : {0.05, 0.2}) {
+    RunCase("boundary n_k=n_l+1", *adversarial, oracle, kK, eps, 1.0, &table);
+  }
+
+  EmitTable(table, "E04_approxtop", std::cout);
+  std::cout << "\nReading: all Lemma-5-sized rows must PASS (that is "
+               "Theorem 1); the b/16 rows show the constants' slack; the "
+               "boundary rows show the eps-relaxation doing its job where "
+               "exact CandidateTop is adversarially hard.\n";
+  return 0;
+}

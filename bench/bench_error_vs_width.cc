@@ -1,0 +1,64 @@
+// E2 -- Lemmas 1-3: estimation error versus sketch width b.
+//
+// The paper's error scale is gamma = sqrt(F2^{>k} / b); Lemma 3 bounds the
+// median estimate's error by 8*gamma w.h.p. This bench sweeps b, measures
+// the average and maximum absolute error over the top-k items, and reports
+// the observed error as a multiple of gamma.
+//
+// Expected shape: avg and max error fall as 1/sqrt(b) (halving when b
+// quadruples); the max/gamma column stays comfortably below the paper's
+// worst-case constant 8.
+#include <cmath>
+#include <iostream>
+
+#include "core/count_sketch.h"
+#include "eval/workload.h"
+#include "util/logging.h"
+#include "eval/report.h"
+#include "util/table_printer.h"
+
+using namespace streamfreq;
+
+int main() {
+  constexpr uint64_t kUniverse = 50000;
+  constexpr uint64_t kStreamLen = 500000;
+  constexpr size_t kK = 20;
+  constexpr size_t kDepth = 5;
+
+  auto workload = MakeZipfWorkload(kUniverse, 1.0, kStreamLen, 2718);
+  SFQ_CHECK_OK(workload.status());
+  const auto truth = workload->oracle.TopK(kK);
+
+  std::cout << "E2: Count-Sketch error vs width (t=" << kDepth
+            << ", Zipf z=1, n=" << kStreamLen << ", errors over true top-"
+            << kK << ")\n\n";
+
+  TablePrinter table({"width b", "gamma", "avg |err|", "max |err|",
+                      "max/gamma", "8*gamma (Lemma 3 bound)"});
+
+  for (size_t width : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    CountSketchParams p;
+    p.depth = kDepth;
+    p.width = width;
+    p.seed = 31337;
+    auto sketch = CountSketch::Make(p);
+    SFQ_CHECK_OK(sketch.status());
+    for (ItemId q : workload->stream) sketch->Add(q);
+
+    const double gamma = workload->oracle.Gamma(kK, width);
+    double total = 0.0, worst = 0.0;
+    for (const ItemCount& ic : truth) {
+      const double err = std::abs(
+          static_cast<double>(sketch->Estimate(ic.item) - ic.count));
+      total += err;
+      worst = std::max(worst, err);
+    }
+    table.AddRowValues(width, gamma, total / static_cast<double>(truth.size()),
+                       worst, gamma > 0 ? worst / gamma : 0.0, 8.0 * gamma);
+  }
+
+  EmitTable(table, "E02_error_vs_width", std::cout);
+  std::cout << "\nReading: gamma and the measured errors should both scale "
+               "as 1/sqrt(b); max/gamma must stay below 8.\n";
+  return 0;
+}

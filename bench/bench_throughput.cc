@@ -1,0 +1,133 @@
+// E7 -- update/query throughput per algorithm (google-benchmark).
+//
+// Streams a pregenerated Zipf(1) trace through each algorithm at a common
+// ~64 KiB budget and reports items/second; also measures Count-Sketch
+// point-query latency vs depth.
+//
+// Expected shape: counter algorithms (Misra-Gries amortized O(1),
+// Space-Saving O(log c)) and plain sampling lead; sketches pay t hashed
+// counter touches per update; Count-Sketch queries pay an extra median.
+#include <benchmark/benchmark.h>
+
+#include "core/count_sketch.h"
+#include "eval/suite.h"
+#include "eval/workload.h"
+#include "util/logging.h"
+
+namespace streamfreq {
+namespace {
+
+const Workload& SharedWorkload() {
+  static const Workload* workload = [] {
+    auto w = MakeZipfWorkload(100000, 1.0, 1 << 18, 424242);
+    SFQ_CHECK_OK(w.status());
+    return new Workload(std::move(*w));
+  }();
+  return *workload;
+}
+
+SuiteSpec BenchSpec() {
+  SuiteSpec spec;
+  spec.space_budget_bytes = 64 * 1024;
+  spec.k = 100;
+  spec.seed = 1;
+  spec.expected_stream_length = SharedWorkload().n();
+  return spec;
+}
+
+void BM_Update(benchmark::State& state) {
+  const AlgorithmKind kind = static_cast<AlgorithmKind>(state.range(0));
+  const Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto algo = MakeAlgorithm(kind, BenchSpec());
+    SFQ_CHECK_OK(algo.status());
+    state.ResumeTiming();
+    (*algo)->AddAll(w.stream);
+    benchmark::DoNotOptimize(*algo);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.stream.size()));
+  state.SetLabel([&] {
+    auto algo = MakeAlgorithm(kind, BenchSpec());
+    return algo.ok() ? (*algo)->Name() : "?";
+  }());
+}
+
+BENCHMARK(BM_Update)
+    ->Arg(static_cast<int>(AlgorithmKind::kCountSketchTopK))
+    ->Arg(static_cast<int>(AlgorithmKind::kCountMinTopK))
+    ->Arg(static_cast<int>(AlgorithmKind::kCountMinConservativeTopK))
+    ->Arg(static_cast<int>(AlgorithmKind::kMisraGries))
+    ->Arg(static_cast<int>(AlgorithmKind::kLossyCounting))
+    ->Arg(static_cast<int>(AlgorithmKind::kSpaceSaving))
+    ->Arg(static_cast<int>(AlgorithmKind::kStreamSummarySpaceSaving))
+    ->Arg(static_cast<int>(AlgorithmKind::kStickySampling))
+    ->Arg(static_cast<int>(AlgorithmKind::kSampling))
+    ->Arg(static_cast<int>(AlgorithmKind::kConciseSampling))
+    ->Arg(static_cast<int>(AlgorithmKind::kCountingSampling))
+    ->Unit(benchmark::kMillisecond);
+
+// Raw Count-Sketch Add cost vs depth (no heap).
+void BM_CountSketchAdd(benchmark::State& state) {
+  CountSketchParams p;
+  p.depth = static_cast<size_t>(state.range(0));
+  p.width = 4096;
+  p.seed = 3;
+  auto sketch = CountSketch::Make(p);
+  SFQ_CHECK_OK(sketch.status());
+  const Workload& w = SharedWorkload();
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch->Add(w.stream[i]);
+    if (++i == w.stream.size()) i = 0;
+  }
+  benchmark::DoNotOptimize(*sketch);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountSketchAdd)->Arg(1)->Arg(3)->Arg(5)->Arg(8)->Arg(16);
+
+// Point-query cost vs depth: dominated by the median selection.
+void BM_CountSketchEstimate(benchmark::State& state) {
+  CountSketchParams p;
+  p.depth = static_cast<size_t>(state.range(0));
+  p.width = 4096;
+  p.seed = 3;
+  auto sketch = CountSketch::Make(p);
+  SFQ_CHECK_OK(sketch.status());
+  const Workload& w = SharedWorkload();
+  for (ItemId q : w.stream) sketch->Add(q);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch->Estimate(w.stream[i]));
+    if (++i == w.stream.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountSketchEstimate)->Arg(1)->Arg(3)->Arg(5)->Arg(8)->Arg(16);
+
+// Merge cost: linear in t*b, the distributed-aggregation primitive.
+void BM_CountSketchMerge(benchmark::State& state) {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = static_cast<size_t>(state.range(0));
+  p.seed = 3;
+  auto a = CountSketch::Make(p);
+  auto b = CountSketch::Make(p);
+  SFQ_CHECK_OK(a.status());
+  SFQ_CHECK_OK(b.status());
+  for (ItemId q : SharedWorkload().stream) b->Add(q);
+  for (auto _ : state) {
+    SFQ_CHECK_OK(a->Merge(*b));
+    benchmark::DoNotOptimize(*a);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(p.depth * p.width *
+                                               sizeof(int64_t)));
+}
+BENCHMARK(BM_CountSketchMerge)->Arg(1024)->Arg(16384)->Arg(262144);
+
+}  // namespace
+}  // namespace streamfreq
+
+BENCHMARK_MAIN();

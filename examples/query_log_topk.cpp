@@ -1,0 +1,85 @@
+// Search-engine scenario (paper Section 1): find the most frequent queries
+// in a stream using string keys through the typed adapter.
+//
+// Synthesizes a query log whose popularity is Zipfian over a templated
+// phrase vocabulary, then reports the top queries with estimated counts.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/typed.h"
+#include "hash/random.h"
+#include "stream/discrete_distribution.h"
+#include "util/logging.h"
+
+using namespace streamfreq;
+
+namespace {
+
+// A toy query synthesizer: popular heads get short, plausible queries;
+// the long tail is unique noise ("rare query #n").
+std::vector<std::string> BuildVocabulary() {
+  const std::vector<std::string> subjects = {
+      "weather",       "news",       "maps",      "stock price",
+      "translate",     "pizza near", "flights to", "how to fix",
+      "lyrics",        "recipe for"};
+  const std::vector<std::string> objects = {
+      "today", "tomorrow", "london", "new york", "python",  "bicycle",
+      "pasta", "guitar",   "tokyo",  "c++",      "rainbow", "coffee"};
+  std::vector<std::string> vocab;
+  for (const auto& s : subjects) {
+    for (const auto& o : objects) vocab.push_back(s + " " + o);
+  }
+  return vocab;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> vocab = BuildVocabulary();
+
+  // Zipf weights over the vocabulary; the generator index doubles as rank.
+  std::vector<double> weights(vocab.size());
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto dist_result = DiscreteDistribution::Make(weights);
+  SFQ_CHECK_OK(dist_result.status());
+
+  CountSketchParams params;
+  params.depth = 5;
+  params.width = 4096;
+  params.seed = 2026;
+  auto topk_result = StringTopK::Make(params, /*tracked=*/15);
+  SFQ_CHECK_OK(topk_result.status());
+  StringTopK& topk = *topk_result;
+
+  Xoshiro256 rng(99);
+  constexpr int kQueries = 500000;
+  int64_t tail_serial = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    if (rng.UniformDouble() < 0.30) {
+      // 30% long-tail noise: unique queries that must not crowd out heads.
+      topk.Add("rare query #" + std::to_string(++tail_serial));
+    } else {
+      topk.Add(vocab[dist_result->Sample(rng)]);
+    }
+  }
+
+  std::cout << "Processed " << kQueries << " queries ("
+            << tail_serial << " unique tail queries)\n";
+  std::cout << "Summary memory: " << topk.SpaceBytes() / 1024 << " KiB\n\n";
+  std::cout << "Top 10 queries by estimated count:\n";
+  int rank = 0;
+  for (const KeyCount& kc : topk.Candidates(10)) {
+    std::cout << "  " << ++rank << ". \"" << kc.key << "\"  ~" << kc.count
+              << " occurrences\n";
+  }
+
+  std::cout << "\nPoint queries:\n";
+  for (const char* q : {"weather today", "recipe for pasta", "nonexistent"}) {
+    std::cout << "  Estimate(\"" << q << "\") = " << topk.Estimate(q) << "\n";
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,80 @@
+// Quickstart: the Count-Sketch public API in five minutes.
+//
+// Builds a sketch, streams items through it, queries estimates, runs the
+// paper's full top-k algorithm, and demonstrates sketch additivity.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/count_sketch.h"
+#include "core/top_k_tracker.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+#include "util/logging.h"
+
+using namespace streamfreq;
+
+int main() {
+  // 1. A Zipf-distributed stream of 200k items over a 50k-item universe --
+  //    the kind of skewed stream (search queries, packet flows) the paper
+  //    targets.
+  auto gen_result = ZipfGenerator::Make(/*universe=*/50000, /*z=*/1.1,
+                                        /*seed=*/42);
+  SFQ_CHECK_OK(gen_result.status());
+  ZipfGenerator& gen = *gen_result;
+  const Stream stream = gen.Take(200000);
+
+  // 2. A Count-Sketch: t=5 hash tables of b=4096 counters (256 KiB).
+  CountSketchParams params;
+  params.depth = 5;
+  params.width = 4096;
+  params.seed = 7;
+  auto sketch_result = CountSketch::Make(params);
+  SFQ_CHECK_OK(sketch_result.status());
+  CountSketch& sketch = *sketch_result;
+
+  ExactCounter exact;  // ground truth, for the demo only
+  for (ItemId q : stream) {
+    sketch.Add(q);  // ADD(C, q)
+    exact.Add(q);
+  }
+
+  std::cout << "Point estimates for the head of the distribution:\n";
+  std::cout << "rank  true_count  sketch_estimate\n";
+  for (uint64_t rank : {1, 2, 5, 10, 50, 200}) {
+    const ItemId item = gen.IdForRank(rank);
+    std::cout << rank << "\t" << exact.CountOf(item) << "\t"
+              << sketch.Estimate(item) << "\n";  // ESTIMATE(C, q)
+  }
+
+  // 3. The paper's one-pass ApproxTop algorithm: sketch + top-l heap.
+  auto topk_result = CountSketchTopK::Make(params, /*tracked=*/20);
+  SFQ_CHECK_OK(topk_result.status());
+  CountSketchTopK& topk = *topk_result;
+  topk.AddAll(stream);
+
+  std::cout << "\nTop-10 candidates (tracked count vs truth):\n";
+  for (const ItemCount& ic : topk.Candidates(10)) {
+    std::cout << "item " << ic.item << "  est=" << ic.count
+              << "  true=" << exact.CountOf(ic.item) << "\n";
+  }
+
+  // 4. Additivity: sketches with the same parameters form a group.
+  auto first_half = CountSketch::Make(params);
+  auto second_half = CountSketch::Make(params);
+  SFQ_CHECK_OK(first_half.status());
+  SFQ_CHECK_OK(second_half.status());
+  for (size_t i = 0; i < stream.size() / 2; ++i) first_half->Add(stream[i]);
+  for (size_t i = stream.size() / 2; i < stream.size(); ++i) {
+    second_half->Add(stream[i]);
+  }
+  SFQ_CHECK_OK(first_half->Merge(*second_half));
+  const ItemId head = gen.IdForRank(1);
+  std::cout << "\nMerged halves estimate for rank-1 item: "
+            << first_half->Estimate(head)
+            << " (whole-stream sketch: " << sketch.Estimate(head) << ")\n";
+
+  std::cout << "\nSketch memory: " << sketch.SpaceBytes() / 1024 << " KiB for "
+            << stream.size() << " stream items over " << exact.Distinct()
+            << " distinct keys\n";
+  return EXIT_SUCCESS;
+}

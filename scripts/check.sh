@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full verification sweep: configure, build, test, run every experiment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do "$b"; done
+for e in build/examples/*; do "$e"; done

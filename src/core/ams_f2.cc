@@ -1,0 +1,80 @@
+#include "core/ams_f2.h"
+
+#include <algorithm>
+
+#include "hash/mixers.h"
+#include "hash/random.h"
+
+namespace streamfreq {
+
+Result<AmsF2Sketch> AmsF2Sketch::Make(const AmsF2Params& params) {
+  if (params.groups == 0 || params.atoms_per_group == 0) {
+    return Status::InvalidArgument(
+        "AmsF2Sketch: groups and atoms_per_group must be positive");
+  }
+  if (params.groups * params.atoms_per_group > (1u << 20)) {
+    return Status::InvalidArgument("AmsF2Sketch: implausibly many atoms");
+  }
+  return AmsF2Sketch(params);
+}
+
+AmsF2Sketch::AmsF2Sketch(const AmsF2Params& params)
+    : params_(params),
+      counters_(params.groups * params.atoms_per_group, 0) {
+  SplitMix64 seeder(SplitMix64(params.seed).Next() ^ 0xA3F2ULL);
+  const size_t atoms = counters_.size();
+  sign_a_.reserve(atoms);
+  sign_b_.reserve(atoms);
+  for (size_t i = 0; i < atoms; ++i) {
+    sign_a_.emplace_back(seeder);
+    sign_b_.emplace_back(seeder);
+  }
+}
+
+void AmsF2Sketch::Add(ItemId item, Count weight) noexcept {
+  const uint64_t mixed = Moremur64(item);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    // Product of two independent pairwise signs on decorrelated inputs.
+    const int64_t sign = sign_a_[i].Sign(item) * sign_b_[i].Sign(mixed);
+    counters_[i] += weight * sign;
+  }
+}
+
+double AmsF2Sketch::Estimate() const {
+  std::vector<double> means(params_.groups);
+  for (size_t g = 0; g < params_.groups; ++g) {
+    double sum = 0.0;
+    for (size_t a = 0; a < params_.atoms_per_group; ++a) {
+      const double c =
+          static_cast<double>(counters_[g * params_.atoms_per_group + a]);
+      sum += c * c;
+    }
+    means[g] = sum / static_cast<double>(params_.atoms_per_group);
+  }
+  const size_t mid = means.size() / 2;
+  std::nth_element(means.begin(), means.begin() + mid, means.end());
+  if (means.size() % 2 == 1) return means[mid];
+  const double hi = means[mid];
+  const double lo = *std::max_element(means.begin(), means.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+bool AmsF2Sketch::Compatible(const AmsF2Sketch& other) const {
+  return params_.groups == other.params_.groups &&
+         params_.atoms_per_group == other.params_.atoms_per_group &&
+         params_.seed == other.params_.seed;
+}
+
+Status AmsF2Sketch::Merge(const AmsF2Sketch& other) {
+  if (!Compatible(other)) {
+    return Status::InvalidArgument("AmsF2Sketch::Merge: incompatible sketches");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+  return Status::OK();
+}
+
+size_t AmsF2Sketch::SpaceBytes() const {
+  return counters_.size() * (sizeof(int64_t) + 4 * sizeof(uint64_t));
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,80 @@
+#include "core/count_min.h"
+
+#include <algorithm>
+
+#include "hash/random.h"
+#include "util/logging.h"
+
+namespace streamfreq {
+
+Result<CountMin> CountMin::Make(const CountMinParams& params) {
+  if (params.depth == 0 || params.width == 0) {
+    return Status::InvalidArgument("CountMin: depth and width must be positive");
+  }
+  if (params.depth > (1u << 20) || params.width > (1ull << 34)) {
+    return Status::InvalidArgument("CountMin: dimensions implausibly large");
+  }
+  return CountMin(params);
+}
+
+CountMin::CountMin(const CountMinParams& params)
+    : params_(params),
+      depth_(params.depth),
+      width_(params.width),
+      counters_(params.depth * params.width, 0) {
+  SplitMix64 seeder(SplitMix64(params.seed).Next() ^ 0xC3117EULL);
+  hashes_.reserve(depth_);
+  for (size_t i = 0; i < depth_; ++i) hashes_.emplace_back(seeder);
+}
+
+void CountMin::Add(ItemId item, Count weight) noexcept {
+  SFQ_DCHECK_GE(weight, 0);
+  if (!params_.conservative) {
+    for (size_t i = 0; i < depth_; ++i) {
+      counters_[i * width_ + hashes_[i].Bucket(item, width_)] += weight;
+    }
+    return;
+  }
+  // Conservative update: raise every counter only as far as
+  // Estimate(item) + weight, never beyond what the minimum justifies.
+  Count current = Estimate(item);
+  const Count target = current + weight;
+  for (size_t i = 0; i < depth_; ++i) {
+    int64_t& c = counters_[i * width_ + hashes_[i].Bucket(item, width_)];
+    c = std::max<int64_t>(c, target);
+  }
+}
+
+Count CountMin::Estimate(ItemId item) const noexcept {
+  Count best = counters_[hashes_[0].Bucket(item, width_)];
+  for (size_t i = 1; i < depth_; ++i) {
+    best = std::min<Count>(best,
+                           counters_[i * width_ + hashes_[i].Bucket(item, width_)]);
+  }
+  return best;
+}
+
+bool CountMin::CompatibleWith(const CountMin& other) const {
+  return depth_ == other.depth_ && width_ == other.width_ &&
+         params_.seed == other.params_.seed;
+}
+
+Status CountMin::Merge(const CountMin& other) {
+  if (!CompatibleWith(other)) {
+    return Status::InvalidArgument("CountMin::Merge: incompatible sketches");
+  }
+  if (params_.conservative || other.params_.conservative) {
+    // Conservative-update counters are not linear; merging would break the
+    // upper-bound guarantee.
+    return Status::InvalidArgument(
+        "CountMin::Merge: conservative-update sketches are not mergeable");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+  return Status::OK();
+}
+
+size_t CountMin::SpaceBytes() const {
+  return counters_.size() * sizeof(int64_t) + depth_ * 2 * sizeof(uint64_t);
+}
+
+}  // namespace streamfreq

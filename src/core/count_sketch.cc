@@ -1,0 +1,236 @@
+#include "core/count_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/random.h"
+#include "util/bytes.h"
+#include "util/logging.h"
+
+namespace streamfreq {
+
+Result<CountSketch> CountSketch::Make(const CountSketchParams& params) {
+  if (params.depth == 0) {
+    return Status::InvalidArgument("CountSketch: depth must be positive");
+  }
+  if (params.width == 0) {
+    return Status::InvalidArgument("CountSketch: width must be positive");
+  }
+  if (params.depth > (1u << 20) || params.width > (1ull << 34)) {
+    return Status::InvalidArgument("CountSketch: dimensions implausibly large");
+  }
+  return CountSketch(params);
+}
+
+CountSketch::CountSketch(const CountSketchParams& params)
+    : params_(params),
+      depth_(params.depth),
+      width_(params.width),
+      counters_(params.depth * params.width, 0) {
+  // One seed stream per role keeps bucket and sign functions mutually
+  // independent, as the analysis requires.
+  SplitMix64 bucket_seeder(SplitMix64(params.seed).Next() ^ 0xB0C4E7ULL);
+  SplitMix64 sign_seeder(SplitMix64(params.seed + 1).Next() ^ 0x51C40FULL);
+  switch (params.family) {
+    case HashFamily::kCarterWegman:
+      cw_bucket_.reserve(depth_);
+      cw_sign_.reserve(depth_);
+      for (size_t i = 0; i < depth_; ++i) {
+        cw_bucket_.emplace_back(bucket_seeder);
+        cw_sign_.emplace_back(sign_seeder);
+      }
+      break;
+    case HashFamily::kMultiplyShift:
+      ms_bucket_.reserve(depth_);
+      ms_sign_.reserve(depth_);
+      for (size_t i = 0; i < depth_; ++i) {
+        ms_bucket_.emplace_back(bucket_seeder);
+        ms_sign_.emplace_back(sign_seeder);
+      }
+      break;
+    case HashFamily::kTabulation:
+      tab_bucket_.reserve(depth_);
+      tab_sign_.reserve(depth_);
+      for (size_t i = 0; i < depth_; ++i) {
+        tab_bucket_.emplace_back(bucket_seeder);
+        tab_sign_.emplace_back(sign_seeder);
+      }
+      break;
+  }
+}
+
+CountSketch::BucketSign CountSketch::Locate(size_t row, ItemId item) const noexcept {
+  switch (params_.family) {
+    case HashFamily::kCarterWegman:
+      return {cw_bucket_[row].Bucket(item, width_), cw_sign_[row].Sign(item)};
+    case HashFamily::kMultiplyShift:
+      return {ms_bucket_[row].Bucket(item, width_), ms_sign_[row].Sign(item)};
+    case HashFamily::kTabulation:
+      return {tab_bucket_[row].Bucket(item, width_), tab_sign_[row].Sign(item)};
+  }
+  return {0, 1};  // unreachable
+}
+
+void CountSketch::Add(ItemId item, Count weight) noexcept {
+  for (size_t i = 0; i < depth_; ++i) {
+    const BucketSign bs = Locate(i, item);
+    counters_[i * width_ + bs.bucket] += weight * bs.sign;
+  }
+}
+
+std::vector<Count> CountSketch::RowEstimates(ItemId item) const {
+  std::vector<Count> est(depth_);
+  for (size_t i = 0; i < depth_; ++i) {
+    const BucketSign bs = Locate(i, item);
+    est[i] = counters_[i * width_ + bs.bucket] * bs.sign;
+  }
+  return est;
+}
+
+CountSketch::EstimateInterval CountSketch::EstimateWithSpread(
+    ItemId item) const {
+  std::vector<Count> est = RowEstimates(item);
+  std::sort(est.begin(), est.end());
+  const size_t n = est.size();
+  EstimateInterval out;
+  out.lower = est[n / 4];
+  out.upper = est[(3 * n) / 4 == n ? n - 1 : (3 * n) / 4];
+  if (n % 2 == 1) {
+    out.estimate = est[n / 2];
+  } else {
+    out.estimate = (est[n / 2 - 1] + est[n / 2]) / 2;
+  }
+  return out;
+}
+
+Count CountSketch::Estimate(ItemId item) const noexcept {
+  // Row estimates live on the stack for the common shallow depths; deep
+  // sketches fall back to the heap-allocating path.
+  constexpr size_t kStackRows = 64;
+  Count stack_est[kStackRows];
+  std::vector<Count> heap_est;
+  Count* est;
+  if (depth_ <= kStackRows) {
+    est = stack_est;
+  } else {
+    heap_est.resize(depth_);
+    est = heap_est.data();
+  }
+  for (size_t i = 0; i < depth_; ++i) {
+    const BucketSign bs = Locate(i, item);
+    est[i] = counters_[i * width_ + bs.bucket] * bs.sign;
+  }
+  if (params_.estimator == Estimator::kMean) {
+    // Mean ablation: average rounded toward zero.
+    Count sum = 0;
+    for (size_t i = 0; i < depth_; ++i) sum += est[i];
+    return sum / static_cast<Count>(depth_);
+  }
+  // Median: middle order statistic; even depths average the two middles
+  // (rounding toward zero) so estimates stay symmetric under negation.
+  const size_t mid = depth_ / 2;
+  std::nth_element(est, est + mid, est + depth_);
+  if (depth_ % 2 == 1) return est[mid];
+  const Count hi = est[mid];
+  const Count lo = *std::max_element(est, est + mid);
+  return (lo + hi) / 2;
+}
+
+bool CountSketch::CompatibleWith(const CountSketch& other) const {
+  return depth_ == other.depth_ && width_ == other.width_ &&
+         params_.seed == other.params_.seed &&
+         params_.family == other.params_.family;
+}
+
+Status CountSketch::Merge(const CountSketch& other) {
+  if (!CompatibleWith(other)) {
+    return Status::InvalidArgument(
+        "CountSketch::Merge: incompatible sketches (parameters or seed "
+        "differ)");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+  return Status::OK();
+}
+
+Status CountSketch::Subtract(const CountSketch& other) {
+  if (!CompatibleWith(other)) {
+    return Status::InvalidArgument(
+        "CountSketch::Subtract: incompatible sketches (parameters or seed "
+        "differ)");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] -= other.counters_[i];
+  return Status::OK();
+}
+
+void CountSketch::Clear() noexcept {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+size_t CountSketch::SpaceBytes() const {
+  size_t hash_bytes = 0;
+  switch (params_.family) {
+    case HashFamily::kCarterWegman:
+    case HashFamily::kMultiplyShift:
+      hash_bytes = depth_ * 2 * 2 * sizeof(uint64_t);  // (a,b) x {bucket,sign}
+      break;
+    case HashFamily::kTabulation:
+      hash_bytes = depth_ * 2 * sizeof(TabulationHash);
+      break;
+  }
+  return counters_.size() * sizeof(int64_t) + hash_bytes;
+}
+
+namespace {
+constexpr uint64_t kSketchMagic = 0x5346515343303153ULL;  // "SFQSC01S"
+}  // namespace
+
+void CountSketch::SerializeTo(std::string* out) const {
+  ByteWriter w(out);
+  w.PutU64(kSketchMagic);
+  w.PutU64(depth_);
+  w.PutU64(width_);
+  w.PutU64(params_.seed);
+  w.PutU64(static_cast<uint64_t>(params_.family));
+  w.PutU64(static_cast<uint64_t>(params_.estimator));
+  for (int64_t c : counters_) w.PutI64(c);
+}
+
+Result<CountSketch> CountSketch::Deserialize(std::string_view data) {
+  ByteReader r(data);
+  uint64_t magic, depth, width, seed, family, estimator;
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&magic));
+  if (magic != kSketchMagic) {
+    return Status::Corruption("CountSketch::Deserialize: bad magic");
+  }
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&depth));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&width));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&seed));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&family));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&estimator));
+  if (family > static_cast<uint64_t>(HashFamily::kTabulation) ||
+      estimator > static_cast<uint64_t>(Estimator::kMean)) {
+    return Status::Corruption("CountSketch::Deserialize: bad enum value");
+  }
+  // Validate the payload size BEFORE Make allocates depth*width counters:
+  // a corrupted header must fail cleanly, not exhaust memory. The division
+  // avoids overflow in depth * width * 8 for hostile headers.
+  if (depth == 0 || width == 0 ||
+      r.remaining() / sizeof(int64_t) / depth != width ||
+      r.remaining() % sizeof(int64_t) != 0) {
+    return Status::Corruption("CountSketch::Deserialize: counter payload size "
+                              "mismatch");
+  }
+  CountSketchParams params;
+  params.depth = depth;
+  params.width = width;
+  params.seed = seed;
+  params.family = static_cast<HashFamily>(family);
+  params.estimator = static_cast<Estimator>(estimator);
+  STREAMFREQ_ASSIGN_OR_RETURN(CountSketch sketch, Make(params));
+  for (auto& c : sketch.counters_) {
+    STREAMFREQ_RETURN_NOT_OK(r.GetI64(&c));
+  }
+  return sketch;
+}
+
+}  // namespace streamfreq

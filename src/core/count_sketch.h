@@ -1,0 +1,146 @@
+// The COUNT SKETCH data structure (Charikar, Chen, Farach-Colton).
+//
+// A t x b array of counters with, per row i, a pairwise-independent bucket
+// hash h_i : O -> [b] and an independent pairwise-independent sign hash
+// s_i : O -> {+1, -1}:
+//
+//   Add(q, w):     for each row i,  C[i][h_i(q)] += w * s_i(q)
+//   Estimate(q):   median_i { C[i][h_i(q)] * s_i(q) }
+//
+// Guarantees (paper Lemmas 1-5, Theorem 1): each row estimate is unbiased
+// with variance bounded by the colliding mass; with t = Theta(log(n/delta))
+// the median is within 8 * gamma of the true count for every prefix of the
+// stream, where gamma = sqrt(F2^{>k} / b). Sketches built with the same
+// parameters and seed are compatible and form a group under Merge/Subtract,
+// which is what enables the two-pass max-change algorithm (Section 4.2).
+//
+// Add and Estimate never fail and never allocate; fallible operations
+// (construction, merging, serialization) return Status/Result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hash/pairwise.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Which hash family backs the rows. The paper requires pairwise
+/// independence, which kCarterWegman provides exactly; the others are
+/// faster heuristic substitutes evaluated in the ablation bench (E11).
+enum class HashFamily : uint8_t {
+  kCarterWegman = 0,   ///< (a*x+b) mod (2^61-1): pairwise independent
+  kMultiplyShift = 1,  ///< Dietzfelbinger multiply-shift: 2-universal
+  kTabulation = 2,     ///< simple tabulation: 3-independent
+};
+
+/// How row estimates are combined. The paper argues for the median
+/// (Section 3.2: the mean is destroyed by heavy-hitter collisions); the
+/// mean is provided for the ablation.
+enum class Estimator : uint8_t {
+  kMedian = 0,
+  kMean = 1,
+};
+
+/// Construction parameters.
+struct CountSketchParams {
+  size_t depth = 5;    ///< t: number of hash tables (rows)
+  size_t width = 256;  ///< b: buckets (counters) per table
+  uint64_t seed = 1;   ///< seeds all hash functions deterministically
+  HashFamily family = HashFamily::kCarterWegman;
+  Estimator estimator = Estimator::kMedian;
+};
+
+/// The Count-Sketch. Copyable; copies share no state.
+class CountSketch {
+ public:
+  /// Validates parameters (depth and width must be positive) and builds a
+  /// zeroed sketch with freshly seeded hash functions.
+  static Result<CountSketch> Make(const CountSketchParams& params);
+
+  /// ADD(C, q): processes `weight` occurrences of `item` (weight may be
+  /// negative — turnstile model).
+  void Add(ItemId item, Count weight = 1) noexcept;
+
+  /// ESTIMATE(C, q): the median (or mean) over rows of C[i][h_i(q)]*s_i(q).
+  /// Mean estimates round toward zero.
+  Count Estimate(ItemId item) const noexcept;
+
+  /// The per-row estimates C[i][h_i(q)]*s_i(q), in row order. Exposed for
+  /// tests and the variance experiments (E2/E3).
+  std::vector<Count> RowEstimates(ItemId item) const;
+
+  /// A point estimate with an empirical uncertainty band: the median of
+  /// the row estimates bracketed by their lower/upper quartiles. The
+  /// quartile spread is a practical stand-in for the gamma error scale
+  /// when the stream statistics are unknown (wide band = noisy estimate).
+  struct EstimateInterval {
+    Count estimate;
+    Count lower;   ///< ~25th percentile of row estimates
+    Count upper;   ///< ~75th percentile of row estimates
+  };
+  EstimateInterval EstimateWithSpread(ItemId item) const;
+
+  /// Counter-wise addition: this += other. Requires compatibility (same
+  /// depth, width, seed, family); returns InvalidArgument otherwise.
+  Status Merge(const CountSketch& other);
+
+  /// Counter-wise subtraction: this -= other. After subtracting the sketch
+  /// of S1 from the sketch of S2, Estimate(q) approximates
+  /// n_q(S2) - n_q(S1) — the max-change primitive.
+  Status Subtract(const CountSketch& other);
+
+  /// True iff `other` was built with identical parameters and seed, i.e.
+  /// shares hash functions and may be merged/subtracted.
+  bool CompatibleWith(const CountSketch& other) const;
+
+  /// Serializes parameters + counters to `out` (appended).
+  void SerializeTo(std::string* out) const;
+
+  /// Reconstructs a sketch serialized by SerializeTo. Returns Corruption on
+  /// truncated or malformed input.
+  static Result<CountSketch> Deserialize(std::string_view data);
+
+  /// Resets all counters to zero (hash functions are kept).
+  void Clear() noexcept;
+
+  size_t depth() const { return depth_; }
+  size_t width() const { return width_; }
+  uint64_t seed() const { return params_.seed; }
+  const CountSketchParams& params() const { return params_; }
+
+  /// Bytes held: the counter array plus hash-function parameters.
+  size_t SpaceBytes() const;
+
+  /// Raw counter access for tests and diagnostics.
+  int64_t CounterAt(size_t row, size_t bucket) const {
+    return counters_[row * width_ + bucket];
+  }
+
+ private:
+  explicit CountSketch(const CountSketchParams& params);
+
+  /// Row hash evaluation: bucket index and sign for `item` in row i.
+  struct BucketSign {
+    uint64_t bucket;
+    int64_t sign;
+  };
+  BucketSign Locate(size_t row, ItemId item) const noexcept;
+
+  CountSketchParams params_;
+  size_t depth_;
+  size_t width_;
+  // Per-row hash functions; only the family selected in params_ is
+  // populated.
+  std::vector<CarterWegmanHash> cw_bucket_, cw_sign_;
+  std::vector<MultiplyShiftHash> ms_bucket_, ms_sign_;
+  std::vector<TabulationHash> tab_bucket_, tab_sign_;
+  std::vector<int64_t> counters_;  // depth_ * width_, row-major
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,93 @@
+#include "core/decayed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+
+namespace {
+// Renormalize when stored magnitudes have grown by 2^64 to stay far from
+// double overflow (~1e308) while renormalizing rarely.
+constexpr double kRenormThreshold = 1.8446744073709552e19;  // 2^64
+}  // namespace
+
+Result<DecayedCountSketch> DecayedCountSketch::Make(
+    const DecayedSketchParams& params) {
+  if (params.depth == 0 || params.width == 0) {
+    return Status::InvalidArgument(
+        "DecayedCountSketch: depth and width must be positive");
+  }
+  if (!(params.half_life > 0.0)) {
+    return Status::InvalidArgument(
+        "DecayedCountSketch: half_life must be positive");
+  }
+  return DecayedCountSketch(params);
+}
+
+DecayedCountSketch::DecayedCountSketch(const DecayedSketchParams& params)
+    : params_(params),
+      depth_(params.depth),
+      width_(params.width),
+      counters_(params.depth * params.width, 0.0) {
+  SplitMix64 bucket_seeder(SplitMix64(params.seed).Next() ^ 0xDECA1ULL);
+  SplitMix64 sign_seeder(SplitMix64(params.seed + 1).Next() ^ 0xDECA2ULL);
+  bucket_hashes_.reserve(depth_);
+  sign_hashes_.reserve(depth_);
+  for (size_t i = 0; i < depth_; ++i) {
+    bucket_hashes_.emplace_back(bucket_seeder);
+    sign_hashes_.emplace_back(sign_seeder);
+  }
+}
+
+void DecayedCountSketch::Renormalize() {
+  const double inv = 1.0 / scale_;
+  for (double& c : counters_) c *= inv;
+  scale_ = 1.0;
+}
+
+void DecayedCountSketch::Tick(uint64_t steps) {
+  now_ += steps;
+  scale_ *= std::exp2(static_cast<double>(steps) / params_.half_life);
+  if (scale_ > kRenormThreshold) Renormalize();
+}
+
+void DecayedCountSketch::Add(ItemId item, Count weight) {
+  const double scaled = static_cast<double>(weight) * scale_;
+  for (size_t i = 0; i < depth_; ++i) {
+    const uint64_t bucket = bucket_hashes_[i].Bucket(item, width_);
+    const double signed_weight =
+        scaled * static_cast<double>(sign_hashes_[i].Sign(item));
+    counters_[i * width_ + bucket] += signed_weight;
+  }
+}
+
+double DecayedCountSketch::Estimate(ItemId item) const {
+  std::vector<double> est(depth_);
+  for (size_t i = 0; i < depth_; ++i) {
+    const uint64_t bucket = bucket_hashes_[i].Bucket(item, width_);
+    est[i] = counters_[i * width_ + bucket] *
+             static_cast<double>(sign_hashes_[i].Sign(item));
+  }
+  const size_t mid = depth_ / 2;
+  std::nth_element(est.begin(), est.begin() + static_cast<ptrdiff_t>(mid),
+                   est.end());
+  double median;
+  if (depth_ % 2 == 1) {
+    median = est[mid];
+  } else {
+    const double hi = est[mid];
+    const double lo =
+        *std::max_element(est.begin(), est.begin() + static_cast<ptrdiff_t>(mid));
+    median = (lo + hi) / 2.0;
+  }
+  return median / scale_;
+}
+
+size_t DecayedCountSketch::SpaceBytes() const {
+  return counters_.size() * sizeof(double) +
+         depth_ * 4 * sizeof(uint64_t);
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,74 @@
+// Exponentially time-decayed Count-Sketch.
+//
+// Monitoring deployments often want "recent counts matter more" rather
+// than a hard window: each occurrence at time t contributes
+// 2^{-(now - t)/half_life} to the decayed count. The classic
+// implementation trick avoids touching every counter on each tick: store
+// counters scaled by 2^{t/half_life} at insertion time (a logical
+// timestamped magnitude), and divide by the current scale on read. To
+// keep the stored doubles in range, the whole array is renormalized
+// whenever the scale grows past a threshold — O(t*b) amortized over many
+// ticks.
+//
+// Linearity is preserved (decay is a per-occurrence scalar), so decayed
+// sketches with the same parameters, seed, AND logical clock can be
+// merged; estimates inherit the Count-Sketch median guarantee over the
+// decayed frequency vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/pairwise.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Parameters for the decayed sketch.
+struct DecayedSketchParams {
+  size_t depth = 5;
+  size_t width = 1024;
+  uint64_t seed = 1;
+  /// Time (in Tick() units) for a contribution to halve.
+  double half_life = 1000.0;
+};
+
+/// Count-Sketch over exponentially decayed counts.
+class DecayedCountSketch {
+ public:
+  /// Validates parameters (half_life > 0) and builds a zeroed sketch.
+  static Result<DecayedCountSketch> Make(const DecayedSketchParams& params);
+
+  /// Advances the logical clock by `steps` ticks.
+  void Tick(uint64_t steps = 1);
+
+  /// Records `weight` occurrences of `item` at the current time.
+  void Add(ItemId item, Count weight = 1);
+
+  /// Estimated decayed count of `item` at the current time.
+  double Estimate(ItemId item) const;
+
+  /// Logical time elapsed.
+  uint64_t Now() const { return now_; }
+
+  size_t SpaceBytes() const;
+
+ private:
+  explicit DecayedCountSketch(const DecayedSketchParams& params);
+
+  /// Rescales all counters so scale_ returns to 1 (clock base moves up).
+  void Renormalize();
+
+  DecayedSketchParams params_;
+  size_t depth_;
+  size_t width_;
+  std::vector<CarterWegmanHash> bucket_hashes_;
+  std::vector<CarterWegmanHash> sign_hashes_;
+  std::vector<double> counters_;
+  uint64_t now_ = 0;
+  double scale_ = 1.0;  // 2^{(now - base)/half_life}
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,71 @@
+#include "core/dgim.h"
+
+namespace streamfreq {
+
+Result<DgimCounter> DgimCounter::Make(uint64_t window, size_t k_per_size) {
+  if (window == 0) {
+    return Status::InvalidArgument("DgimCounter: window must be positive");
+  }
+  if (k_per_size == 0) {
+    return Status::InvalidArgument("DgimCounter: k_per_size must be positive");
+  }
+  return DgimCounter(window, k_per_size);
+}
+
+void DgimCounter::ExpireOld() {
+  // A bucket is expired when its newest event fell out of the window.
+  while (!buckets_.empty() &&
+         buckets_.back().newest + window_ <= now_) {
+    buckets_.pop_back();
+  }
+}
+
+void DgimCounter::Observe(bool event) {
+  ++now_;
+  ExpireOld();
+  if (!event) return;
+
+  buckets_.push_front({now_, 1});
+  // Cascade merges: allow at most k_per_size + 1 buckets of any size; on
+  // overflow merge the two OLDEST of that size into one of double size.
+  size_t size_start = 0;  // index of the first bucket with the current size
+  uint64_t size = 1;
+  while (true) {
+    size_t count = 0;
+    size_t i = size_start;
+    while (i < buckets_.size() && buckets_[i].size == size) {
+      ++count;
+      ++i;
+    }
+    if (count <= k_per_size_) break;
+    // Merge buckets i-1 and i-2 (the two oldest of this size): the merged
+    // bucket keeps the newer of the two "newest" stamps, which is i-2's
+    // (buckets are newest-first).
+    buckets_[i - 2].size *= 2;
+    buckets_.erase(buckets_.begin() + static_cast<ptrdiff_t>(i) - 1);
+    size_start = i - 2;
+    size *= 2;
+  }
+}
+
+uint64_t DgimCounter::UpperBound() const {
+  uint64_t total = 0;
+  for (const Bucket& b : buckets_) total += b.size;
+  return total;
+}
+
+uint64_t DgimCounter::LowerBound() const {
+  if (buckets_.empty()) return 0;
+  const uint64_t total = UpperBound();
+  // All of the oldest bucket except its newest event may be outside the
+  // window.
+  return total - (buckets_.back().size - 1);
+}
+
+uint64_t DgimCounter::Estimate() const {
+  if (buckets_.empty()) return 0;
+  const uint64_t total = UpperBound();
+  return total - buckets_.back().size / 2;
+}
+
+}  // namespace streamfreq

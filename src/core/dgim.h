@@ -1,0 +1,72 @@
+// DGIM exponential histogram (Datar, Gionis, Indyk, Motwani): count the
+// occurrences of an event within the last W stream positions using
+// O(log^2 W) bits, with relative error at most 1/(2k) from bucket
+// granularity.
+//
+// This is the standard sliding-window counting substrate; streamfreq uses
+// it to keep windowed totals (e.g. the n that normalizes frequency
+// thresholds phi*n over a window) next to the jumping-window sketch of
+// core/windowed.h, which handles per-item counts.
+//
+// Buckets hold power-of-two event counts with timestamps of their most
+// recent event; at most `k_per_size` buckets of each size are retained,
+// merging the two oldest on overflow. A query sums all live buckets minus
+// half the oldest (the canonical DGIM estimate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// DGIM counter for one event type over a sliding window of W positions.
+class DgimCounter {
+ public:
+  /// Creates a counter for window `window` (>= 1) keeping `k_per_size`
+  /// buckets per size (>= 1; error <= 1/(2*k_per_size)).
+  static Result<DgimCounter> Make(uint64_t window, size_t k_per_size = 2);
+
+  /// Advances the stream by one position; `event` says whether the tracked
+  /// event occurred at this position.
+  void Observe(bool event);
+
+  /// Estimated number of events among the last `window` positions.
+  /// Relative error at most 1/(2*k_per_size) of the true count.
+  uint64_t Estimate() const;
+
+  /// Exact upper/lower bounds implied by the bucket structure.
+  uint64_t UpperBound() const;
+  uint64_t LowerBound() const;
+
+  /// Total positions observed.
+  uint64_t Position() const { return now_; }
+
+  /// Number of live buckets (O(k log W)).
+  size_t BucketCount() const { return buckets_.size(); }
+
+  size_t SpaceBytes() const {
+    return buckets_.size() * sizeof(Bucket) + sizeof(*this);
+  }
+
+ private:
+  struct Bucket {
+    uint64_t newest;  // position of the bucket's most recent event
+    uint64_t size;    // number of events covered (a power of two)
+  };
+
+  DgimCounter(uint64_t window, size_t k_per_size)
+      : window_(window), k_per_size_(k_per_size) {}
+
+  void ExpireOld();
+
+  uint64_t window_;
+  size_t k_per_size_;
+  uint64_t now_ = 0;
+  // Buckets newest-first; sizes non-decreasing from front to back.
+  std::deque<Bucket> buckets_;
+};
+
+}  // namespace streamfreq

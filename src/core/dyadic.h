@@ -1,0 +1,33 @@
+// Dyadic range decomposition shared by the hierarchical sketches.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace streamfreq {
+
+/// Invokes fn(level, prefix) for each block of the canonical dyadic cover
+/// of [lo, hi] within a `bits`-bit domain, where level in [0, bits] is the
+/// prefix length (level 0 = the whole domain) and prefix is the block's
+/// `level`-bit prefix. Caller guarantees lo <= hi < 2^bits.
+template <typename Fn>
+void ForEachDyadicBlock(uint64_t lo, uint64_t hi, size_t bits, Fn&& fn) {
+  uint64_t cursor = lo;
+  while (true) {
+    size_t block_bits =
+        cursor == 0 ? bits : static_cast<size_t>(std::countr_zero(cursor));
+    block_bits = std::min(block_bits, bits);
+    while (block_bits > 0 &&
+           (block_bits >= 64 || cursor + (1ULL << block_bits) - 1 > hi)) {
+      --block_bits;
+    }
+    fn(bits - block_bits, cursor >> block_bits);
+    const uint64_t block_end = cursor + (1ULL << block_bits) - 1;
+    if (block_end >= hi) break;
+    cursor = block_end + 1;
+  }
+}
+
+}  // namespace streamfreq

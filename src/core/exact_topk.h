@@ -1,0 +1,44 @@
+// Exact top-k baseline: the "keep a counter for each distinct element"
+// solution the paper's introduction rules out at stream scale.
+//
+// Provided as the reference point for the harness: zero error, unbounded
+// space (O(distinct items)). Useful in benches to show exactly how much
+// memory the sketches save, and in tests as an oracle with the
+// StreamSummary interface.
+#pragma once
+
+#include <string>
+
+#include "core/frequent.h"
+#include "stream/exact_counter.h"
+
+namespace streamfreq {
+
+/// Exact counting behind the StreamSummary interface.
+class ExactTopK final : public StreamSummary {
+ public:
+  ExactTopK() = default;
+
+  std::string Name() const override { return "Exact"; }
+
+  void Add(ItemId item, Count weight) override { counter_.Add(item, weight); }
+  using StreamSummary::Add;
+
+  Count Estimate(ItemId item) const override { return counter_.CountOf(item); }
+
+  std::vector<ItemCount> Candidates(size_t k) const override {
+    return counter_.TopK(k);
+  }
+
+  size_t SpaceBytes() const override {
+    return counter_.Distinct() *
+           (sizeof(ItemId) + sizeof(Count) + sizeof(void*));
+  }
+
+  const ExactCounter& counter() const { return counter_; }
+
+ private:
+  ExactCounter counter_;
+};
+
+}  // namespace streamfreq

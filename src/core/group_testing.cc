@@ -1,0 +1,132 @@
+#include "core/group_testing.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "hash/random.h"
+#include "util/logging.h"
+
+namespace streamfreq {
+
+Result<GroupTestingSketch> GroupTestingSketch::Make(
+    const GroupTestingParams& params) {
+  if (params.depth == 0 || params.groups == 0) {
+    return Status::InvalidArgument(
+        "GroupTestingSketch: depth and groups must be positive");
+  }
+  if (params.key_bits == 0 || params.key_bits > 64) {
+    return Status::InvalidArgument(
+        "GroupTestingSketch: key_bits must be in [1, 64]");
+  }
+  if (params.depth * params.groups > (1ull << 26)) {
+    return Status::InvalidArgument("GroupTestingSketch: too many groups");
+  }
+  return GroupTestingSketch(params);
+}
+
+GroupTestingSketch::GroupTestingSketch(const GroupTestingParams& params)
+    : params_(params),
+      stride_(1 + params.key_bits),
+      key_mask_(params.key_bits >= 64 ? ~0ULL
+                                      : (1ULL << params.key_bits) - 1),
+      counters_(params.depth * params.groups * stride_, 0) {
+  SplitMix64 seeder(SplitMix64(params.seed).Next() ^ 0xC67ULL);
+  hashes_.reserve(params.depth);
+  for (size_t i = 0; i < params.depth; ++i) hashes_.emplace_back(seeder);
+}
+
+void GroupTestingSketch::Add(uint64_t key, Count weight) noexcept {
+  SFQ_DCHECK((key & ~key_mask_) == 0) << "key exceeds key_bits";
+  key &= key_mask_;
+  for (size_t row = 0; row < params_.depth; ++row) {
+    const size_t group = hashes_[row].Bucket(key, params_.groups);
+    int64_t* base = counters_.data() + GroupBase(row, group);
+    base[0] += weight;
+    uint64_t remaining = key;
+    while (remaining != 0) {
+      const int bit = std::countr_zero(remaining);
+      base[1 + bit] += weight;
+      remaining &= remaining - 1;
+    }
+  }
+}
+
+Count GroupTestingSketch::Estimate(uint64_t key) const noexcept {
+  key &= key_mask_;
+  Count best = 0;
+  for (size_t row = 0; row < params_.depth; ++row) {
+    const size_t group = hashes_[row].Bucket(key, params_.groups);
+    const Count total = counters_[GroupBase(row, group)];
+    best = row == 0 ? total : std::min(best, total);
+  }
+  return best;
+}
+
+std::vector<DecodedHeavyHitter> GroupTestingSketch::Decode(
+    Count threshold) const {
+  SFQ_DCHECK_GE(threshold, 1);
+  // Decode every qualifying group; count per-key row votes.
+  std::map<uint64_t, int> votes;
+  for (size_t row = 0; row < params_.depth; ++row) {
+    for (size_t group = 0; group < params_.groups; ++group) {
+      const int64_t* base = counters_.data() + GroupBase(row, group);
+      const Count total = base[0];
+      if (total < threshold) continue;
+      uint64_t key = 0;
+      for (size_t bit = 0; bit < params_.key_bits; ++bit) {
+        // Majority: more than half the group's mass has this bit set.
+        if (2 * base[1 + bit] > total) key |= 1ULL << bit;
+      }
+      // Verification: the decoded key must actually hash to this group.
+      if (hashes_[row].Bucket(key, params_.groups) == group) {
+        ++votes[key];
+      }
+    }
+  }
+
+  std::vector<DecodedHeavyHitter> out;
+  const int needed = static_cast<int>(params_.depth / 2 + 1);
+  for (const auto& [key, vote_count] : votes) {
+    if (vote_count < needed) continue;
+    const Count est = Estimate(key);
+    if (est >= threshold) out.push_back({key, est});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DecodedHeavyHitter& a, const DecodedHeavyHitter& b) {
+              if (a.estimate != b.estimate) return a.estimate > b.estimate;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+bool GroupTestingSketch::Compatible(const GroupTestingSketch& other) const {
+  return params_.depth == other.params_.depth &&
+         params_.groups == other.params_.groups &&
+         params_.key_bits == other.params_.key_bits &&
+         params_.seed == other.params_.seed;
+}
+
+Status GroupTestingSketch::Merge(const GroupTestingSketch& other) {
+  if (!Compatible(other)) {
+    return Status::InvalidArgument("GroupTestingSketch::Merge: incompatible");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+  return Status::OK();
+}
+
+Status GroupTestingSketch::Subtract(const GroupTestingSketch& other) {
+  if (!Compatible(other)) {
+    return Status::InvalidArgument(
+        "GroupTestingSketch::Subtract: incompatible");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] -= other.counters_[i];
+  return Status::OK();
+}
+
+size_t GroupTestingSketch::SpaceBytes() const {
+  return counters_.size() * sizeof(int64_t) +
+         params_.depth * 2 * sizeof(uint64_t);
+}
+
+}  // namespace streamfreq

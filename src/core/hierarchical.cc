@@ -1,0 +1,192 @@
+#include "core/hierarchical.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/dyadic.h"
+#include "util/bit_util.h"
+#include "util/logging.h"
+
+namespace streamfreq {
+
+Result<HierarchicalCountSketch> HierarchicalCountSketch::Make(
+    const HierarchicalParams& params) {
+  if (params.bits == 0 || params.bits > 40) {
+    return Status::InvalidArgument(
+        "HierarchicalCountSketch: bits must be in [1, 40]");
+  }
+  if (params.depth == 0 || params.width == 0) {
+    return Status::InvalidArgument(
+        "HierarchicalCountSketch: depth and width must be positive");
+  }
+  return HierarchicalCountSketch(params);
+}
+
+HierarchicalCountSketch::HierarchicalCountSketch(
+    const HierarchicalParams& params)
+    : params_(params),
+      domain_mask_((params.bits >= 64 ? ~0ULL : (1ULL << params.bits) - 1)) {
+  exact_.resize(params.bits);
+  for (size_t level = 1; level <= params.bits; ++level) {
+    if ((1ULL << level) <= params.width) {
+      // Exact level: 2^level counters beat a clamped sketch in both space
+      // and accuracy.
+      exact_[level - 1].assign(1ULL << level, 0);
+      ++exact_level_count_;
+    } else {
+      CountSketchParams p;
+      p.depth = params.depth;
+      p.width = params.width;
+      p.seed = params.seed + 0x9E3779B9ULL * level;
+      auto sketch = CountSketch::Make(p);
+      SFQ_CHECK_OK(sketch.status());  // params validated above
+      levels_.push_back(std::move(*sketch));
+    }
+  }
+}
+
+void HierarchicalCountSketch::Add(uint64_t key, Count weight) noexcept {
+  SFQ_DCHECK((key & ~domain_mask_) == 0) << "key outside the domain";
+  key &= domain_mask_;
+  total_ += weight;
+  const size_t bits = params_.bits;
+  size_t sketch_index = 0;
+  for (size_t level = 1; level <= bits; ++level) {
+    const uint64_t prefix = key >> (bits - level);
+    if (!exact_[level - 1].empty()) {
+      exact_[level - 1][prefix] += weight;
+    } else {
+      levels_[sketch_index++].Add(prefix, weight);
+    }
+  }
+}
+
+Count HierarchicalCountSketch::EstimateNode(size_t level,
+                                            uint64_t prefix) const noexcept {
+  if (!exact_[level - 1].empty()) return exact_[level - 1][prefix];
+  // All exact levels precede all sketch levels (exactness is monotone in
+  // level), so the sketch index is a fixed offset.
+  return levels_[level - 1 - exact_level_count_].Estimate(prefix);
+}
+
+Count HierarchicalCountSketch::EstimatePoint(uint64_t key) const noexcept {
+  return EstimateNode(params_.bits, key & domain_mask_);
+}
+
+Result<Count> HierarchicalCountSketch::EstimateRange(uint64_t lo,
+                                                     uint64_t hi) const {
+  if (lo > hi) {
+    return Status::InvalidArgument("EstimateRange: lo > hi");
+  }
+  if (hi > domain_mask_) {
+    return Status::OutOfRange("EstimateRange: hi outside the key domain");
+  }
+  Count sum = 0;
+  ForEachDyadicBlock(lo, hi, params_.bits, [&](size_t level, uint64_t prefix) {
+    // level 0 is the whole domain, which is tracked exactly.
+    sum += level == 0 ? total_ : EstimateNode(level, prefix);
+  });
+  return sum;
+}
+
+std::vector<HeavyHitter> HierarchicalCountSketch::HeavyHitters(
+    Count threshold) const {
+  SFQ_DCHECK_GE(threshold, 1);
+  std::vector<HeavyHitter> out;
+  std::vector<uint64_t> frontier = {0, 1};
+  for (size_t level = 1; level <= params_.bits; ++level) {
+    std::vector<uint64_t> next;
+    for (uint64_t prefix : frontier) {
+      const Count est = EstimateNode(level, prefix);
+      const Count mag = est < 0 ? -est : est;
+      if (mag < threshold) continue;
+      if (level == params_.bits) {
+        out.push_back({prefix, est});
+      } else {
+        next.push_back(prefix << 1);
+        next.push_back((prefix << 1) | 1);
+      }
+    }
+    if (level < params_.bits) frontier = std::move(next);
+  }
+  std::sort(out.begin(), out.end(), [](const HeavyHitter& a, const HeavyHitter& b) {
+    const Count ma = a.estimate < 0 ? -a.estimate : a.estimate;
+    const Count mb = b.estimate < 0 ? -b.estimate : b.estimate;
+    if (ma != mb) return ma > mb;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+uint64_t HierarchicalCountSketch::KeyAtRank(Count target) const {
+  uint64_t prefix = 0;
+  Count remaining = target;
+  for (size_t level = 1; level <= params_.bits; ++level) {
+    const uint64_t left = prefix << 1;
+    const Count left_mass = std::max<Count>(0, EstimateNode(level, left));
+    if (remaining < left_mass) {
+      prefix = left;
+    } else {
+      remaining -= left_mass;
+      prefix = left | 1;
+    }
+  }
+  return prefix;
+}
+
+Count HierarchicalCountSketch::RankOfKey(uint64_t key) const {
+  key &= domain_mask_;
+  if (key == 0) return 0;
+  auto range = EstimateRange(0, key - 1);
+  SFQ_DCHECK(range.ok());
+  return range.ok() ? *range : 0;
+}
+
+Status HierarchicalCountSketch::Merge(const HierarchicalCountSketch& other) {
+  if (params_.bits != other.params_.bits ||
+      params_.seed != other.params_.seed ||
+      params_.width != other.params_.width ||
+      params_.depth != other.params_.depth) {
+    return Status::InvalidArgument(
+        "HierarchicalCountSketch::Merge: incompatible structures");
+  }
+  for (size_t l = 0; l < exact_.size(); ++l) {
+    for (size_t i = 0; i < exact_[l].size(); ++i) {
+      exact_[l][i] += other.exact_[l][i];
+    }
+  }
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    STREAMFREQ_RETURN_NOT_OK(levels_[i].Merge(other.levels_[i]));
+  }
+  total_ += other.total_;
+  return Status::OK();
+}
+
+Status HierarchicalCountSketch::Subtract(const HierarchicalCountSketch& other) {
+  if (params_.bits != other.params_.bits ||
+      params_.seed != other.params_.seed ||
+      params_.width != other.params_.width ||
+      params_.depth != other.params_.depth) {
+    return Status::InvalidArgument(
+        "HierarchicalCountSketch::Subtract: incompatible structures");
+  }
+  for (size_t l = 0; l < exact_.size(); ++l) {
+    for (size_t i = 0; i < exact_[l].size(); ++i) {
+      exact_[l][i] -= other.exact_[l][i];
+    }
+  }
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    STREAMFREQ_RETURN_NOT_OK(levels_[i].Subtract(other.levels_[i]));
+  }
+  total_ -= other.total_;
+  return Status::OK();
+}
+
+size_t HierarchicalCountSketch::SpaceBytes() const {
+  size_t bytes = sizeof(Count);
+  for (const auto& level : exact_) bytes += level.size() * sizeof(Count);
+  for (const CountSketch& s : levels_) bytes += s.SpaceBytes();
+  return bytes;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,122 @@
+// Hierarchical (dyadic) Count-Sketch: range queries, quantiles, and
+// turnstile heavy-hitter *recovery* without per-item tracking.
+//
+// The paper's Section 3.2 algorithm tracks candidates in a heap, which
+// requires seeing each heavy item again after its estimate rises — fine for
+// insert-only streams, impossible for pure turnstile workloads (e.g. the
+// difference of two streams, where "arrivals" never replay). The standard
+// fix from the sketching literature is a dyadic decomposition: one sketch
+// per prefix level of the key domain. Heavy hitters are recovered by
+// descending from the root, expanding only prefixes whose estimated mass
+// clears the threshold; ranges decompose into <= 2 log U dyadic nodes; rank
+// queries (quantiles) binary-search the prefix tree.
+//
+// Cost: (levels) sketches, so log U times the single-sketch space and
+// update cost. Estimates inherit Count-Sketch's unbiased-median guarantee
+// level by level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/count_sketch.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Parameters for the dyadic sketch.
+struct HierarchicalParams {
+  /// Key domain is [0, 2^bits). Updates outside abort in debug builds and
+  /// are masked in release.
+  size_t bits = 24;
+  /// Count-Sketch depth/width used at every level (narrow levels are
+  /// automatically clamped to their domain size).
+  size_t depth = 5;
+  size_t width = 1024;
+  uint64_t seed = 1;
+};
+
+/// A recovered heavy item.
+struct HeavyHitter {
+  uint64_t key;
+  Count estimate;
+};
+
+/// The dyadic Count-Sketch structure.
+class HierarchicalCountSketch {
+ public:
+  /// Validates parameters (1 <= bits <= 40 to bound level count) and
+  /// builds one zeroed sketch per level.
+  static Result<HierarchicalCountSketch> Make(const HierarchicalParams& params);
+
+  /// Adds `weight` (may be negative: turnstile) to `key`.
+  void Add(uint64_t key, Count weight = 1) noexcept;
+
+  /// Point estimate for `key` (leaf-level sketch).
+  Count EstimatePoint(uint64_t key) const noexcept;
+
+  /// Estimated total weight of keys in [lo, hi] (inclusive). Decomposes
+  /// into at most 2*bits dyadic nodes. Returns InvalidArgument when
+  /// lo > hi or hi is outside the domain.
+  Result<Count> EstimateRange(uint64_t lo, uint64_t hi) const;
+
+  /// Recovers all keys whose estimated count is at least `threshold`
+  /// (absolute value — turnstile deltas count in both directions), by
+  /// descending the prefix tree. Expands at most O(#answers * bits)
+  /// nodes when the sketch error is below threshold/2.
+  ///
+  /// Caveat for signed (difference) data: a positive and a negative heavy
+  /// delta under the same ancestor can cancel in that ancestor's estimate
+  /// and prune the descent. When hunting signed deltas, decode risers and
+  /// fallers separately (sketch the difference both ways) or lower the
+  /// threshold.
+  std::vector<HeavyHitter> HeavyHitters(Count threshold) const;
+
+  /// The key at estimated rank `target` (0-based) under the current
+  /// (non-negative) stream: the smallest key whose prefix-sum estimate
+  /// exceeds target. Intended for insert-only streams; with negative
+  /// counts present the result is unspecified.
+  uint64_t KeyAtRank(Count target) const;
+
+  /// Estimated rank of `key`: the estimated number of occurrences of keys
+  /// strictly smaller than `key` (insert-only semantics).
+  Count RankOfKey(uint64_t key) const;
+
+  /// Exact total weight added (maintained as a scalar counter).
+  Count TotalWeight() const { return total_; }
+
+  /// Merges a compatible dyadic sketch (same params/seed).
+  Status Merge(const HierarchicalCountSketch& other);
+
+  /// Subtracts a compatible dyadic sketch: the result sketches the
+  /// difference stream, on which HeavyHitters finds max-change keys
+  /// *in one pass per stream* (no second pass, unlike Section 4.2).
+  Status Subtract(const HierarchicalCountSketch& other);
+
+  size_t bits() const { return params_.bits; }
+  size_t SpaceBytes() const;
+
+ private:
+  explicit HierarchicalCountSketch(const HierarchicalParams& params);
+
+  /// Estimate of the node `prefix` at `level` (level 0 = root's children
+  /// domain of 2 keys... level bits = leaves).
+  Count EstimateNode(size_t level, uint64_t prefix) const noexcept;
+
+  HierarchicalParams params_;
+  uint64_t domain_mask_;
+  Count total_ = 0;
+  // Shallow levels (2^level <= width) are counted exactly — an exact array
+  // is both smaller and error-free compared to a sketch whose width is
+  // clamped to the level's domain (where bucket collisions would destroy
+  // estimates). exact_[l] is non-empty for exact levels.
+  std::vector<std::vector<Count>> exact_;
+  size_t exact_level_count_ = 0;
+  // Deep levels use a Count-Sketch. sketch_[l] is populated iff exact_[l]
+  // is empty. Level l (1-based) lives at index l-1.
+  std::vector<CountSketch> levels_;
+};
+
+}  // namespace streamfreq

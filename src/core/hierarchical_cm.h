@@ -1,0 +1,79 @@
+// Hierarchical Count-Min ("CMH"): the Count-Min-backed dyadic structure
+// used for ranges, quantiles, and heavy-hitter recovery on insert-only
+// streams.
+//
+// Same prefix-tree layout as core/hierarchical.h but with Count-Min
+// estimates at every node, which are one-sided *upper bounds*. The
+// practical consequences versus the Count-Sketch backing:
+//   * heavy-hitter descent has NO false-negative pruning — an ancestor's
+//     upper bound can never fall below a heavy descendant's true mass (in
+//     the cash-register model), so recall is structural, not statistical;
+//   * range sums and ranks are overestimates (biased up), so quantile
+//     answers skew slightly low;
+//   * the turnstile model is out of scope (Count-Min's min-estimate is
+//     meaningless under deletions), so there is no Subtract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/count_min.h"
+#include "core/hierarchical.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// The Count-Min dyadic structure.
+class HierarchicalCountMin {
+ public:
+  /// Validates parameters and builds one zeroed structure. The `depth`
+  /// and `width` of `params` size each level's Count-Min; conservative
+  /// update is not used (it breaks node additivity across levels' use in
+  /// merges).
+  static Result<HierarchicalCountMin> Make(const HierarchicalParams& params);
+
+  /// Adds `weight` >= 0 occurrences of `key`.
+  void Add(uint64_t key, Count weight = 1) noexcept;
+
+  /// Point upper bound for `key`.
+  Count EstimatePoint(uint64_t key) const noexcept;
+
+  /// Upper bound on the total weight of keys in [lo, hi] (inclusive).
+  Result<Count> EstimateRange(uint64_t lo, uint64_t hi) const;
+
+  /// All keys whose upper-bound estimate reaches `threshold`. No false
+  /// negatives: every key with true count >= threshold is returned.
+  std::vector<HeavyHitter> HeavyHitters(Count threshold) const;
+
+  /// The key at estimated rank `target` (0-based).
+  uint64_t KeyAtRank(Count target) const;
+
+  /// Estimated rank of `key`: upper bound on the number of occurrences of
+  /// keys strictly smaller than `key`.
+  Count RankOfKey(uint64_t key) const;
+
+  /// Exact total weight.
+  Count TotalWeight() const { return total_; }
+
+  /// Merges a compatible structure (sketching the union stream).
+  Status Merge(const HierarchicalCountMin& other);
+
+  size_t bits() const { return params_.bits; }
+  size_t SpaceBytes() const;
+
+ private:
+  explicit HierarchicalCountMin(const HierarchicalParams& params);
+
+  Count EstimateNode(size_t level, uint64_t prefix) const noexcept;
+
+  HierarchicalParams params_;
+  uint64_t domain_mask_;
+  Count total_ = 0;
+  std::vector<std::vector<Count>> exact_;
+  size_t exact_level_count_ = 0;
+  std::vector<CountMin> levels_;
+};
+
+}  // namespace streamfreq

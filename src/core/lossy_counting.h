@@ -1,0 +1,71 @@
+// Lossy Counting (Manku & Motwani, VLDB 2002), the deterministic
+// epsilon-deficient counter algorithm cited as [15] in the paper.
+//
+// The stream is conceptually divided into buckets of width ceil(1/eps).
+// Each entry stores (item, f, delta) where f counts occurrences since entry
+// and delta bounds occurrences before entry. At each bucket boundary,
+// entries with f + delta <= current bucket id are pruned. Guarantees:
+//   * counter f underestimates by at most eps * n, and
+//   * at most (1/eps) * log(eps * n) entries are live.
+// Answers iceberg queries "all items with frequency >= s*n" with no false
+// negatives when queried with threshold (s - eps) * n.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frequent.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Lossy Counting summary.
+class LossyCounting final : public StreamSummary {
+ public:
+  /// Creates a summary with error parameter eps in (0, 1).
+  static Result<LossyCounting> Make(double epsilon);
+
+  std::string Name() const override;
+
+  /// Weighted arrival; weight must be >= 1. Bucket boundaries that the
+  /// weight spans are processed in order.
+  void Add(ItemId item, Count weight) override;
+  using StreamSummary::Add;
+
+  /// Lower-bound estimate: the stored f when present, else 0.
+  Count Estimate(ItemId item) const override;
+
+  /// Entries by descending f + delta; reported counts are that upper
+  /// bound (Estimate() gives the lower-bound view).
+  std::vector<ItemCount> Candidates(size_t k) const override;
+
+  /// Items with estimated frequency at least (threshold - eps) * n — the
+  /// iceberg-query answer with no false negatives at `threshold`.
+  std::vector<ItemCount> IcebergQuery(double threshold) const;
+
+  double epsilon() const { return epsilon_; }
+  Count stream_length() const { return n_; }
+  size_t EntryCount() const { return entries_.size(); }
+  size_t SpaceBytes() const override;
+
+ private:
+  explicit LossyCounting(double epsilon);
+
+  struct Entry {
+    Count f;      // occurrences since the item entered
+    Count delta;  // max occurrences before entry
+  };
+
+  void AdvanceBucketsTo(Count n);
+
+  double epsilon_;
+  Count bucket_width_;       // ceil(1/eps)
+  Count current_bucket_ = 1; // 1-based bucket id
+  Count n_ = 0;              // total weight processed
+  std::unordered_map<ItemId, Entry> entries_;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,82 @@
+#include "core/max_change.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamfreq {
+
+Result<MaxChangeDetector> MaxChangeDetector::Make(
+    const CountSketchParams& sketch_params, size_t tracked) {
+  if (tracked == 0) {
+    return Status::InvalidArgument("MaxChangeDetector: tracked must be positive");
+  }
+  STREAMFREQ_ASSIGN_OR_RETURN(CountSketch sketch, CountSketch::Make(sketch_params));
+  return MaxChangeDetector(std::move(sketch), tracked);
+}
+
+MaxChangeDetector::MaxChangeDetector(CountSketch sketch, size_t tracked)
+    : sketch_(std::move(sketch)), capacity_(tracked) {
+  members_.reserve(tracked + 1);
+}
+
+void MaxChangeDetector::SecondPass(int stream, ItemId item) {
+  SFQ_DCHECK(first_pass_done_);
+  SFQ_DCHECK(stream == 1 || stream == 2);
+  auto it = members_.find(item);
+  if (it == members_.end()) {
+    const Count est = sketch_.Estimate(item);
+    const Count nhat_abs = est < 0 ? -est : est;
+    if (members_.size() < capacity_) {
+      it = members_.emplace(item, Member{nhat_abs}).first;
+      by_nhat_.insert({nhat_abs, item});
+    } else {
+      const auto min_it = by_nhat_.begin();
+      if (nhat_abs <= min_it->first) return;  // below threshold: not tracked
+      members_.erase(min_it->second);
+      by_nhat_.erase(min_it);
+      it = members_.emplace(item, Member{nhat_abs}).first;
+      by_nhat_.insert({nhat_abs, item});
+    }
+  }
+  if (stream == 1) {
+    ++it->second.count_s1;
+  } else {
+    ++it->second.count_s2;
+  }
+}
+
+std::vector<ChangeResult> MaxChangeDetector::TopChanges(size_t k) const {
+  std::vector<ChangeResult> out;
+  out.reserve(members_.size());
+  for (const auto& [id, m] : members_) {
+    out.push_back({id, m.count_s1, m.count_s2});
+  }
+  std::sort(out.begin(), out.end(), [](const ChangeResult& a, const ChangeResult& b) {
+    if (a.AbsDelta() != b.AbsDelta()) return a.AbsDelta() > b.AbsDelta();
+    return a.item < b.item;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<std::vector<ChangeResult>> MaxChangeDetector::Run(
+    const CountSketchParams& sketch_params, size_t tracked, const Stream& s1,
+    const Stream& s2, size_t k) {
+  STREAMFREQ_ASSIGN_OR_RETURN(MaxChangeDetector det, Make(sketch_params, tracked));
+  for (ItemId q : s1) det.ObserveS1(q);
+  for (ItemId q : s2) det.ObserveS2(q);
+  det.FinishFirstPass();
+  for (ItemId q : s1) det.SecondPass(1, q);
+  for (ItemId q : s2) det.SecondPass(2, q);
+  return det.TopChanges(k);
+}
+
+size_t MaxChangeDetector::SpaceBytes() const {
+  const size_t per_member =
+      (sizeof(ItemId) + sizeof(Member) + sizeof(void*)) +
+      (sizeof(std::pair<Count, ItemId>) + 3 * sizeof(void*));
+  return sketch_.SpaceBytes() + members_.size() * per_member;
+}
+
+}  // namespace streamfreq

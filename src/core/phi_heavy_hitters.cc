@@ -1,0 +1,55 @@
+#include "core/phi_heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamfreq {
+
+Result<PhiHeavyHitters> PhiHeavyHitters::Make(double phi) {
+  if (!(phi > 0.0) || phi >= 1.0) {
+    return Status::InvalidArgument("PhiHeavyHitters: phi must be in (0, 1)");
+  }
+  const double capacity = std::ceil(2.0 / phi);
+  if (capacity > 1e8) {
+    return Status::InvalidArgument(
+        "PhiHeavyHitters: phi too small (capacity would exceed 1e8)");
+  }
+  STREAMFREQ_ASSIGN_OR_RETURN(
+      SpaceSaving summary, SpaceSaving::Make(static_cast<size_t>(capacity)));
+  return PhiHeavyHitters(phi, std::move(summary));
+}
+
+void PhiHeavyHitters::Add(ItemId item, Count weight) {
+  n_ += weight;
+  summary_.Add(item, weight);
+}
+
+std::vector<PhiHeavyHitter> PhiHeavyHitters::Report() const {
+  const double threshold = phi_ * static_cast<double>(n_);
+  std::vector<PhiHeavyHitter> out;
+  for (const ItemCount& ic : summary_.Candidates(summary_.capacity())) {
+    if (static_cast<double>(ic.count) <= threshold) continue;
+    const Count lower = ic.count - summary_.ErrorOf(ic.item);
+    out.push_back({ic.item, ic.count, lower,
+                   static_cast<double>(lower) > threshold});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhiHeavyHitter& a, const PhiHeavyHitter& b) {
+              if (a.count_upper != b.count_upper) {
+                return a.count_upper > b.count_upper;
+              }
+              return a.item < b.item;
+            });
+  return out;
+}
+
+std::vector<PhiHeavyHitter> PhiHeavyHitters::GuaranteedOnly() const {
+  std::vector<PhiHeavyHitter> all = Report();
+  std::vector<PhiHeavyHitter> out;
+  for (const PhiHeavyHitter& hh : all) {
+    if (hh.guaranteed) out.push_back(hh);
+  }
+  return out;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,64 @@
+// Convenience facade for the phi-heavy-hitters question most deployments
+// actually ask: "report every item exceeding a phi fraction of the
+// traffic" (iceberg queries, elephant flows).
+//
+// Wraps Space-Saving with capacity 2/phi, which guarantees:
+//   * no false negatives: every item with n_q > phi*n is reported, and
+//   * bounded false positives: every reported item has n_q > (phi/2)*n
+//     when reported from the guaranteed list, or is flagged as
+//     "possible" otherwise.
+// This two-tier answer (guaranteed / possible) mirrors how production
+// heavy-hitter monitors expose uncertainty.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/space_saving.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// One reported heavy hitter.
+struct PhiHeavyHitter {
+  ItemId item;
+  Count count_upper;  ///< Space-Saving upper bound
+  Count count_lower;  ///< count_upper - error: guaranteed occurrences
+  bool guaranteed;    ///< count_lower already clears the phi threshold
+};
+
+/// Reports items above a phi fraction of the stream.
+class PhiHeavyHitters {
+ public:
+  /// Creates a monitor for threshold `phi` in (0, 1). Space is
+  /// O(1/phi) counters.
+  static Result<PhiHeavyHitters> Make(double phi);
+
+  /// Processes `weight` occurrences of `item` (weight >= 1).
+  void Add(ItemId item, Count weight = 1);
+
+  /// Every item that MAY exceed phi * n, sorted by descending upper
+  /// bound. Items whose guaranteed (lower-bound) count already exceeds
+  /// the threshold have `guaranteed = true`; the rest are possible heavy
+  /// hitters that a second pass could confirm. Never misses a true
+  /// phi-heavy item.
+  std::vector<PhiHeavyHitter> Report() const;
+
+  /// Items whose guaranteed count exceeds phi * n (no false positives).
+  std::vector<PhiHeavyHitter> GuaranteedOnly() const;
+
+  double phi() const { return phi_; }
+  Count StreamLength() const { return n_; }
+  size_t SpaceBytes() const { return summary_.SpaceBytes(); }
+
+ private:
+  PhiHeavyHitters(double phi, SpaceSaving summary)
+      : phi_(phi), summary_(std::move(summary)) {}
+
+  double phi_;
+  Count n_ = 0;
+  SpaceSaving summary_;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,110 @@
+#include "core/relative_change.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace streamfreq {
+
+Result<RelativeChangeDetector> RelativeChangeDetector::Make(
+    const CountSketchParams& sketch_params, size_t tracked, double smoothing) {
+  if (tracked == 0) {
+    return Status::InvalidArgument(
+        "RelativeChangeDetector: tracked must be positive");
+  }
+  if (!(smoothing > 0.0)) {
+    return Status::InvalidArgument(
+        "RelativeChangeDetector: smoothing must be positive");
+  }
+  STREAMFREQ_ASSIGN_OR_RETURN(CountSketch s1, CountSketch::Make(sketch_params));
+  STREAMFREQ_ASSIGN_OR_RETURN(CountSketch s2, CountSketch::Make(sketch_params));
+  return RelativeChangeDetector(std::move(s1), std::move(s2), tracked,
+                                smoothing);
+}
+
+RelativeChangeDetector::RelativeChangeDetector(CountSketch s1, CountSketch s2,
+                                               size_t tracked, double smoothing)
+    : sketch1_(std::move(s1)),
+      sketch2_(std::move(s2)),
+      capacity_(tracked),
+      smoothing_(smoothing) {
+  members_.reserve(tracked + 1);
+}
+
+double RelativeChangeDetector::ScoreOf(ItemId item) const {
+  // Negative estimates are sketch noise around zero; clamp at 0.
+  const double a =
+      std::max<double>(0.0, static_cast<double>(sketch1_.Estimate(item))) +
+      smoothing_;
+  const double b =
+      std::max<double>(0.0, static_cast<double>(sketch2_.Estimate(item))) +
+      smoothing_;
+  return b > a ? b / a : a / b;
+}
+
+void RelativeChangeDetector::SecondPass(int stream, ItemId item) {
+  SFQ_DCHECK(first_pass_done_);
+  SFQ_DCHECK(stream == 1 || stream == 2);
+  auto it = members_.find(item);
+  if (it == members_.end()) {
+    const double score = ScoreOf(item);
+    if (members_.size() < capacity_) {
+      it = members_.emplace(item, Member{score}).first;
+      by_score_.insert({score, item});
+    } else {
+      const auto min_it = by_score_.begin();
+      if (score <= min_it->first) return;
+      members_.erase(min_it->second);
+      by_score_.erase(min_it);
+      it = members_.emplace(item, Member{score}).first;
+      by_score_.insert({score, item});
+    }
+  }
+  if (stream == 1) {
+    ++it->second.count_s1;
+  } else {
+    ++it->second.count_s2;
+  }
+}
+
+std::vector<RelativeChangeResult> RelativeChangeDetector::TopChanges(
+    size_t k) const {
+  std::vector<RelativeChangeResult> out;
+  out.reserve(members_.size());
+  for (const auto& [id, m] : members_) {
+    out.push_back({id, m.count_s1, m.count_s2, m.score});
+  }
+  const double s = smoothing_;
+  std::sort(out.begin(), out.end(),
+            [s](const RelativeChangeResult& a, const RelativeChangeResult& b) {
+              const double ra = a.ExactRatio(s), rb = b.ExactRatio(s);
+              if (ra != rb) return ra > rb;
+              return a.item < b.item;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<std::vector<RelativeChangeResult>> RelativeChangeDetector::Run(
+    const CountSketchParams& sketch_params, size_t tracked, double smoothing,
+    const Stream& s1, const Stream& s2, size_t k) {
+  STREAMFREQ_ASSIGN_OR_RETURN(
+      RelativeChangeDetector det, Make(sketch_params, tracked, smoothing));
+  for (ItemId q : s1) det.ObserveS1(q);
+  for (ItemId q : s2) det.ObserveS2(q);
+  det.FinishFirstPass();
+  for (ItemId q : s1) det.SecondPass(1, q);
+  for (ItemId q : s2) det.SecondPass(2, q);
+  return det.TopChanges(k);
+}
+
+size_t RelativeChangeDetector::SpaceBytes() const {
+  const size_t per_member =
+      (sizeof(ItemId) + sizeof(Member) + sizeof(void*)) +
+      (sizeof(std::pair<double, ItemId>) + 3 * sizeof(void*));
+  return sketch1_.SpaceBytes() + sketch2_.SpaceBytes() +
+         members_.size() * per_member;
+}
+
+}  // namespace streamfreq

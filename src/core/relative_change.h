@@ -1,0 +1,96 @@
+// EXTENSION — max-*percent*-change detection (the paper's open problem).
+//
+// Section 5 closes: "there is still an open problem of finding the elements
+// with the max-percent change, or other objective functions that somehow
+// balance absolute and relative changes." This module implements a
+// practical heuristic for it on top of the same machinery as Section 4.2:
+// two per-period Count-Sketches and a second pass that scores each item by
+// a smoothed ratio
+//
+//     score(q) = (nhat2(q) + s) / (nhat1(q) + s),
+//
+// tracking the l items with the most extreme max(score, 1/score). The
+// additive smoothing s plays the role the open problem hints at: it
+// balances absolute and relative change, suppressing the 1 -> 3
+// "300% risers" that dominate a naive ratio. No theoretical guarantee is
+// claimed (none is known); tests characterize behaviour empirically.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/count_sketch.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// One reported relative change.
+struct RelativeChangeResult {
+  ItemId item;
+  Count count_s1;  ///< exact pass-2 count in S1
+  Count count_s2;  ///< exact pass-2 count in S2
+  double score;    ///< smoothed ratio at admission time
+
+  /// Exact smoothed ratio from the pass-2 counts.
+  double ExactRatio(double smoothing) const {
+    const double a = static_cast<double>(count_s1) + smoothing;
+    const double b = static_cast<double>(count_s2) + smoothing;
+    return b > a ? b / a : a / b;
+  }
+};
+
+/// Two-pass max-percent-change detector.
+class RelativeChangeDetector {
+ public:
+  /// `smoothing` > 0 is the additive prior mass; larger values demand more
+  /// absolute evidence before a ratio counts as extreme.
+  static Result<RelativeChangeDetector> Make(
+      const CountSketchParams& sketch_params, size_t tracked,
+      double smoothing);
+
+  /// Pass 1: sketch each period separately.
+  void ObserveS1(ItemId item, Count weight = 1) { sketch1_.Add(item, weight); }
+  void ObserveS2(ItemId item, Count weight = 1) { sketch2_.Add(item, weight); }
+  void FinishFirstPass() { first_pass_done_ = true; }
+
+  /// Pass 2 over both streams: maintains the l most ratio-extreme items
+  /// with exact per-period counts (same admission argument as Section 4.2:
+  /// scores are frozen, the bar only rises).
+  void SecondPass(int stream, ItemId item);
+
+  /// The k most extreme items by exact smoothed ratio, descending.
+  std::vector<RelativeChangeResult> TopChanges(size_t k) const;
+
+  /// Convenience driver over materialized streams.
+  static Result<std::vector<RelativeChangeResult>> Run(
+      const CountSketchParams& sketch_params, size_t tracked, double smoothing,
+      const Stream& s1, const Stream& s2, size_t k);
+
+  double smoothing() const { return smoothing_; }
+  size_t SpaceBytes() const;
+
+ private:
+  RelativeChangeDetector(CountSketch s1, CountSketch s2, size_t tracked,
+                         double smoothing);
+
+  double ScoreOf(ItemId item) const;
+
+  struct Member {
+    double score;
+    Count count_s1 = 0;
+    Count count_s2 = 0;
+  };
+
+  CountSketch sketch1_;
+  CountSketch sketch2_;
+  size_t capacity_;
+  double smoothing_;
+  bool first_pass_done_ = false;
+  std::unordered_map<ItemId, Member> members_;
+  std::set<std::pair<double, ItemId>> by_score_;
+};
+
+}  // namespace streamfreq

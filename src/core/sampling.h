@@ -1,0 +1,170 @@
+// Sampling-based baselines.
+//
+// SamplingSummary is the SAMPLING algorithm of the paper's Section 2: keep
+// each stream position independently with probability p, stored as (item,
+// sampled-occurrence counter) pairs. With p >= O(log k / n_k) all top-k
+// items appear in the sample w.h.p., solving CandidateTop(S, k, x) where x
+// is the number of distinct sampled items — the space the paper's Table 1
+// charges it.
+//
+// ConciseSampling and CountingSampling are the Gibbons-Matias refinements
+// [7]: they target a fixed space budget without knowing n in advance by
+// raising the inclusion threshold tau and sub-sampling the existing sample
+// on overflow. CountingSampling additionally counts occurrences exactly
+// once an item is in the sample.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frequent.h"
+#include "hash/random.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Fixed-probability Bernoulli sampling (the paper's SAMPLING algorithm).
+class SamplingSummary final : public StreamSummary {
+ public:
+  /// Creates a sampler including each occurrence with probability p.
+  static Result<SamplingSummary> Make(double inclusion_probability,
+                                      uint64_t seed);
+
+  std::string Name() const override;
+
+  /// Flips `weight` independent coins for the occurrences of `item`.
+  void Add(ItemId item, Count weight) override;
+  using StreamSummary::Add;
+
+  /// Unbiased estimate: sampled count / p, rounded.
+  Count Estimate(ItemId item) const override;
+
+  /// Sampled items by descending sampled count, estimates scaled by 1/p.
+  std::vector<ItemCount> Candidates(size_t k) const override;
+
+  /// Number of distinct items in the sample — the space measure Table 1
+  /// uses for SAMPLING.
+  size_t DistinctSampled() const { return sample_.size(); }
+
+  double inclusion_probability() const { return p_; }
+  size_t SpaceBytes() const override;
+
+ private:
+  SamplingSummary(double p, uint64_t seed);
+
+  double p_;
+  Xoshiro256 rng_;
+  std::unordered_map<ItemId, Count> sample_;
+};
+
+/// Gibbons-Matias concise samples: adaptive-threshold Bernoulli sampling
+/// within a fixed bound on distinct sample entries.
+class ConciseSampling final : public StreamSummary {
+ public:
+  /// Creates a sampler holding at most `max_entries` distinct items.
+  static Result<ConciseSampling> Make(size_t max_entries, uint64_t seed);
+
+  std::string Name() const override;
+
+  void Add(ItemId item, Count weight) override;
+  using StreamSummary::Add;
+
+  /// Estimate: sampled count * tau (each retained occurrence represents tau
+  /// stream occurrences in expectation).
+  Count Estimate(ItemId item) const override;
+
+  std::vector<ItemCount> Candidates(size_t k) const override;
+
+  /// Current inclusion threshold (an occurrence is kept with prob 1/tau).
+  double tau() const { return tau_; }
+  size_t SpaceBytes() const override;
+
+ private:
+  ConciseSampling(size_t max_entries, uint64_t seed);
+
+  /// Raises tau and binomially thins every entry until under budget.
+  void EvictToBudget();
+
+  size_t max_entries_;
+  double tau_ = 1.0;
+  Xoshiro256 rng_;
+  std::unordered_map<ItemId, Count> sample_;
+};
+
+/// Gibbons-Matias counting samples: concise-sample admission, but once an
+/// item is admitted its later occurrences are counted exactly.
+class CountingSampling final : public StreamSummary {
+ public:
+  /// Creates a sampler holding at most `max_entries` distinct items.
+  static Result<CountingSampling> Make(size_t max_entries, uint64_t seed);
+
+  std::string Name() const override;
+
+  void Add(ItemId item, Count weight) override;
+  using StreamSummary::Add;
+
+  /// Estimate: exact-since-admission count plus the expected tau - 1
+  /// occurrences missed before admission.
+  Count Estimate(ItemId item) const override;
+
+  std::vector<ItemCount> Candidates(size_t k) const override;
+
+  double tau() const { return tau_; }
+  size_t SpaceBytes() const override;
+
+ private:
+  CountingSampling(size_t max_entries, uint64_t seed);
+
+  /// Raises tau; each entry survives the new threshold with prob tau/tau'.
+  void EvictToBudget();
+
+  size_t max_entries_;
+  double tau_ = 1.0;
+  Xoshiro256 rng_;
+  std::unordered_map<ItemId, Count> sample_;
+};
+
+/// Sticky Sampling (Manku & Motwani): probabilistic counting with a rate
+/// that halves as the stream grows, guaranteeing eps-deficient counts with
+/// probability 1 - delta in O((1/eps) log(1/(s*delta))) expected entries.
+class StickySampling final : public StreamSummary {
+ public:
+  /// Creates a sampler for support threshold `support`, error `epsilon`
+  /// (< support) and failure probability `delta`.
+  static Result<StickySampling> Make(double support, double epsilon,
+                                     double delta, uint64_t seed);
+
+  std::string Name() const override;
+
+  void Add(ItemId item, Count weight) override;
+  using StreamSummary::Add;
+
+  /// Lower-bound estimate: the stored counter when present, else 0.
+  Count Estimate(ItemId item) const override;
+
+  std::vector<ItemCount> Candidates(size_t k) const override;
+
+  size_t SpaceBytes() const override;
+
+ private:
+  StickySampling(double support, double epsilon, double delta, uint64_t seed);
+
+  /// Moves to the next sampling epoch: rate doubles, existing entries are
+  /// diminished by geometric coin flips per the original algorithm.
+  void AdvanceEpoch();
+
+  double support_;
+  double epsilon_;
+  double delta_;
+  double rate_ = 1.0;     // an arrival is counted with probability 1/rate
+  Count epoch_end_;       // stream position at which the rate next doubles
+  Count t_;               // 2t = epoch length unit
+  Count n_ = 0;
+  Xoshiro256 rng_;
+  std::unordered_map<ItemId, Count> entries_;
+};
+
+}  // namespace streamfreq

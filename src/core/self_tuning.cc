@@ -1,0 +1,96 @@
+#include "core/self_tuning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamfreq {
+
+Result<StreamProfiler> StreamProfiler::Make(const ProfilerParams& params) {
+  if (params.k == 0) {
+    return Status::InvalidArgument("StreamProfiler: k must be positive");
+  }
+  if (params.space_saving_capacity < 2 * params.k) {
+    return Status::InvalidArgument(
+        "StreamProfiler: space_saving_capacity must be at least 2k");
+  }
+  if (!(params.epsilon > 0.0) || params.epsilon >= 1.0) {
+    return Status::InvalidArgument("StreamProfiler: epsilon must be in (0, 1)");
+  }
+  if (!(params.delta > 0.0) || params.delta >= 1.0) {
+    return Status::InvalidArgument("StreamProfiler: delta must be in (0, 1)");
+  }
+  AmsF2Params f2_params = params.f2;
+  f2_params.seed = params.seed;
+  STREAMFREQ_ASSIGN_OR_RETURN(AmsF2Sketch f2, AmsF2Sketch::Make(f2_params));
+  STREAMFREQ_ASSIGN_OR_RETURN(SpaceSaving heavy,
+                              SpaceSaving::Make(params.space_saving_capacity));
+  return StreamProfiler(params, std::move(f2), std::move(heavy));
+}
+
+StreamProfiler::StreamProfiler(ProfilerParams params, AmsF2Sketch f2,
+                               SpaceSaving heavy)
+    : params_(std::move(params)), f2_(std::move(f2)), heavy_(std::move(heavy)) {}
+
+void StreamProfiler::Add(ItemId item, Count weight) {
+  items_ += static_cast<uint64_t>(weight);
+  f2_.Add(item, weight);
+  heavy_.Add(item, weight);
+}
+
+double StreamProfiler::EstimateResidualF2() const {
+  double f2 = f2_.Estimate();
+  for (const ItemCount& ic : heavy_.Candidates(params_.k)) {
+    const double lower =
+        static_cast<double>(ic.count - heavy_.ErrorOf(ic.item));
+    if (lower > 0) f2 -= lower * lower;
+  }
+  // Keep a sane floor: the AMS error can push the difference negative on
+  // extremely head-dominated streams; at least the tail of the Space-Saving
+  // summary is real mass.
+  return std::max(f2, static_cast<double>(items_));
+}
+
+double StreamProfiler::EstimateNk() const {
+  const auto candidates = heavy_.Candidates(params_.k);
+  if (candidates.size() < params_.k) {
+    // Fewer than k distinct heavy items seen; fall back to the smallest
+    // observed count (conservative: smaller n_k means wider sketch).
+    return candidates.empty()
+               ? 1.0
+               : static_cast<double>(candidates.back().count);
+  }
+  const ItemCount& kth = candidates[params_.k - 1];
+  // Space-Saving counts overestimate by at most the item's error bound;
+  // subtracting it yields a valid lower bound on n_k (never below 1).
+  const Count lower = kth.count - heavy_.ErrorOf(kth.item);
+  return std::max<double>(1.0, static_cast<double>(lower));
+}
+
+Result<SketchSizing> StreamProfiler::Size(
+    uint64_t expected_stream_length) const {
+  if (items_ == 0) {
+    return Status::InvalidArgument("StreamProfiler: no items profiled yet");
+  }
+  if (expected_stream_length == 0) {
+    return Status::InvalidArgument(
+        "StreamProfiler: expected_stream_length must be positive");
+  }
+  // Linear extrapolation from the profiled prefix to the full stream:
+  // counts scale by r, so F2 scales by r^2 and n_k by r.
+  const double r = static_cast<double>(expected_stream_length) /
+                   static_cast<double>(items_);
+  ApproxTopSpec spec;
+  spec.stream_length = expected_stream_length;
+  spec.k = params_.k;
+  spec.epsilon = params_.epsilon;
+  spec.delta = params_.delta;
+  spec.residual_f2 = std::max(0.0, EstimateResidualF2()) * r * r;
+  spec.nk = EstimateNk() * r;
+  return SizeForApproxTop(spec);
+}
+
+size_t StreamProfiler::SpaceBytes() const {
+  return f2_.SpaceBytes() + heavy_.SpaceBytes();
+}
+
+}  // namespace streamfreq

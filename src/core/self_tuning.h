@@ -1,0 +1,83 @@
+// Self-tuning sketch sizing: pick Lemma-5-compliant Count-Sketch
+// dimensions without a ground-truth oracle.
+//
+// The paper notes (Section 3.1) that "one needs to know some properties of
+// the distribution beforehand in order to actually implement the
+// algorithm" — the width rule of Lemma 5 needs the residual moment
+// F2^{>k} and the k-th count n_k. This module estimates both from the
+// stream itself with tiny auxiliary summaries:
+//   * F2 (>= F2^{>k}, conservative) from an AMS tug-of-war sketch;
+//   * n_k from a Space-Saving summary (counts are upper bounds, and the
+//     error bound n/c lets us lower-bound n_k when needed).
+// StreamProfiler ingests a calibration prefix (or the whole stream) and
+// emits an ApproxTopSpec + SketchSizing, closing the loop the paper leaves
+// to the operator. The E14 benchmark compares self-tuned widths and
+// resulting quality against oracle-sized sketches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/ams_f2.h"
+#include "core/sketch_params.h"
+#include "core/space_saving.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Configuration of the profiling pass.
+struct ProfilerParams {
+  size_t k = 10;             ///< the later top-k target
+  double epsilon = 0.1;      ///< ApproxTop slack to size for
+  double delta = 0.05;       ///< failure probability to size for
+  size_t space_saving_capacity = 1024;  ///< n_k estimator size
+  AmsF2Params f2;            ///< F2 estimator size
+  uint64_t seed = 1;
+};
+
+/// One-pass profiler producing Lemma 5 inputs.
+class StreamProfiler {
+ public:
+  /// Validates the configuration and builds the auxiliary summaries.
+  static Result<StreamProfiler> Make(const ProfilerParams& params);
+
+  /// Observes one stream item.
+  void Add(ItemId item, Count weight = 1);
+
+  /// Items observed so far.
+  uint64_t ItemsSeen() const { return items_; }
+
+  /// Estimated F2 of the observed prefix (upper proxy for F2^{>k}).
+  double EstimateF2() const { return f2_.Estimate(); }
+
+  /// Estimated residual moment F2^{>k}: the AMS F2 estimate minus the
+  /// squared guaranteed lower bounds (count - error) of the top-k
+  /// Space-Saving entries. Since (count - error)^2 <= n_i^2 for each head
+  /// item, this remains an upper proxy for the true residual moment (up to
+  /// the AMS estimation error), while removing the head mass that would
+  /// otherwise inflate the Lemma 5 width by orders of magnitude on skewed
+  /// streams.
+  double EstimateResidualF2() const;
+
+  /// Estimated n_k: the k-th largest Space-Saving count, corrected down by
+  /// its error bound so it is not an overestimate.
+  double EstimateNk() const;
+
+  /// Lemma 5 sizing from the profiled statistics, scaled for a stream of
+  /// `expected_stream_length` items (counts are extrapolated linearly from
+  /// the profiled prefix; pass ItemsSeen() when profiling the full stream).
+  Result<SketchSizing> Size(uint64_t expected_stream_length) const;
+
+  size_t SpaceBytes() const;
+
+ private:
+  StreamProfiler(ProfilerParams params, AmsF2Sketch f2, SpaceSaving heavy);
+
+  ProfilerParams params_;
+  AmsF2Sketch f2_;
+  SpaceSaving heavy_;
+  uint64_t items_ = 0;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,33 @@
+#include "core/sharded_sketch.h"
+
+namespace streamfreq {
+
+Result<ShardedCountSketch> ShardedCountSketch::Make(
+    const CountSketchParams& params, size_t shards) {
+  if (shards == 0) {
+    return Status::InvalidArgument("ShardedCountSketch: shards must be positive");
+  }
+  std::vector<CountSketch> built;
+  built.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    STREAMFREQ_ASSIGN_OR_RETURN(CountSketch s, CountSketch::Make(params));
+    built.push_back(std::move(s));
+  }
+  return ShardedCountSketch(std::move(built));
+}
+
+Result<CountSketch> ShardedCountSketch::Combine() const {
+  CountSketch combined = shards_[0];  // copy
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    STREAMFREQ_RETURN_NOT_OK(combined.Merge(shards_[i]));
+  }
+  return combined;
+}
+
+size_t ShardedCountSketch::SpaceBytes() const {
+  size_t bytes = 0;
+  for (const CountSketch& s : shards_) bytes += s.SpaceBytes();
+  return bytes;
+}
+
+}  // namespace streamfreq

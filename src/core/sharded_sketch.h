@@ -1,0 +1,46 @@
+// Sharded Count-Sketch for multi-threaded ingestion.
+//
+// The paper's additivity observation ("sketches for two streams can be
+// directly added") is also the parallel-ingest recipe: give each thread its
+// own sketch built from the same parameters and seed, then fold them. This
+// wrapper owns the shards, hands out mutable references by shard id (each
+// shard is single-writer; no atomics on the hot path), and produces the
+// combined sketch on demand.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/count_sketch.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// A fixed set of same-seed Count-Sketch shards.
+class ShardedCountSketch {
+ public:
+  /// Builds `shards` compatible sketches.
+  static Result<ShardedCountSketch> Make(const CountSketchParams& params,
+                                         size_t shards);
+
+  /// The shard for a worker to write into. Each shard must have at most
+  /// one concurrent writer; distinct shards are safely concurrent (no
+  /// shared mutable state).
+  CountSketch& shard(size_t i) { return shards_[i]; }
+  const CountSketch& shard(size_t i) const { return shards_[i]; }
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Folds all shards into a fresh combined sketch. Linearity makes the
+  /// result identical to single-threaded ingestion of the union stream.
+  Result<CountSketch> Combine() const;
+
+  size_t SpaceBytes() const;
+
+ private:
+  explicit ShardedCountSketch(std::vector<CountSketch> shards)
+      : shards_(std::move(shards)) {}
+
+  std::vector<CountSketch> shards_;
+};
+
+}  // namespace streamfreq

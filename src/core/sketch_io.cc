@@ -1,0 +1,64 @@
+#include "core/sketch_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/bytes.h"
+#include "util/crc32.h"
+
+namespace streamfreq {
+
+namespace {
+constexpr uint64_t kFileMagic = 0x5346515346303153ULL;  // "SFQSKF01"-ish tag
+}  // namespace
+
+Status WriteSketchFile(const std::string& path, const CountSketch& sketch) {
+  std::string payload;
+  sketch.SerializeTo(&payload);
+
+  std::string header;
+  ByteWriter w(&header);
+  w.PutU64(kFileMagic);
+  w.PutU64(payload.size());
+  const uint32_t crc = crc32c::Mask(crc32c::Value(payload.data(), payload.size()));
+  w.PutBytes(&crc, sizeof(crc));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CountSketch> ReadSketchFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  char header[20];
+  in.read(header, sizeof(header));
+  if (!in) return Status::Corruption("truncated sketch file header: " + path);
+  uint64_t magic, payload_len;
+  uint32_t stored_crc;
+  std::memcpy(&magic, header, 8);
+  std::memcpy(&payload_len, header + 8, 8);
+  std::memcpy(&stored_crc, header + 16, 4);
+  if (magic != kFileMagic) {
+    return Status::Corruption("bad sketch file magic: " + path);
+  }
+  if (payload_len > (1ull << 40)) {
+    return Status::Corruption("implausible sketch payload length: " + path);
+  }
+
+  std::string payload(payload_len, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_len));
+  if (!in) return Status::Corruption("truncated sketch payload: " + path);
+
+  const uint32_t actual = crc32c::Value(payload.data(), payload.size());
+  if (crc32c::Unmask(stored_crc) != actual) {
+    return Status::Corruption("sketch payload checksum mismatch: " + path);
+  }
+  return CountSketch::Deserialize(payload);
+}
+
+}  // namespace streamfreq

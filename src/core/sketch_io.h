@@ -1,0 +1,30 @@
+// Checksummed on-disk persistence for Count-Sketches.
+//
+// File format (little-endian):
+//   u64 magic "SFQSKF01"
+//   u64 payload length
+//   u32 masked CRC-32C of the payload
+//   payload = CountSketch::SerializeTo bytes
+//
+// The CRC catches torn writes and bit rot; Deserialize inside the payload
+// additionally validates structure. Use these for checkpointing long-lived
+// sketches or shipping them between nodes (the distributed-aggregation
+// pattern the paper's additivity enables).
+#pragma once
+
+#include <string>
+
+#include "core/count_sketch.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Writes `sketch` to `path` atomically-ish (write then rename is left to
+/// callers with stronger needs; this truncates in place).
+Status WriteSketchFile(const std::string& path, const CountSketch& sketch);
+
+/// Reads a sketch written by WriteSketchFile. Corruption (bad magic, bad
+/// CRC, truncation) is distinguished from filesystem errors.
+Result<CountSketch> ReadSketchFile(const std::string& path);
+
+}  // namespace streamfreq

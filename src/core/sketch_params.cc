@@ -1,0 +1,90 @@
+#include "core/sketch_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamfreq {
+
+Result<SketchSizing> SizeForApproxTop(const ApproxTopSpec& spec) {
+  if (spec.stream_length == 0 || spec.k == 0) {
+    return Status::InvalidArgument("SizeForApproxTop: n and k must be positive");
+  }
+  if (!(spec.epsilon > 0.0) || spec.epsilon >= 1.0) {
+    return Status::InvalidArgument("SizeForApproxTop: epsilon must be in (0, 1)");
+  }
+  if (!(spec.delta > 0.0) || spec.delta >= 1.0) {
+    return Status::InvalidArgument("SizeForApproxTop: delta must be in (0, 1)");
+  }
+  if (!(spec.nk > 0.0)) {
+    return Status::InvalidArgument("SizeForApproxTop: nk must be positive");
+  }
+  if (spec.residual_f2 < 0.0) {
+    return Status::InvalidArgument("SizeForApproxTop: residual_f2 must be >= 0");
+  }
+
+  SketchSizing out;
+  out.depth = static_cast<size_t>(std::max(
+      1.0, std::ceil(std::log2(static_cast<double>(spec.stream_length) /
+                               spec.delta))));
+  const double collision_width =
+      256.0 * spec.residual_f2 / ((spec.epsilon * spec.nk) * (spec.epsilon * spec.nk));
+  out.width = static_cast<size_t>(
+      std::max({8.0 * static_cast<double>(spec.k), collision_width, 1.0}));
+  out.gamma = std::sqrt(spec.residual_f2 / static_cast<double>(out.width));
+  return out;
+}
+
+size_t ZipfWidth(double z, size_t k, uint64_t universe) {
+  const double kd = static_cast<double>(k);
+  const double md = static_cast<double>(universe);
+  double b;
+  if (z < 0.5) {
+    b = std::pow(md, 1.0 - 2.0 * z) * std::pow(kd, 2.0 * z);
+  } else if (z == 0.5) {
+    b = kd * std::log(md);
+  } else {
+    b = kd;
+  }
+  return static_cast<size_t>(std::max(1.0, std::ceil(b)));
+}
+
+size_t ZipfTrackedCount(double z, size_t k, double epsilon) {
+  const double l =
+      static_cast<double>(k) / std::pow(1.0 - epsilon, 1.0 / std::max(z, 1e-9));
+  return std::max<size_t>(k + 1, static_cast<size_t>(std::ceil(l)));
+}
+
+double Table1SamplingSpace(double z, size_t k, uint64_t m) {
+  const double kd = static_cast<double>(k);
+  const double md = static_cast<double>(m);
+  const double logk = std::max(1.0, std::log(kd));
+  if (z < 1.0) {
+    return md * std::pow(kd / md, z) * logk;
+  }
+  if (z == 1.0) {
+    return kd * std::log(md) * logk;
+  }
+  return kd * std::pow(logk, 1.0 / z);
+}
+
+double Table1KpsSpace(double z, size_t k, uint64_t m) {
+  // KPS keeps 1/theta counters with theta = n_k / n = f_k. For Zipf(z),
+  // f_k = k^{-z} / H_{m,z}; the paper's table reports k^z * m^{1-z} for
+  // z < 1, k^z * log m for z = 1, and k^z for z > 1 (H_{m,z} regimes).
+  const double kd = static_cast<double>(k);
+  const double md = static_cast<double>(m);
+  if (z < 1.0) {
+    return std::pow(kd, z) * std::pow(md, 1.0 - z);
+  }
+  if (z == 1.0) {
+    return std::pow(kd, z) * std::log(md);
+  }
+  return std::pow(kd, z);
+}
+
+double Table1CountSketchSpace(double z, size_t k, uint64_t m, uint64_t n) {
+  const double logn = std::max(1.0, std::log(static_cast<double>(n)));
+  return static_cast<double>(ZipfWidth(z, k, m)) * logn;
+}
+
+}  // namespace streamfreq

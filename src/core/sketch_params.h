@@ -1,0 +1,60 @@
+// Parameter selection: theory-to-practice mapping of the paper's analysis.
+//
+// Lemma 5 / Theorem 1 drive Count-Sketch sizing from the stream statistics
+// (n, k, eps, delta, residual second moment, n_k); Section 4.1 specializes
+// to Zipf(z) distributions; Table 1 gives the analytic space formulas this
+// library's E1 benchmark compares empirically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/count_sketch.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Inputs to the Lemma 5 sizing rule.
+struct ApproxTopSpec {
+  uint64_t stream_length;  ///< n
+  size_t k;                ///< top-k target
+  double epsilon;          ///< ApproxTop slack (0, 1)
+  double delta;            ///< failure probability (0, 1)
+  double residual_f2;      ///< F2^{>k} = sum_{q'>k} n_{q'}^2
+  double nk;               ///< n_k, count of the k-th most frequent item
+};
+
+/// Count-Sketch dimensions chosen per the paper, with the derived bound.
+struct SketchSizing {
+  size_t depth;   ///< t = Theta(log(n/delta))
+  size_t width;   ///< b from Lemma 5 (constants per the paper)
+  double gamma;   ///< sqrt(residual_f2 / width), the error scale
+};
+
+/// Applies Lemma 5 literally: t = ceil(log2(n/delta)),
+/// b = max(8k, 256 * F2^{>k} / (eps * n_k)^2). The paper's constants are
+/// worst-case Markov/Chernoff constants; practical deployments use smaller
+/// widths (see the E2 benchmark), but this is the proven setting.
+Result<SketchSizing> SizeForApproxTop(const ApproxTopSpec& spec);
+
+/// Section 4.1 Zipf specialization: the width b (up to the paper's constant
+/// factors, which we take as 1) for CandidateTop(S, k, O(k)) on Zipf(z)
+/// over universe m:
+///   z < 1/2 : b = m^{1-2z} * k^{2z}
+///   z = 1/2 : b = k * log(m)
+///   z > 1/2 : b = k
+size_t ZipfWidth(double z, size_t k, uint64_t universe);
+
+/// The paper's l for CandidateTop via ApproxTop on Zipf(z):
+/// l = k / (1 - eps)^{1/z}, clamped to at least k + 1.
+size_t ZipfTrackedCount(double z, size_t k, double epsilon);
+
+/// Table 1 analytic space formulas (entries/counters, constants taken as 1,
+/// delta folded into the log's argument as in the paper's table).
+/// SAMPLING space is the expected number of distinct sampled items;
+/// Count-Sketch space is b * log(n); KPS space is its 1/theta counters.
+double Table1SamplingSpace(double z, size_t k, uint64_t m);
+double Table1KpsSpace(double z, size_t k, uint64_t m);
+double Table1CountSketchSpace(double z, size_t k, uint64_t m, uint64_t n);
+
+}  // namespace streamfreq

@@ -1,0 +1,127 @@
+#include "core/stream_summary.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace streamfreq {
+
+Result<StreamSummarySpaceSaving> StreamSummarySpaceSaving::Make(
+    size_t capacity) {
+  if (capacity == 0) {
+    return Status::InvalidArgument(
+        "StreamSummarySpaceSaving: capacity must be positive");
+  }
+  return StreamSummarySpaceSaving(capacity);
+}
+
+StreamSummarySpaceSaving::StreamSummarySpaceSaving(size_t capacity)
+    : capacity_(capacity) {
+  index_.reserve(capacity);
+}
+
+std::string StreamSummarySpaceSaving::Name() const {
+  return "StreamSummarySS(c=" + std::to_string(capacity_) + ")";
+}
+
+void StreamSummarySpaceSaving::MoveToCount(
+    std::list<Bucket>::iterator bucket_it,
+    std::list<Entry>::iterator entry_it, Count new_count) {
+  // Find (or create) the destination bucket at or after the source.
+  auto dest = std::next(bucket_it);
+  while (dest != buckets_.end() && dest->count < new_count) ++dest;
+  if (dest == buckets_.end() || dest->count != new_count) {
+    dest = buckets_.insert(dest, Bucket{new_count, {}});
+  }
+  // Splice the entry across (iterators stay valid under list splice).
+  dest->entries.splice(dest->entries.begin(), bucket_it->entries, entry_it);
+  entry_it->bucket = dest;
+  if (bucket_it->entries.empty()) buckets_.erase(bucket_it);
+}
+
+void StreamSummarySpaceSaving::Add(ItemId item, Count weight) {
+  SFQ_DCHECK_GE(weight, 1);
+  auto idx = index_.find(item);
+  if (idx != index_.end()) {
+    auto entry_it = idx->second;
+    auto bucket_it = entry_it->bucket;
+    MoveToCount(bucket_it, entry_it, bucket_it->count + weight);
+    return;
+  }
+  if (index_.size() < capacity_) {
+    // Insert a fresh entry at count = weight; locate from the front.
+    auto dest = buckets_.begin();
+    while (dest != buckets_.end() && dest->count < weight) ++dest;
+    if (dest == buckets_.end() || dest->count != weight) {
+      dest = buckets_.insert(dest, Bucket{weight, {}});
+    }
+    dest->entries.push_front(Entry{item, 0, dest});
+    index_[item] = dest->entries.begin();
+    return;
+  }
+  // Replace a minimum-count victim.
+  auto min_bucket = buckets_.begin();
+  auto victim = min_bucket->entries.begin();
+  const Count min_count = min_bucket->count;
+  index_.erase(victim->item);
+  victim->item = item;
+  victim->error = min_count;
+  index_[item] = victim;
+  MoveToCount(min_bucket, victim, min_count + weight);
+}
+
+Count StreamSummarySpaceSaving::Estimate(ItemId item) const {
+  auto idx = index_.find(item);
+  if (idx != index_.end()) return idx->second->bucket->count;
+  return MinCount();
+}
+
+Count StreamSummarySpaceSaving::ErrorOf(ItemId item) const {
+  auto idx = index_.find(item);
+  return idx == index_.end() ? 0 : idx->second->error;
+}
+
+Count StreamSummarySpaceSaving::MinCount() const {
+  if (index_.size() < capacity_ || buckets_.empty()) return 0;
+  return buckets_.front().count;
+}
+
+std::vector<ItemCount> StreamSummarySpaceSaving::Candidates(size_t k) const {
+  std::vector<ItemCount> out;
+  out.reserve(std::min(k, index_.size()));
+  for (auto bucket = buckets_.rbegin();
+       bucket != buckets_.rend() && out.size() < k; ++bucket) {
+    for (const Entry& e : bucket->entries) {
+      if (out.size() >= k) break;
+      out.push_back({e.item, bucket->count});
+    }
+  }
+  return out;
+}
+
+size_t StreamSummarySpaceSaving::SpaceBytes() const {
+  // Entry node + bucket share + hash index entry, per monitored item.
+  return index_.size() *
+         (sizeof(Entry) + 2 * sizeof(void*) +   // entry list node
+          sizeof(Bucket) / 2 +                  // amortized bucket share
+          sizeof(ItemId) + sizeof(void*) * 2);  // index entry
+}
+
+bool StreamSummarySpaceSaving::CheckInvariants() const {
+  Count prev = -1;
+  size_t entries = 0;
+  for (auto bucket = buckets_.begin(); bucket != buckets_.end(); ++bucket) {
+    if (bucket->count <= prev) return false;
+    if (bucket->entries.empty()) return false;
+    prev = bucket->count;
+    for (auto it = bucket->entries.begin(); it != bucket->entries.end(); ++it) {
+      if (it->bucket != bucket) return false;
+      auto idx = index_.find(it->item);
+      if (idx == index_.end() || idx->second != it) return false;
+      ++entries;
+    }
+  }
+  return entries == index_.size() && entries <= capacity_;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,83 @@
+// Space-Saving over the Stream-Summary structure (Metwally et al.'s
+// original layout): a doubly-linked list of count buckets, each holding the
+// monitored items with exactly that count.
+//
+// Unit increments are O(1): detach the item from its bucket and attach it
+// to the next-higher bucket (creating/destroying buckets at the seam).
+// This is the "SSL" variant of the VLDB'08 comparison; the heap variant
+// ("SSH", core/space_saving.h) pays O(log c) per update but handles
+// weighted updates uniformly. Identical guarantees; E7 measures the
+// constant-factor difference.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frequent.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Space-Saving with the O(1)-per-increment Stream-Summary layout.
+class StreamSummarySpaceSaving final : public StreamSummary {
+ public:
+  /// Creates a summary with exactly `capacity` counters.
+  static Result<StreamSummarySpaceSaving> Make(size_t capacity);
+
+  std::string Name() const override;
+
+  /// Weighted arrival; weight >= 1. Unit weights are O(1); larger weights
+  /// cost O(#buckets crossed).
+  void Add(ItemId item, Count weight) override;
+  using StreamSummary::Add;
+
+  /// Count when monitored (upper bound), else the minimum count.
+  Count Estimate(ItemId item) const override;
+
+  /// Monitored items by descending count. O(capacity): the bucket list is
+  /// already count-ordered.
+  std::vector<ItemCount> Candidates(size_t k) const override;
+
+  /// Overestimation bound of a monitored item (0 when unmonitored).
+  Count ErrorOf(ItemId item) const;
+
+  /// Smallest monitored count (0 while slots remain free).
+  Count MinCount() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t MonitoredCount() const { return index_.size(); }
+  size_t SpaceBytes() const override;
+
+  /// Structural invariant check for tests: buckets strictly ascending,
+  /// every entry's bucket pointer consistent, sizes add up.
+  bool CheckInvariants() const;
+
+ private:
+  explicit StreamSummarySpaceSaving(size_t capacity);
+
+  struct Bucket;
+  struct Entry {
+    ItemId item;
+    Count error;
+    std::list<Bucket>::iterator bucket;
+  };
+  struct Bucket {
+    Count count;
+    std::list<Entry> entries;
+  };
+
+  /// Moves `entry_it` (in `bucket_it`) to count `new_count`, walking
+  /// forward over the (ascending) bucket list.
+  void MoveToCount(std::list<Bucket>::iterator bucket_it,
+                   std::list<Entry>::iterator entry_it, Count new_count);
+
+  size_t capacity_;
+  // Buckets in ascending count order; begin() is the minimum.
+  std::list<Bucket> buckets_;
+  std::unordered_map<ItemId, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,45 @@
+#include "core/typed.h"
+
+namespace streamfreq {
+
+Result<StringTopK> StringTopK::Make(const CountSketchParams& sketch_params,
+                                    size_t tracked) {
+  STREAMFREQ_ASSIGN_OR_RETURN(CountSketchTopK tracker,
+                              CountSketchTopK::Make(sketch_params, tracked));
+  return StringTopK(std::move(tracker), sketch_params.seed ^ 0x57F17E5ULL);
+}
+
+StringTopK::StringTopK(CountSketchTopK tracker, uint64_t key_seed)
+    : tracker_(std::move(tracker)), key_seed_(key_seed) {}
+
+void StringTopK::Add(std::string_view key, Count weight) {
+  const ItemId id = IdOf(key);
+  const TrackerEvent event = tracker_.AddTracked(id, weight);
+  if (event.inserted) {
+    keys_.emplace(id, std::string(key));
+    if (event.evicted != 0) keys_.erase(event.evicted);
+  }
+}
+
+Count StringTopK::Estimate(std::string_view key) const {
+  return tracker_.Estimate(IdOf(key));
+}
+
+std::vector<KeyCount> StringTopK::Candidates(size_t k) const {
+  std::vector<KeyCount> out;
+  for (const ItemCount& ic : tracker_.Candidates(k)) {
+    auto it = keys_.find(ic.item);
+    out.push_back({it == keys_.end() ? "<unknown>" : it->second, ic.count});
+  }
+  return out;
+}
+
+size_t StringTopK::SpaceBytes() const {
+  size_t key_bytes = 0;
+  for (const auto& [id, key] : keys_) {
+    key_bytes += sizeof(ItemId) + sizeof(void*) + key.capacity();
+  }
+  return tracker_.SpaceBytes() + key_bytes;
+}
+
+}  // namespace streamfreq

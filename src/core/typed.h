@@ -1,0 +1,62 @@
+// Typed adapter: run the frequent-items machinery over real keys (query
+// strings, URLs, flow tuples) instead of raw 64-bit ids.
+//
+// Keys are hashed to ItemId with a seeded 64-bit string hash; the adapter
+// stores the original key only for items currently tracked by the
+// underlying algorithm (the paper's Section 5 point: Count-Sketch stores
+// just k objects, unlike SAMPLING's potentially huge distinct sample), so
+// the space overhead stays O(l * key size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/top_k_tracker.h"
+#include "hash/string_hash.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// A reported (key, estimated count) pair.
+struct KeyCount {
+  std::string key;
+  Count count;
+};
+
+/// Count-Sketch top-k over string keys.
+class StringTopK {
+ public:
+  /// Builds the adapter over a CountSketchTopK with the given parameters.
+  static Result<StringTopK> Make(const CountSketchParams& sketch_params,
+                                 size_t tracked);
+
+  /// Processes one occurrence of `key`.
+  void Add(std::string_view key, Count weight = 1);
+
+  /// Estimated count of `key`.
+  Count Estimate(std::string_view key) const;
+
+  /// The current top-k candidates with their original keys.
+  std::vector<KeyCount> Candidates(size_t k) const;
+
+  /// State bytes including the stored keys of tracked items.
+  size_t SpaceBytes() const;
+
+  const CountSketchTopK& tracker() const { return tracker_; }
+
+ private:
+  StringTopK(CountSketchTopK tracker, uint64_t key_seed);
+
+  ItemId IdOf(std::string_view key) const {
+    return HashString(key, key_seed_) | 1;
+  }
+
+  CountSketchTopK tracker_;
+  uint64_t key_seed_;
+  std::unordered_map<ItemId, std::string> keys_;  // tracked items only
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,70 @@
+#include "core/windowed.h"
+
+#include "util/logging.h"
+
+namespace streamfreq {
+
+Result<WindowedCountSketch> WindowedCountSketch::Make(
+    const WindowedSketchParams& params) {
+  if (params.blocks == 0) {
+    return Status::InvalidArgument("WindowedCountSketch: blocks must be positive");
+  }
+  if (params.window < params.blocks) {
+    return Status::InvalidArgument(
+        "WindowedCountSketch: window must be at least the block count");
+  }
+  std::vector<CountSketch> blocks;
+  blocks.reserve(params.blocks);
+  for (size_t i = 0; i < params.blocks; ++i) {
+    STREAMFREQ_ASSIGN_OR_RETURN(CountSketch s, CountSketch::Make(params.sketch));
+    blocks.push_back(std::move(s));
+  }
+  STREAMFREQ_ASSIGN_OR_RETURN(CountSketch merged,
+                              CountSketch::Make(params.sketch));
+  return WindowedCountSketch(params, std::move(blocks), std::move(merged));
+}
+
+WindowedCountSketch::WindowedCountSketch(const WindowedSketchParams& params,
+                                         std::vector<CountSketch> blocks,
+                                         CountSketch merged)
+    : params_(params),
+      block_capacity_(params.window / params.blocks),
+      blocks_(std::move(blocks)),
+      block_items_(params.blocks, 0),
+      merged_(std::move(merged)) {}
+
+void WindowedCountSketch::Add(ItemId item, Count weight) {
+  SFQ_DCHECK_GE(weight, 1);
+  // Split arrivals that straddle a block boundary so blocks stay aligned.
+  while (weight > 0) {
+    const uint64_t room = block_capacity_ - block_items_[active_];
+    const Count batch =
+        std::min<Count>(weight, static_cast<Count>(room));
+    blocks_[active_].Add(item, batch);
+    merged_.Add(item, batch);
+    block_items_[active_] += static_cast<uint64_t>(batch);
+    covered_ += static_cast<uint64_t>(batch);
+    total_ += static_cast<uint64_t>(batch);
+    weight -= batch;
+
+    if (block_items_[active_] == block_capacity_) {
+      // Advance the ring; evict whatever the next slot still holds.
+      active_ = (active_ + 1) % blocks_.size();
+      if (block_items_[active_] > 0) {
+        SFQ_CHECK_OK(merged_.Subtract(blocks_[active_]));
+        covered_ -= block_items_[active_];
+      }
+      blocks_[active_].Clear();
+      block_items_[active_] = 0;
+    }
+  }
+}
+
+size_t WindowedCountSketch::SpaceBytes() const {
+  size_t bytes = merged_.SpaceBytes();
+  for (const CountSketch& b : blocks_) bytes += b.SpaceBytes();
+  bytes += block_items_.size() * sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace streamfreq

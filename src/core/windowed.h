@@ -1,0 +1,69 @@
+// Sliding-window frequency estimation over the most recent W items
+// (jumping-window construction).
+//
+// The paper's model is whole-stream; deployed heavy-hitter monitors
+// usually ask about a recent window ("top queries in the last hour").
+// The classic bridge is a jumping window: the window of W items is split
+// into R blocks of W/R items. Each block has its own Count-Sketch; a
+// running merged sketch holds the sum of the live blocks. When a block
+// fills, the oldest block's sketch is subtracted from the merged sketch
+// (additivity again -- the group structure of Count-Sketch is what makes
+// eviction O(t*b) instead of O(block contents)) and its storage is reused.
+//
+// The answer covers between W - W/R and W of the most recent items
+// (granularity error W/R), plus the usual sketch estimation error.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/count_sketch.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Parameters for the jumping-window sketch.
+struct WindowedSketchParams {
+  uint64_t window = 1 << 20;  ///< W: items covered
+  size_t blocks = 8;          ///< R: granularity (window/R per block)
+  CountSketchParams sketch;   ///< per-block sketch dimensions
+};
+
+/// Count-Sketch over a jumping window of the last ~W items.
+class WindowedCountSketch {
+ public:
+  /// Validates (window >= blocks >= 1) and builds the block ring.
+  static Result<WindowedCountSketch> Make(const WindowedSketchParams& params);
+
+  /// Processes one arrival (weight must be >= 1: this is a cash-register
+  /// window; deletions have no place in a sliding arrival window).
+  void Add(ItemId item, Count weight = 1);
+
+  /// Estimated count of `item` among the covered suffix of the stream.
+  Count Estimate(ItemId item) const noexcept { return merged_.Estimate(item); }
+
+  /// Number of stream items currently covered: in
+  /// (window - window/blocks, window] once warm, smaller during warm-up.
+  uint64_t CoveredItems() const { return covered_; }
+
+  /// Total arrivals ever observed.
+  uint64_t TotalItems() const { return total_; }
+
+  size_t SpaceBytes() const;
+
+ private:
+  WindowedCountSketch(const WindowedSketchParams& params,
+                      std::vector<CountSketch> blocks, CountSketch merged);
+
+  WindowedSketchParams params_;
+  uint64_t block_capacity_;  // items per block
+  std::vector<CountSketch> blocks_;
+  std::vector<uint64_t> block_items_;  // weights currently in each block
+  size_t active_ = 0;                  // ring index of the filling block
+  CountSketch merged_;
+  uint64_t covered_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace streamfreq

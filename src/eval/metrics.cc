@@ -1,0 +1,48 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace streamfreq {
+
+PrecisionRecall ComputePrecisionRecall(const std::vector<ItemCount>& candidates,
+                                       const std::vector<ItemCount>& truth) {
+  PrecisionRecall pr;
+  if (candidates.empty() || truth.empty()) return pr;
+  std::unordered_set<ItemId> truth_set;
+  truth_set.reserve(truth.size());
+  for (const ItemCount& ic : truth) truth_set.insert(ic.item);
+  size_t hits = 0;
+  for (const ItemCount& ic : candidates) hits += truth_set.count(ic.item);
+  pr.precision = static_cast<double>(hits) / static_cast<double>(candidates.size());
+  pr.recall = static_cast<double>(hits) / static_cast<double>(truth.size());
+  return pr;
+}
+
+ApproxTopVerdict CheckApproxTop(const std::vector<ItemCount>& candidates,
+                                const ExactCounter& oracle, size_t k,
+                                double epsilon) {
+  ApproxTopVerdict v;
+  const double nk = static_cast<double>(oracle.NthCount(k));
+  const double floor = (1.0 - epsilon) * nk;
+  const double ceiling = (1.0 + epsilon) * nk;
+
+  std::unordered_set<ItemId> candidate_set;
+  candidate_set.reserve(candidates.size());
+  for (const ItemCount& ic : candidates) {
+    candidate_set.insert(ic.item);
+    if (static_cast<double>(oracle.CountOf(ic.item)) < floor) {
+      ++v.violations_low;
+    }
+  }
+  for (const auto& [item, count] : oracle.counts()) {
+    if (static_cast<double>(count) >= ceiling && !candidate_set.count(item)) {
+      ++v.violations_missing;
+    }
+  }
+  v.all_candidates_heavy = v.violations_low == 0;
+  v.all_heavy_found = v.violations_missing == 0;
+  return v;
+}
+
+}  // namespace streamfreq

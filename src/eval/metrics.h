@@ -1,0 +1,75 @@
+// Evaluation metrics for frequent-items outputs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "stream/exact_counter.h"
+#include "stream/types.h"
+
+namespace streamfreq {
+
+/// Set-overlap quality of a candidate list against ground truth.
+struct PrecisionRecall {
+  double precision = 0.0;  ///< |candidates ∩ truth| / |candidates|
+  double recall = 0.0;     ///< |candidates ∩ truth| / |truth|
+
+  double F1() const {
+    const double d = precision + recall;
+    return d == 0.0 ? 0.0 : 2.0 * precision * recall / d;
+  }
+};
+
+/// Computes precision/recall of `candidates` against the `truth` item set.
+PrecisionRecall ComputePrecisionRecall(const std::vector<ItemCount>& candidates,
+                                       const std::vector<ItemCount>& truth);
+
+/// Average relative error of estimated counts over the true top-k:
+/// mean over truth of |est(q) - n_q| / n_q. `estimate` is any callable
+/// ItemId -> Count.
+template <typename EstimateFn>
+double AverageRelativeError(const std::vector<ItemCount>& truth,
+                            EstimateFn&& estimate) {
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (const ItemCount& ic : truth) {
+    const double err =
+        static_cast<double>(estimate(ic.item)) - static_cast<double>(ic.count);
+    total += (err < 0 ? -err : err) / static_cast<double>(ic.count);
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+/// Maximum absolute estimation error over the true top-k.
+template <typename EstimateFn>
+double MaxAbsoluteError(const std::vector<ItemCount>& truth,
+                        EstimateFn&& estimate) {
+  double worst = 0.0;
+  for (const ItemCount& ic : truth) {
+    const double err =
+        static_cast<double>(estimate(ic.item)) - static_cast<double>(ic.count);
+    worst = std::max(worst, err < 0 ? -err : err);
+  }
+  return worst;
+}
+
+/// ApproxTop(S, k, eps) verdict (paper's output contract): every candidate
+/// must have n_i >= (1 - eps) * n_k, and (strong guarantee) every item with
+/// n_i >= (1 + eps) * n_k must be among the candidates.
+struct ApproxTopVerdict {
+  bool all_candidates_heavy = true;  ///< no candidate below (1-eps) n_k
+  bool all_heavy_found = true;       ///< no (1+eps) n_k item missing
+  size_t violations_low = 0;         ///< candidates below the floor
+  size_t violations_missing = 0;     ///< mandatory items missing
+
+  bool Pass() const { return all_candidates_heavy && all_heavy_found; }
+};
+
+/// Evaluates the ApproxTop contract for `candidates` of size <= k against
+/// the exact counts in `oracle`.
+ApproxTopVerdict CheckApproxTop(const std::vector<ItemCount>& candidates,
+                                const ExactCounter& oracle, size_t k,
+                                double epsilon);
+
+}  // namespace streamfreq

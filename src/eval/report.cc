@@ -1,0 +1,22 @@
+#include "eval/report.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace streamfreq {
+
+void EmitTable(const TablePrinter& table, const std::string& experiment_id,
+               std::ostream& os) {
+  table.Print(os);
+  const char* dir = std::getenv("SFQ_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + experiment_id + ".csv";
+  const Status status = table.WriteCsv(path);
+  if (!status.ok()) {
+    std::cerr << "warning: CSV export failed: " << status.ToString() << "\n";
+  } else {
+    os << "(csv: " << path << ")\n";
+  }
+}
+
+}  // namespace streamfreq

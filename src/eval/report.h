@@ -1,0 +1,21 @@
+// Experiment result emission: console table plus optional CSV artifact.
+//
+// Every bench calls EmitTable; when the environment variable SFQ_CSV_DIR
+// names a directory, the table is additionally written to
+// <SFQ_CSV_DIR>/<experiment_id>.csv so sweeps can be plotted without
+// scraping stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/table_printer.h"
+
+namespace streamfreq {
+
+/// Prints `table` to `os` and mirrors it to CSV when SFQ_CSV_DIR is set.
+/// CSV failures are reported on stderr but never abort a bench run.
+void EmitTable(const TablePrinter& table, const std::string& experiment_id,
+               std::ostream& os);
+
+}  // namespace streamfreq

@@ -1,0 +1,30 @@
+#include "eval/runner.h"
+
+#include "util/timer.h"
+
+namespace streamfreq {
+
+RunResult RunAndScore(StreamSummary& algo, const Workload& workload, size_t k) {
+  RunResult r;
+  r.algorithm = algo.Name();
+
+  Timer timer;
+  algo.AddAll(workload.stream);
+  const double secs = timer.ElapsedSeconds();
+  const double n = static_cast<double>(workload.stream.size());
+  r.update_ns_per_item = n == 0 ? 0.0 : secs * 1e9 / n;
+  r.items_per_second = secs == 0.0 ? 0.0 : n / secs;
+
+  r.space_bytes = algo.SpaceBytes();
+
+  const std::vector<ItemCount> truth = workload.oracle.TopK(k);
+  const std::vector<ItemCount> candidates = algo.Candidates(k);
+  r.topk_quality = ComputePrecisionRecall(candidates, truth);
+  r.are_topk = AverageRelativeError(
+      truth, [&](ItemId q) { return algo.Estimate(q); });
+  r.max_abs_error = MaxAbsoluteError(
+      truth, [&](ItemId q) { return algo.Estimate(q); });
+  return r;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,28 @@
+// Experiment runner: feeds a stream to an algorithm and collects quality
+// and cost measurements in one place so every bench reports consistently.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/frequent.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+
+namespace streamfreq {
+
+/// Everything measured from one (algorithm, workload) run.
+struct RunResult {
+  std::string algorithm;
+  double update_ns_per_item = 0.0;
+  double items_per_second = 0.0;
+  size_t space_bytes = 0;
+  PrecisionRecall topk_quality;   ///< candidates vs true top-k
+  double are_topk = 0.0;          ///< avg relative error on true top-k
+  double max_abs_error = 0.0;     ///< max abs error on true top-k
+};
+
+/// Streams `workload` through `algo`, then scores its top-k answer.
+RunResult RunAndScore(StreamSummary& algo, const Workload& workload, size_t k);
+
+}  // namespace streamfreq

@@ -1,0 +1,51 @@
+// The standard algorithm suite at a common space budget.
+//
+// The VLDB'08-style comparison benches (E7-E9) run every algorithm with
+// approximately the same number of bytes of summary state; this factory
+// translates a byte budget into per-algorithm capacities.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/frequent.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Which algorithms a suite contains.
+enum class AlgorithmKind {
+  kCountSketchTopK,
+  kCountMinTopK,
+  kCountMinConservativeTopK,
+  kMisraGries,
+  kLossyCounting,
+  kSpaceSaving,
+  kStreamSummarySpaceSaving,
+  kStickySampling,
+  kSampling,
+  kConciseSampling,
+  kCountingSampling,
+};
+
+/// Inputs the budgeting rule needs beyond bytes.
+struct SuiteSpec {
+  size_t space_budget_bytes = 64 * 1024;
+  size_t k = 100;           ///< top-k target (sets tracked-set sizes)
+  uint64_t seed = 1;
+  /// For Sampling/LossyCounting/StickySampling, which need n or frequency
+  /// parameters rather than entry counts.
+  uint64_t expected_stream_length = 1 << 20;
+};
+
+/// Creates one algorithm of `kind` sized to the budget in `spec`.
+Result<std::unique_ptr<StreamSummary>> MakeAlgorithm(AlgorithmKind kind,
+                                                     const SuiteSpec& spec);
+
+/// Creates the full default suite (one of each kind).
+Result<std::vector<std::unique_ptr<StreamSummary>>> MakeDefaultSuite(
+    const SuiteSpec& spec);
+
+}  // namespace streamfreq

@@ -1,0 +1,32 @@
+#include "eval/workload.h"
+
+#include "stream/flow_traffic.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+
+Result<Workload> MakeZipfWorkload(uint64_t universe, double z, uint64_t n,
+                                  uint64_t seed) {
+  STREAMFREQ_ASSIGN_OR_RETURN(ZipfGenerator gen,
+                              ZipfGenerator::Make(universe, z, seed));
+  Workload w;
+  w.stream = gen.Take(n);
+  w.oracle.AddAll(w.stream);
+  w.description = gen.Describe() + ", n=" + std::to_string(n);
+  return w;
+}
+
+Result<Workload> MakeFlowWorkload(double pareto_alpha, uint64_t n, uint64_t seed) {
+  FlowTrafficSpec spec;
+  spec.pareto_alpha = pareto_alpha;
+  spec.seed = seed;
+  STREAMFREQ_ASSIGN_OR_RETURN(FlowTrafficGenerator gen,
+                              FlowTrafficGenerator::Make(spec));
+  Workload w;
+  w.stream = gen.Take(n);
+  w.oracle.AddAll(w.stream);
+  w.description = gen.Describe() + ", n=" + std::to_string(n);
+  return w;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,30 @@
+// Shared workload construction for benchmarks and integration tests: a
+// materialized stream together with its exact-count ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stream/exact_counter.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// A stream plus its ground truth.
+struct Workload {
+  Stream stream;
+  ExactCounter oracle;
+  std::string description;
+
+  uint64_t n() const { return stream.size(); }
+};
+
+/// Builds a Zipf(z) workload of `n` items over universe `m`.
+Result<Workload> MakeZipfWorkload(uint64_t universe, double z, uint64_t n,
+                                  uint64_t seed);
+
+/// Builds a heavy-tailed flow workload of `n` packets.
+Result<Workload> MakeFlowWorkload(double pareto_alpha, uint64_t n, uint64_t seed);
+
+}  // namespace streamfreq

@@ -1,0 +1,29 @@
+// Fixed 64-bit mixing functions (finalizers).
+#pragma once
+
+#include <cstdint>
+
+namespace streamfreq {
+
+/// MurmurHash3's 64-bit finalizer: a fast bijective mixer with good
+/// avalanche. Used to decorrelate sequential item ids before hashing.
+constexpr uint64_t Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Moremur (Pelle Evensen): a slightly stronger bijective mixer.
+constexpr uint64_t Moremur64(uint64_t x) {
+  x ^= x >> 27;
+  x *= 0x3C79AC492BA7B653ULL;
+  x ^= x >> 33;
+  x *= 0x1C69B3F74AC4AE35ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,154 @@
+// Pairwise-independent hash functions.
+//
+// The Count-Sketch analysis (Lemmas 1-5 of the paper) requires the bucket
+// hashes h_i : O -> [b] and the sign hashes s_i : O -> {+1,-1} to be
+// pairwise independent, with all functions mutually independent. The
+// Carter-Wegman construction h(x) = ((a*x + b) mod p) over the Mersenne
+// prime p = 2^61 - 1 provides exactly this guarantee for 61-bit keys;
+// range reduction to [b] and the sign bit introduce an O(1/p) bias that is
+// negligible at any realistic scale (documented, tested statistically).
+//
+// A faster multiply-shift family and tabulation hashing are provided for the
+// ablation benchmarks (E11).
+#pragma once
+
+#include <cstdint>
+
+#include "hash/mixers.h"
+#include "hash/random.h"
+#include "util/bit_util.h"
+
+namespace streamfreq {
+
+/// The Mersenne prime 2^61 - 1 used as the Carter-Wegman field size.
+inline constexpr uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Reduces a 128-bit value modulo 2^61 - 1 using two shift-add folds.
+inline uint64_t ModMersenne61(uint128_t v) {
+  // v < 2^123 in all our uses (a, x < 2^61, so a*x + b < 2^122 + 2^61).
+  uint64_t lo = static_cast<uint64_t>(v) & kMersenne61;
+  uint64_t hi = static_cast<uint64_t>(v >> 61);  // < 2^62
+  uint64_t r = lo + hi;                          // < 2^63
+  r = (r & kMersenne61) + (r >> 61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// A Carter-Wegman degree-1 hash: x -> (a*x + b) mod (2^61 - 1).
+/// Pairwise independent over keys in [0, 2^61 - 1).
+class CarterWegmanHash {
+ public:
+  CarterWegmanHash() : a_(1), b_(0) {}
+
+  /// Draws fresh (a, b) parameters from `seeder`; a is non-zero mod p.
+  explicit CarterWegmanHash(SplitMix64& seeder) {
+    do {
+      a_ = seeder.Next() & kMersenne61;
+    } while (a_ == 0);
+    b_ = seeder.Next() & kMersenne61;
+  }
+
+  /// Evaluates the raw field hash in [0, 2^61 - 1).
+  uint64_t Eval(uint64_t x) const {
+    // Keys wider than 61 bits are pre-mixed and folded into the field; the
+    // fold loses pairwise independence only for key pairs colliding mod p,
+    // a ~2^-61 event for mixed keys.
+    uint64_t xr = x >= kMersenne61 ? x - kMersenne61 : x;
+    return ModMersenne61(static_cast<uint128_t>(a_) * xr + b_);
+  }
+
+  /// Hashes into [0, range).
+  uint64_t Bucket(uint64_t x, uint64_t range) const {
+    return bit_util::FastRange64(Eval(x) << 3, range);
+  }
+
+  /// Returns +1 or -1 (a near-unbiased pairwise-independent sign).
+  int64_t Sign(uint64_t x) const {
+    return (Eval(x) >> 60) & 1 ? +1 : -1;
+  }
+
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+  /// Reconstructs a hash from stored parameters (deserialization).
+  static CarterWegmanHash FromParams(uint64_t a, uint64_t b) {
+    CarterWegmanHash h;
+    h.a_ = a;
+    h.b_ = b;
+    return h;
+  }
+
+ private:
+  uint64_t a_;
+  uint64_t b_;
+};
+
+/// Dietzfelbinger multiply-shift: x -> (a*x + b) >> (64 - l) for buckets of
+/// size 2^l. 2-universal, the fastest family here; used in ablations.
+class MultiplyShiftHash {
+ public:
+  MultiplyShiftHash() : a_(1), b_(0) {}
+
+  explicit MultiplyShiftHash(SplitMix64& seeder)
+      : a_(seeder.NextNonZero() | 1), b_(seeder.Next()) {}
+
+  /// Hashes into [0, range). Range need not be a power of two (uses the full
+  /// 64-bit product high half, then FastRange).
+  uint64_t Bucket(uint64_t x, uint64_t range) const {
+    return bit_util::FastRange64(Mix(x), range);
+  }
+
+  /// Returns +1 or -1 from the top bit of an independent mix.
+  int64_t Sign(uint64_t x) const { return (Mix(x) >> 63) ? +1 : -1; }
+
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
+
+  static MultiplyShiftHash FromParams(uint64_t a, uint64_t b) {
+    MultiplyShiftHash h;
+    h.a_ = a | 1;
+    h.b_ = b;
+    return h;
+  }
+
+ private:
+  uint64_t Mix(uint64_t x) const { return a_ * x + b_; }
+
+  uint64_t a_;  // odd
+  uint64_t b_;
+};
+
+/// Simple tabulation hashing over 8 byte-indexed tables. 3-independent and
+/// behaves like full independence in most applications (Patrascu-Thorup).
+class TabulationHash {
+ public:
+  TabulationHash() : tables_{} {}
+
+  explicit TabulationHash(SplitMix64& seeder) {
+    for (auto& table : tables_) {
+      for (auto& cell : table) cell = seeder.Next();
+    }
+  }
+
+  /// Evaluates the full 64-bit tabulation hash.
+  uint64_t Eval(uint64_t x) const {
+    uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h ^= tables_[i][(x >> (8 * i)) & 0xFF];
+    }
+    return h;
+  }
+
+  /// Hashes into [0, range).
+  uint64_t Bucket(uint64_t x, uint64_t range) const {
+    return bit_util::FastRange64(Eval(x), range);
+  }
+
+  /// Returns +1 or -1.
+  int64_t Sign(uint64_t x) const { return (Eval(x) >> 63) ? +1 : -1; }
+
+ private:
+  uint64_t tables_[8][256];
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,44 @@
+// Seeded 64-bit hashing of byte strings (typed-adapter substrate).
+//
+// Maps arbitrary-length keys (query strings, flow 5-tuples, ...) to the
+// 64-bit ItemId domain the sketches operate on. This is a fast Murmur-style
+// block hash with strong avalanche; collisions at 64 bits are negligible for
+// laptop-scale universes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "hash/mixers.h"
+
+namespace streamfreq {
+
+/// Hashes `data` with `seed`. Deterministic across runs and platforms of the
+/// same endianness.
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * 0xC6A4A7935BD1E995ULL);
+  while (len >= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    k = Fmix64(k);
+    h = (h ^ k) * 0x9DDFEA08EB382D69ULL;
+    h = Moremur64(h);
+    p += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    uint64_t k = 0;
+    std::memcpy(&k, p, len);
+    h ^= Fmix64(k ^ len);
+  }
+  return Fmix64(h);
+}
+
+/// Hashes a string view with `seed`.
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,45 @@
+#include "stream/adversarial.h"
+
+#include <algorithm>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+
+Result<Stream> MakeAdversarialStream(const AdversarialSpec& spec) {
+  if (spec.k == 0) {
+    return Status::InvalidArgument("AdversarialSpec: k must be positive");
+  }
+  if (spec.gap == 0 || spec.gap >= spec.head_count) {
+    return Status::InvalidArgument(
+        "AdversarialSpec: gap must be in [1, head_count)");
+  }
+  if (spec.tail_count >= spec.head_count - spec.gap) {
+    return Status::InvalidArgument(
+        "AdversarialSpec: tail_count must be below the shadow count");
+  }
+
+  const uint64_t shadow_count = spec.head_count - spec.gap;
+  Stream s;
+  s.reserve(spec.k * spec.head_count + spec.shadows * shadow_count +
+            spec.tail_items * spec.tail_count);
+  for (uint64_t i = 0; i < spec.k; ++i) {
+    s.insert(s.end(), spec.head_count, kHeadBase + i);
+  }
+  for (uint64_t j = 0; j < spec.shadows; ++j) {
+    s.insert(s.end(), shadow_count, kShadowBase + j);
+  }
+  for (uint64_t t = 0; t < spec.tail_items; ++t) {
+    s.insert(s.end(), spec.tail_count, kTailBase + t);
+  }
+
+  // Fisher-Yates with our deterministic engine (std::shuffle's result is
+  // implementation-defined; this keeps traces identical across toolchains).
+  Xoshiro256 rng(spec.seed);
+  for (size_t i = s.size(); i > 1; --i) {
+    std::swap(s[i - 1], s[rng.UniformBelow(i)]);
+  }
+  return s;
+}
+
+}  // namespace streamfreq

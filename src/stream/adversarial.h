@@ -1,0 +1,48 @@
+// Adversarial boundary-case stream construction.
+//
+// The paper motivates ApproxTop by observing that CandidateTop(S, k, l) is
+// arbitrarily hard when n_k = n_{l+1} + 1: an adversary can scale counts so
+// that rank k and rank l+1 are indistinguishable. This generator builds
+// exactly that family of instances so tests and benchmarks can probe the
+// boundary behaviour the (1 +/- eps) guarantee is designed around.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Parameters of a boundary-case instance.
+struct AdversarialSpec {
+  /// Number of "head" items (the true top k).
+  uint64_t k = 10;
+  /// Number of "shadow" items whose count is within `gap` of the head.
+  uint64_t shadows = 40;
+  /// Occurrences of each head item.
+  uint64_t head_count = 1000;
+  /// head_count - gap = occurrences of each shadow item (gap >= 1).
+  uint64_t gap = 1;
+  /// Number of distinct background items, each occurring `tail_count` times.
+  uint64_t tail_items = 10000;
+  uint64_t tail_count = 5;
+  /// Shuffle seed; the emitted order is a uniform permutation.
+  uint64_t seed = 1;
+};
+
+/// Materializes the boundary-case stream described by `spec`, shuffled into
+/// a uniformly random arrival order.
+///
+/// Item ids are structured for test introspection:
+///   head item i   -> id = kHeadBase + i      (i in [0, k))
+///   shadow item j -> id = kShadowBase + j
+///   tail item t   -> id = kTailBase + t
+Result<Stream> MakeAdversarialStream(const AdversarialSpec& spec);
+
+inline constexpr ItemId kHeadBase = 1ULL << 40;
+inline constexpr ItemId kShadowBase = 1ULL << 41;
+inline constexpr ItemId kTailBase = 1ULL << 42;
+
+}  // namespace streamfreq

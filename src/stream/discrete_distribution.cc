@@ -1,0 +1,63 @@
+#include "stream/discrete_distribution.h"
+
+#include <cmath>
+#include <limits>
+
+namespace streamfreq {
+
+Result<DiscreteDistribution> DiscreteDistribution::Make(
+    const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("DiscreteDistribution: empty weight vector");
+  }
+  if (weights.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("DiscreteDistribution: too many outcomes");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "DiscreteDistribution: weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("DiscreteDistribution: weights sum to zero");
+  }
+
+  const size_t m = weights.size();
+  DiscreteDistribution d;
+  d.pmf_.resize(m);
+  d.prob_.assign(m, 0.0);
+  d.alias_.assign(m, 0);
+
+  // Vose's algorithm: partition scaled probabilities into small (< 1) and
+  // large (>= 1) worklists, pairing each small slot with a large donor.
+  std::vector<double> scaled(m);
+  std::vector<uint32_t> small, large;
+  small.reserve(m);
+  large.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    d.pmf_[i] = weights[i] / total;
+    scaled[i] = d.pmf_[i] * static_cast<double>(m);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    d.prob_[s] = scaled[s];
+    d.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers are all (within rounding) exactly 1.
+  for (uint32_t l : large) d.prob_[l] = 1.0;
+  for (uint32_t s : small) d.prob_[s] = 1.0;
+  return d;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,40 @@
+// O(1) sampling from an arbitrary discrete distribution (Vose's alias method).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/random.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Samples indices 0..m-1 proportionally to a fixed weight vector in O(1)
+/// per sample after an O(m) build (Vose's alias method).
+class DiscreteDistribution {
+ public:
+  /// Builds the alias tables from `weights`. Fails when `weights` is empty,
+  /// contains a negative/non-finite entry, or sums to zero.
+  static Result<DiscreteDistribution> Make(const std::vector<double>& weights);
+
+  /// Draws one index using `rng`.
+  uint64_t Sample(Xoshiro256& rng) const {
+    const uint64_t i = rng.UniformBelow(prob_.size());
+    return rng.UniformDouble() < prob_[i] ? i : alias_[i];
+  }
+
+  /// Exact probability of index i under the normalized distribution.
+  double Probability(uint64_t i) const { return pmf_[i]; }
+
+  /// Number of outcomes m.
+  uint64_t size() const { return prob_.size(); }
+
+ private:
+  DiscreteDistribution() = default;
+
+  std::vector<double> prob_;    // acceptance threshold per slot
+  std::vector<uint32_t> alias_; // fallback index per slot
+  std::vector<double> pmf_;     // normalized weights
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,61 @@
+#include "stream/flow_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/mixers.h"
+
+namespace streamfreq {
+
+Result<FlowTrafficGenerator> FlowTrafficGenerator::Make(
+    const FlowTrafficSpec& spec) {
+  if (!(spec.pareto_alpha > 0.0)) {
+    return Status::InvalidArgument("FlowTrafficSpec: pareto_alpha must be > 0");
+  }
+  if (spec.min_flow_packets == 0 ||
+      spec.max_flow_packets < spec.min_flow_packets) {
+    return Status::InvalidArgument(
+        "FlowTrafficSpec: need 1 <= min_flow_packets <= max_flow_packets");
+  }
+  if (spec.concurrent_flows == 0) {
+    return Status::InvalidArgument(
+        "FlowTrafficSpec: concurrent_flows must be positive");
+  }
+  return FlowTrafficGenerator(spec);
+}
+
+FlowTrafficGenerator::FlowTrafficGenerator(const FlowTrafficSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  live_.reserve(spec_.concurrent_flows);
+  for (uint64_t i = 0; i < spec_.concurrent_flows; ++i) {
+    live_.push_back({Fmix64(++next_flow_serial_ ^ spec_.seed) | 1, DrawFlowSize()});
+  }
+}
+
+uint64_t FlowTrafficGenerator::DrawFlowSize() {
+  // Inverse-CDF Pareto: size = scale / U^{1/alpha}, truncated to the cap.
+  const double u = std::max(rng_.UniformDouble(), 1e-18);
+  const double raw = static_cast<double>(spec_.min_flow_packets) *
+                     std::pow(u, -1.0 / spec_.pareto_alpha);
+  const double capped =
+      std::min(raw, static_cast<double>(spec_.max_flow_packets));
+  return std::max<uint64_t>(1, static_cast<uint64_t>(capped));
+}
+
+ItemId FlowTrafficGenerator::Next() {
+  const uint64_t slot = rng_.UniformBelow(live_.size());
+  LiveFlow& f = live_[slot];
+  const ItemId id = f.id;
+  if (--f.remaining == 0) {
+    f.id = Fmix64(++next_flow_serial_ ^ spec_.seed) | 1;
+    f.remaining = DrawFlowSize();
+  }
+  return id;
+}
+
+std::string FlowTrafficGenerator::Describe() const {
+  return "FlowTraffic(alpha=" + std::to_string(spec_.pareto_alpha) +
+         ", concurrent=" + std::to_string(spec_.concurrent_flows) + ")";
+}
+
+}  // namespace streamfreq

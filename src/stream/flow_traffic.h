@@ -1,0 +1,63 @@
+// Synthetic network flow-traffic workload.
+//
+// The paper's second motivating application is "identifying large packet
+// flows in a network router" ([3]: heavy-tailed distributions on the web).
+// Real router traces (e.g. CAIDA) are not available offline, so this
+// generator substitutes a packet stream whose per-flow packet counts follow
+// a Pareto (heavy-tailed) law and whose packets from concurrent flows are
+// interleaved — the two properties the heavy-hitter experiments depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hash/random.h"
+#include "stream/generator.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Configuration for the flow workload.
+struct FlowTrafficSpec {
+  /// Pareto shape for flow sizes; smaller = heavier tail. The classic
+  /// elephants-and-mice regime is alpha in (1, 2).
+  double pareto_alpha = 1.2;
+  /// Minimum packets per flow (Pareto scale parameter).
+  uint64_t min_flow_packets = 1;
+  /// Cap on packets per flow so a single flow cannot swamp a short run.
+  uint64_t max_flow_packets = 1 << 20;
+  /// Number of flows concurrently emitting packets.
+  uint64_t concurrent_flows = 256;
+  uint64_t seed = 7;
+};
+
+/// Emits packets (flow ids) from a churning set of concurrent heavy-tailed
+/// flows: each step picks a live flow at random, emits one of its packets,
+/// and replaces it with a fresh flow once exhausted.
+class FlowTrafficGenerator : public StreamGenerator {
+ public:
+  /// Validates the spec and builds the generator.
+  static Result<FlowTrafficGenerator> Make(const FlowTrafficSpec& spec);
+
+  ItemId Next() override;
+
+  std::string Describe() const override;
+
+ private:
+  explicit FlowTrafficGenerator(const FlowTrafficSpec& spec);
+
+  /// Draws a truncated-Pareto flow size.
+  uint64_t DrawFlowSize();
+
+  struct LiveFlow {
+    ItemId id;
+    uint64_t remaining;
+  };
+
+  FlowTrafficSpec spec_;
+  Xoshiro256 rng_;
+  uint64_t next_flow_serial_ = 0;
+  std::vector<LiveFlow> live_;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,33 @@
+// Stream generator interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "stream/types.h"
+
+namespace streamfreq {
+
+/// Produces an unbounded sequence of items. Generators are deterministic
+/// given their construction seed.
+class StreamGenerator {
+ public:
+  virtual ~StreamGenerator() = default;
+
+  /// Returns the next item of the stream.
+  virtual ItemId Next() = 0;
+
+  /// Human-readable description used in experiment logs.
+  virtual std::string Describe() const = 0;
+
+  /// Materializes the next `n` items into a vector.
+  Stream Take(size_t n) {
+    Stream out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(Next());
+    return out;
+  }
+};
+
+}  // namespace streamfreq

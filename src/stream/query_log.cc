@@ -1,0 +1,75 @@
+#include "stream/query_log.h"
+
+#include <cmath>
+
+#include "hash/mixers.h"
+#include "hash/random.h"
+#include "stream/discrete_distribution.h"
+
+namespace streamfreq {
+
+namespace {
+
+ItemId IdForRank(uint64_t rank, uint64_t salt) { return Fmix64(rank ^ salt) | 1; }
+
+Result<Stream> SamplePeriod(const std::vector<double>& weights, uint64_t n,
+                            uint64_t salt, uint64_t seed) {
+  STREAMFREQ_ASSIGN_OR_RETURN(DiscreteDistribution dist,
+                              DiscreteDistribution::Make(weights));
+  Xoshiro256 rng(seed);
+  Stream s;
+  s.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    s.push_back(IdForRank(dist.Sample(rng) + 1, salt));
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<QueryLog> MakeQueryLog(const QueryLogSpec& spec) {
+  if (spec.universe == 0 || spec.period_length == 0) {
+    return Status::InvalidArgument("QueryLogSpec: universe and period_length "
+                                   "must be positive");
+  }
+  if (spec.trending + spec.fading >= spec.universe) {
+    return Status::InvalidArgument(
+        "QueryLogSpec: trending + fading must be below the universe size");
+  }
+  if (!(spec.boost > 1.0) || !(spec.fade > 0.0) || !(spec.fade < 1.0)) {
+    return Status::InvalidArgument(
+        "QueryLogSpec: need boost > 1 and fade in (0, 1)");
+  }
+
+  const uint64_t m = spec.universe;
+  std::vector<double> base(m);
+  for (uint64_t q = 1; q <= m; ++q) {
+    base[q - 1] = std::pow(static_cast<double>(q), -spec.z);
+  }
+
+  // Pick the changed items from the mid-popularity band: frequent enough
+  // that their planted deltas dominate the sampling noise of the head
+  // items, but not already rank-1 head items themselves.
+  const uint64_t band_start = std::max<uint64_t>(1, m / 1000);
+  QueryLog log;
+  const uint64_t salt = SplitMix64(spec.seed ^ 0xC0FFEEULL).Next();
+  std::vector<double> p2 = base;
+  for (uint64_t i = 0; i < spec.trending; ++i) {
+    const uint64_t rank = band_start + i + 1;
+    p2[rank - 1] *= spec.boost;
+    log.trending_ids.push_back(IdForRank(rank, salt));
+  }
+  for (uint64_t i = 0; i < spec.fading; ++i) {
+    const uint64_t rank = band_start + spec.trending + i + 1;
+    p2[rank - 1] *= spec.fade;
+    log.fading_ids.push_back(IdForRank(rank, salt));
+  }
+
+  STREAMFREQ_ASSIGN_OR_RETURN(
+      log.period1, SamplePeriod(base, spec.period_length, salt, spec.seed + 1));
+  STREAMFREQ_ASSIGN_OR_RETURN(
+      log.period2, SamplePeriod(p2, spec.period_length, salt, spec.seed + 2));
+  return log;
+}
+
+}  // namespace streamfreq

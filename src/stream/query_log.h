@@ -1,0 +1,53 @@
+// Synthetic search-engine query-log workload.
+//
+// The paper's motivating application (Section 1) is finding the most
+// frequent queries at a search engine, and its Section 4.2 application is
+// "Google Zeitgeist"-style trending detection: the queries whose frequency
+// changes most between two consecutive time periods. The original Google
+// query logs are proprietary; this generator substitutes a two-period
+// synthetic log that preserves the properties the paper relies on:
+//   * per-period popularity is Zipfian (Section 4.1's model), and
+//   * between periods a chosen set of items rises or falls by a controlled
+//     factor, creating known ground-truth max-change items.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Configuration for the two-period query log.
+struct QueryLogSpec {
+  uint64_t universe = 100000;  ///< number of distinct queries m
+  double z = 1.0;              ///< Zipf skew of baseline popularity
+  uint64_t period_length = 1000000;  ///< items per period n
+  /// Number of "trending" queries boosted in period 2 and number of
+  /// "fading" queries suppressed in period 2.
+  uint64_t trending = 20;
+  uint64_t fading = 20;
+  /// Multiplicative popularity change for trending (>1) / fading (<1) items.
+  double boost = 8.0;
+  double fade = 0.125;
+  uint64_t seed = 42;
+};
+
+/// A generated two-period log with ground truth.
+struct QueryLog {
+  Stream period1;
+  Stream period2;
+  /// Queries whose popularity was boosted (ground-truth risers).
+  std::vector<ItemId> trending_ids;
+  /// Queries whose popularity was suppressed (ground-truth fallers).
+  std::vector<ItemId> fading_ids;
+};
+
+/// Builds the two-period log. Trending/fading items are drawn from the
+/// mid-popularity band (ranks around universe/100) so the change — not the
+/// baseline rank — is what distinguishes them.
+Result<QueryLog> MakeQueryLog(const QueryLogSpec& spec);
+
+}  // namespace streamfreq

@@ -1,0 +1,43 @@
+#include "stream/text_io.h"
+
+#include <cctype>
+#include <fstream>
+
+namespace streamfreq {
+
+Result<uint64_t> ForEachToken(
+    const std::string& path, const TextReaderOptions& options,
+    const std::function<void(const std::string&)>& consume) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  uint64_t emitted = 0;
+  std::string token;
+  auto flush = [&] {
+    if (token.size() >= options.min_token_length) {
+      consume(token);
+      ++emitted;
+    }
+    token.clear();
+  };
+
+  char ch;
+  while (in.get(ch)) {
+    const auto uc = static_cast<unsigned char>(ch);
+    const bool is_word_char =
+        std::isalpha(uc) || (options.keep_digits && std::isdigit(uc)) ||
+        ch == '\'' || ch == '-';
+    if (is_word_char) {
+      token.push_back(options.lowercase
+                          ? static_cast<char>(std::tolower(uc))
+                          : ch);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return emitted;
+}
+
+}  // namespace streamfreq

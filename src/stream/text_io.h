@@ -1,0 +1,29 @@
+// Text-key ingestion: tokenize text files into key streams for the typed
+// top-k pipeline (e.g. word frequencies over a corpus through the CLI).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Tokenization options.
+struct TextReaderOptions {
+  /// Lowercase ASCII letters before emitting.
+  bool lowercase = true;
+  /// Keep digits inside tokens.
+  bool keep_digits = true;
+  /// Tokens shorter than this are dropped.
+  size_t min_token_length = 1;
+};
+
+/// Streams whitespace/punctuation-delimited tokens from `path` to
+/// `consume`, one call per token. Returns the number of tokens emitted, or
+/// IoError when the file cannot be read.
+Result<uint64_t> ForEachToken(
+    const std::string& path, const TextReaderOptions& options,
+    const std::function<void(const std::string&)>& consume);
+
+}  // namespace streamfreq

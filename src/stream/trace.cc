@@ -1,0 +1,58 @@
+#include "stream/trace.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace streamfreq {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'F', 'Q', 'T', 'R', 'C', '0', '1'};
+}  // namespace
+
+Status WriteTrace(const std::string& path, const Stream& stream) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t n = stream.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (n > 0) {
+    out.write(reinterpret_cast<const char*>(stream.data()),
+              static_cast<std::streamsize>(n * sizeof(ItemId)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Stream> ReadTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad trace magic in " + path);
+  }
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) return Status::Corruption("truncated trace header in " + path);
+  // Validate the declared length against the actual file size BEFORE
+  // allocating: a corrupted header must not trigger a giant allocation.
+  const auto payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(payload_start);
+  const uint64_t available =
+      static_cast<uint64_t>(file_end - payload_start);
+  if (n > available / sizeof(ItemId)) {
+    return Status::Corruption("trace header declares more items than the "
+                              "file holds: " + path);
+  }
+  Stream stream(n);
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(stream.data()),
+            static_cast<std::streamsize>(n * sizeof(ItemId)));
+    if (!in) return Status::Corruption("truncated trace payload in " + path);
+  }
+  return stream;
+}
+
+}  // namespace streamfreq

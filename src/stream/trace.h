@@ -1,0 +1,21 @@
+// Binary trace files: persisting generated streams for reproducible runs.
+//
+// Format (little-endian):
+//   8-byte magic "SFQTRC01", uint64 item count, then count uint64 item ids.
+#pragma once
+
+#include <string>
+
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Writes `stream` to `path`, replacing any existing file.
+Status WriteTrace(const std::string& path, const Stream& stream);
+
+/// Reads a trace file written by WriteTrace. Returns Corruption for bad
+/// magic or truncated payloads, IoError for filesystem failures.
+Result<Stream> ReadTrace(const std::string& path);
+
+}  // namespace streamfreq

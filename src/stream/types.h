@@ -1,0 +1,20 @@
+// Core stream value types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace streamfreq {
+
+/// Items are 64-bit opaque identifiers. Typed keys (strings, tuples) are
+/// mapped to ItemId by the typed adapter (core/typed.h).
+using ItemId = uint64_t;
+
+/// Signed counts; sketches operate in the turnstile model where updates may
+/// be negative (stream deltas, sketch subtraction).
+using Count = int64_t;
+
+/// A materialized stream: the sequence q1..qn of the paper.
+using Stream = std::vector<ItemId>;
+
+}  // namespace streamfreq

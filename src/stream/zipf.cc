@@ -1,0 +1,46 @@
+#include "stream/zipf.h"
+
+#include <cmath>
+
+namespace streamfreq {
+
+Result<ZipfGenerator> ZipfGenerator::Make(uint64_t universe, double z,
+                                          uint64_t seed) {
+  if (universe == 0) {
+    return Status::InvalidArgument("ZipfGenerator: universe must be positive");
+  }
+  if (universe > (1ull << 27)) {
+    // The alias tables cost ~20 bytes per outcome; cap the build at ~2.7 GiB
+    // rather than letting a mistyped universe exhaust memory.
+    return Status::InvalidArgument(
+        "ZipfGenerator: universe above 2^27 outcomes is not supported by the "
+        "alias-table sampler");
+  }
+  if (!(z >= 0.0) || !std::isfinite(z)) {
+    return Status::InvalidArgument("ZipfGenerator: z must be finite and >= 0");
+  }
+  std::vector<double> weights(universe);
+  for (uint64_t q = 1; q <= universe; ++q) {
+    weights[q - 1] = std::pow(static_cast<double>(q), -z);
+  }
+  STREAMFREQ_ASSIGN_OR_RETURN(DiscreteDistribution dist,
+                              DiscreteDistribution::Make(weights));
+  return ZipfGenerator(std::move(dist), z, seed);
+}
+
+std::string ZipfGenerator::Describe() const {
+  return "Zipf(z=" + std::to_string(z_) + ", m=" + std::to_string(universe()) + ")";
+}
+
+Result<UniformGenerator> UniformGenerator::Make(uint64_t universe, uint64_t seed) {
+  if (universe == 0) {
+    return Status::InvalidArgument("UniformGenerator: universe must be positive");
+  }
+  return UniformGenerator(universe, seed);
+}
+
+std::string UniformGenerator::Describe() const {
+  return "Uniform(m=" + std::to_string(universe_) + ")";
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,87 @@
+// Zipfian stream generator.
+//
+// The paper's Section 4.1 analyzes space bounds for Zipfian frequency
+// distributions n_q = c / q^z, the model it argues fits search-engine query
+// streams and network packet traces. This generator samples ranks from the
+// exact Zipf(z, m) law via the alias method (O(1)/item) and maps ranks to
+// pseudorandom item ids so that id order carries no frequency information.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hash/mixers.h"
+#include "hash/random.h"
+#include "stream/discrete_distribution.h"
+#include "stream/generator.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Generates i.i.d. draws from Zipf(z) over a universe of m items.
+class ZipfGenerator : public StreamGenerator {
+ public:
+  /// Creates a generator over ranks 1..m with P(rank=q) proportional to
+  /// 1/q^z. Fails for m == 0 or negative z. z == 0 degenerates to uniform.
+  static Result<ZipfGenerator> Make(uint64_t universe, double z, uint64_t seed);
+
+  ItemId Next() override {
+    const uint64_t rank = dist_.Sample(rng_) + 1;  // 1-based rank
+    return IdForRank(rank);
+  }
+
+  std::string Describe() const override;
+
+  /// The item id assigned to frequency rank q (1-based). Ids are a fixed
+  /// pseudorandom relabeling of ranks so heavy items are scattered in id
+  /// space, as in real workloads.
+  ItemId IdForRank(uint64_t rank) const {
+    return Fmix64(rank ^ id_salt_) | 1;  // |1 avoids the reserved id 0
+  }
+
+  /// Exact probability of the rank-q item (1-based).
+  double ProbabilityOfRank(uint64_t rank) const {
+    return dist_.Probability(rank - 1);
+  }
+
+  uint64_t universe() const { return dist_.size(); }
+  double z() const { return z_; }
+
+ private:
+  ZipfGenerator(DiscreteDistribution dist, double z, uint64_t seed)
+      : dist_(std::move(dist)),
+        z_(z),
+        rng_(seed),
+        id_salt_(SplitMix64(seed ^ 0x5A17F00DULL).Next()) {}
+
+  DiscreteDistribution dist_;
+  double z_;
+  Xoshiro256 rng_;
+  uint64_t id_salt_;
+};
+
+/// Generates uniform draws over a universe of m items (Zipf z = 0 without
+/// the alias-table memory).
+class UniformGenerator : public StreamGenerator {
+ public:
+  /// Creates a uniform generator over m items.
+  static Result<UniformGenerator> Make(uint64_t universe, uint64_t seed);
+
+  ItemId Next() override {
+    return Fmix64((rng_.UniformBelow(universe_) + 1) ^ id_salt_) | 1;
+  }
+
+  std::string Describe() const override;
+
+ private:
+  UniformGenerator(uint64_t universe, uint64_t seed)
+      : universe_(universe),
+        rng_(seed),
+        id_salt_(SplitMix64(seed ^ 0x5A17F00DULL).Next()) {}
+
+  uint64_t universe_;
+  Xoshiro256 rng_;
+  uint64_t id_salt_;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,38 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace streamfreq {
+namespace crc32c {
+
+namespace {
+
+// Table for the reflected CRC-32C polynomial 0x1EDC6F41.
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  constexpr uint32_t kPoly = 0x82F63B78U;  // reflected Castagnoli
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t state = crc ^ 0xFFFFFFFFU;
+  for (size_t i = 0; i < n; ++i) {
+    state = kTable[(state ^ p[i]) & 0xFF] ^ (state >> 8);
+  }
+  return state ^ 0xFFFFFFFFU;
+}
+
+}  // namespace crc32c
+}  // namespace streamfreq

@@ -1,0 +1,95 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace streamfreq {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  bool positional_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (positional_only || arg.empty() || arg[0] != '-' || arg == "-") {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      positional_only = true;
+      continue;
+    }
+    size_t start = arg.find_first_not_of('-');
+    if (start == std::string::npos || start > 2) {
+      return Status::InvalidArgument("malformed flag: " + arg);
+    }
+    std::string body = arg.substr(start);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = body.substr(0, eq);
+      if (name.empty()) return Status::InvalidArgument("malformed flag: " + arg);
+      flags.values_[name] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; else bare
+    // boolean.
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "";
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+Result<bool> Flags::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("--" + name + " expects a boolean, got '" + v +
+                                 "'");
+}
+
+std::vector<std::string> Flags::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace streamfreq

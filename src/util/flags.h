@@ -1,0 +1,52 @@
+// Minimal command-line flag parsing for the CLI tools.
+//
+// Supports `--name=value`, `--name value`, bare boolean `--name`, and
+// positional arguments. No registration step: callers query the parsed map
+// with typed getters that validate and default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Parsed command line.
+class Flags {
+ public:
+  /// Parses argv[1..argc). `--` ends flag parsing (the rest is positional).
+  /// Fails on malformed flags (e.g. `--=x`).
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  /// True iff --name was present (with or without a value).
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// String flag with default.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+  /// Integer flag with default; fails on non-numeric values.
+  Result<int64_t> GetInt(const std::string& name, int64_t default_value) const;
+
+  /// Floating-point flag with default; fails on non-numeric values.
+  Result<double> GetDouble(const std::string& name, double default_value) const;
+
+  /// Boolean flag: present without value or with value in
+  /// {true,1,yes} / {false,0,no}.
+  Result<bool> GetBool(const std::string& name, bool default_value) const;
+
+  /// Positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags seen but never queried — callers can reject typos.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,91 @@
+// Minimal glog-style logging and CHECK macros.
+//
+// CHECK failures indicate programming errors (precondition violations on
+// never-fail paths) and abort; recoverable failures use Status instead.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace streamfreq {
+namespace internal {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level actually emitted; settable for tests/benchmarks.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+  STREAMFREQ_DISALLOW_COPY_AND_ASSIGN(LogMessage);
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement when the level is below the threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace streamfreq
+
+#define STREAMFREQ_LOG_INTERNAL(level)                                    \
+  ::streamfreq::internal::LogMessage(::streamfreq::internal::LogLevel::level, \
+                                     __FILE__, __LINE__)                  \
+      .stream()
+
+#define SFQ_LOG(level) STREAMFREQ_LOG_INTERNAL(k##level)
+
+#define SFQ_CHECK(cond)                                            \
+  if (STREAMFREQ_PREDICT_TRUE(cond)) {                             \
+  } else /* NOLINT */                                              \
+    SFQ_LOG(Fatal) << "Check failed: " #cond " "
+
+#define SFQ_CHECK_OP(op, a, b) SFQ_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define SFQ_CHECK_EQ(a, b) SFQ_CHECK_OP(==, a, b)
+#define SFQ_CHECK_NE(a, b) SFQ_CHECK_OP(!=, a, b)
+#define SFQ_CHECK_LT(a, b) SFQ_CHECK_OP(<, a, b)
+#define SFQ_CHECK_LE(a, b) SFQ_CHECK_OP(<=, a, b)
+#define SFQ_CHECK_GT(a, b) SFQ_CHECK_OP(>, a, b)
+#define SFQ_CHECK_GE(a, b) SFQ_CHECK_OP(>=, a, b)
+
+#define SFQ_CHECK_OK(expr)                        \
+  do {                                            \
+    ::streamfreq::Status _st = (expr);            \
+    SFQ_CHECK(_st.ok()) << _st.ToString();        \
+  } while (0)
+
+#ifndef NDEBUG
+#define SFQ_DCHECK(cond) SFQ_CHECK(cond)
+#define SFQ_DCHECK_LT(a, b) SFQ_CHECK_LT(a, b)
+#define SFQ_DCHECK_LE(a, b) SFQ_CHECK_LE(a, b)
+#define SFQ_DCHECK_GE(a, b) SFQ_CHECK_GE(a, b)
+#else
+#define SFQ_DCHECK(cond) \
+  while (false) SFQ_CHECK(cond)
+#define SFQ_DCHECK_LT(a, b) \
+  while (false) SFQ_CHECK_LT(a, b)
+#define SFQ_DCHECK_LE(a, b) \
+  while (false) SFQ_CHECK_LE(a, b)
+#define SFQ_DCHECK_GE(a, b) \
+  while (false) SFQ_CHECK_GE(a, b)
+#endif

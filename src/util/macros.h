@@ -1,0 +1,34 @@
+// Common macros used across streamfreq.
+#pragma once
+
+// Marks a branch as unlikely for the optimizer (used on error paths so hot
+// paths stay straight-line).
+#if defined(__GNUC__) || defined(__clang__)
+#define STREAMFREQ_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#define STREAMFREQ_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#else
+#define STREAMFREQ_PREDICT_FALSE(x) (x)
+#define STREAMFREQ_PREDICT_TRUE(x) (x)
+#endif
+
+#define STREAMFREQ_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;                 \
+  TypeName& operator=(const TypeName&) = delete
+
+// Propagates a non-OK Status from an expression, Arrow-style.
+#define STREAMFREQ_RETURN_NOT_OK(expr)                  \
+  do {                                                  \
+    ::streamfreq::Status _st = (expr);                  \
+    if (STREAMFREQ_PREDICT_FALSE(!_st.ok())) return _st; \
+  } while (0)
+
+#define STREAMFREQ_CONCAT_IMPL(x, y) x##y
+#define STREAMFREQ_CONCAT(x, y) STREAMFREQ_CONCAT_IMPL(x, y)
+
+// Assigns the value of a Result<T> expression to `lhs`, or propagates its
+// error Status.
+#define STREAMFREQ_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto STREAMFREQ_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (STREAMFREQ_PREDICT_FALSE(!STREAMFREQ_CONCAT(_res_, __LINE__).ok())) \
+    return STREAMFREQ_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(STREAMFREQ_CONCAT(_res_, __LINE__)).ValueOrDie()

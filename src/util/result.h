@@ -1,0 +1,61 @@
+// Result<T>: a value or an error Status (Arrow's Result / absl::StatusOr).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace streamfreq {
+
+/// Holds either a successfully-computed T or the Status explaining why it
+/// could not be computed. Never holds an OK status without a value.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables
+  /// `return Status::InvalidArgument(...)`).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const noexcept { return value_.has_value(); }
+
+  /// The error status; Status::OK() when a value is present.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Accesses the value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `alternative` when in the error state.
+  T ValueOr(T alternative) const& {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace streamfreq

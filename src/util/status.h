@@ -1,0 +1,110 @@
+// Arrow/RocksDB-style Status for fallible operations.
+//
+// Hot paths (sketch updates/queries) never return Status; it is reserved for
+// construction-time validation, I/O, and (de)serialization.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace streamfreq {
+
+/// Error categories roughly mirroring the failure modes of the library.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kIoError = 3,
+  kNotFound = 4,
+  kCorruption = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "Invalid argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to pass around: the OK state is a null
+/// pointer, errors allocate a small state block.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, Arrow-style.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const noexcept { return state_ == nullptr; }
+
+  StatusCode code() const noexcept {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace streamfreq

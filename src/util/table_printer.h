@@ -1,0 +1,60 @@
+// Aligned console tables and CSV output for benchmark harnesses.
+//
+// Every experiment binary prints its result series both as an aligned table
+// (for humans) and optionally as CSV (for plotting), mirroring how the paper
+// reports Table 1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace streamfreq {
+
+/// Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers
+  /// (checked, aborts on mismatch — a harness programming error).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values) {
+    AddRow({Format(values)...});
+  }
+
+  /// Renders the aligned table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-ish: cells containing comma/quote/newline are
+  /// quoted) to `os`.
+  void PrintCsv(std::ostream& os) const;
+
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a value for a cell. Doubles use 4 significant decimals.
+  static std::string Format(double v);
+  static std::string Format(float v) { return Format(static_cast<double>(v)); }
+  static std::string Format(const std::string& v) { return v; }
+  static std::string Format(const char* v) { return v; }
+  template <typename T>
+  static std::string Format(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streamfreq

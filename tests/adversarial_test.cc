@@ -1,0 +1,97 @@
+#include "stream/adversarial.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_counter.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(AdversarialTest, RejectsBadSpecs) {
+  AdversarialSpec spec;
+  spec.k = 0;
+  EXPECT_TRUE(MakeAdversarialStream(spec).status().IsInvalidArgument());
+
+  spec = AdversarialSpec{};
+  spec.gap = 0;
+  EXPECT_TRUE(MakeAdversarialStream(spec).status().IsInvalidArgument());
+
+  spec = AdversarialSpec{};
+  spec.gap = spec.head_count;
+  EXPECT_TRUE(MakeAdversarialStream(spec).status().IsInvalidArgument());
+
+  spec = AdversarialSpec{};
+  spec.tail_count = spec.head_count;  // tail as heavy as shadows
+  EXPECT_TRUE(MakeAdversarialStream(spec).status().IsInvalidArgument());
+}
+
+TEST(AdversarialTest, CountsMatchSpec) {
+  AdversarialSpec spec;
+  spec.k = 3;
+  spec.shadows = 5;
+  spec.head_count = 100;
+  spec.gap = 1;
+  spec.tail_items = 50;
+  spec.tail_count = 2;
+  auto stream = MakeAdversarialStream(spec);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream->size(), 3 * 100 + 5 * 99 + 50 * 2u);
+
+  ExactCounter oracle;
+  oracle.AddAll(*stream);
+  for (uint64_t i = 0; i < spec.k; ++i) {
+    EXPECT_EQ(oracle.CountOf(kHeadBase + i), 100);
+  }
+  for (uint64_t j = 0; j < spec.shadows; ++j) {
+    EXPECT_EQ(oracle.CountOf(kShadowBase + j), 99);
+  }
+  for (uint64_t t = 0; t < spec.tail_items; ++t) {
+    EXPECT_EQ(oracle.CountOf(kTailBase + t), 2);
+  }
+}
+
+TEST(AdversarialTest, BoundaryGapIsExactlyGap) {
+  AdversarialSpec spec;
+  spec.k = 2;
+  spec.shadows = 2;
+  spec.head_count = 500;
+  spec.gap = 3;
+  auto stream = MakeAdversarialStream(spec);
+  ASSERT_TRUE(stream.ok());
+  ExactCounter oracle;
+  oracle.AddAll(*stream);
+  EXPECT_EQ(oracle.NthCount(spec.k) - oracle.NthCount(spec.k + 1), 3);
+}
+
+TEST(AdversarialTest, ShuffleIsDeterministicPerSeed) {
+  AdversarialSpec spec;
+  spec.seed = 99;
+  auto a = MakeAdversarialStream(spec);
+  auto b = MakeAdversarialStream(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  spec.seed = 100;
+  auto c = MakeAdversarialStream(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*a, *c);
+}
+
+TEST(AdversarialTest, StreamIsShuffled) {
+  AdversarialSpec spec;
+  spec.k = 1;
+  spec.shadows = 1;
+  spec.head_count = 1000;
+  spec.tail_items = 0;
+  auto stream = MakeAdversarialStream(spec);
+  ASSERT_TRUE(stream.ok());
+  // A shuffled stream should not be the two solid runs construction order
+  // produces: the head item must appear in the second half somewhere.
+  bool head_in_second_half = false;
+  for (size_t i = stream->size() / 2; i < stream->size(); ++i) {
+    if ((*stream)[i] == kHeadBase) head_in_second_half = true;
+  }
+  EXPECT_TRUE(head_in_second_half);
+}
+
+}  // namespace
+}  // namespace streamfreq

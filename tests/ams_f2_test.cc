@@ -1,0 +1,117 @@
+#include "core/ams_f2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/workload.h"
+
+namespace streamfreq {
+namespace {
+
+AmsF2Params DefaultParams() {
+  AmsF2Params p;
+  p.groups = 9;
+  p.atoms_per_group = 32;
+  p.seed = 11;
+  return p;
+}
+
+TEST(AmsF2Test, RejectsBadParams) {
+  AmsF2Params p = DefaultParams();
+  p.groups = 0;
+  EXPECT_TRUE(AmsF2Sketch::Make(p).status().IsInvalidArgument());
+  p = DefaultParams();
+  p.atoms_per_group = 0;
+  EXPECT_TRUE(AmsF2Sketch::Make(p).status().IsInvalidArgument());
+}
+
+TEST(AmsF2Test, EmptySketchEstimatesZero) {
+  auto s = AmsF2Sketch::Make(DefaultParams());
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->Estimate(), 0.0);
+}
+
+TEST(AmsF2Test, SingleItemIsExact) {
+  // One item with count c: every counter is +/- c, so c^2 exactly.
+  auto s = AmsF2Sketch::Make(DefaultParams());
+  ASSERT_TRUE(s.ok());
+  s->Add(7, 100);
+  EXPECT_DOUBLE_EQ(s->Estimate(), 10000.0);
+}
+
+TEST(AmsF2Test, EstimatesZipfF2Within20Percent) {
+  auto workload = MakeZipfWorkload(20000, 1.0, 200000, 7);
+  ASSERT_TRUE(workload.ok());
+  const double truth = workload->oracle.ResidualF2(0);
+
+  auto s = AmsF2Sketch::Make(DefaultParams());
+  ASSERT_TRUE(s.ok());
+  for (ItemId q : workload->stream) s->Add(q);
+  EXPECT_NEAR(s->Estimate(), truth, 0.2 * truth);
+}
+
+TEST(AmsF2Test, EstimatesUniformF2Within20Percent) {
+  auto workload = MakeZipfWorkload(5000, 0.0, 100000, 9);
+  ASSERT_TRUE(workload.ok());
+  const double truth = workload->oracle.ResidualF2(0);
+  auto s = AmsF2Sketch::Make(DefaultParams());
+  ASSERT_TRUE(s.ok());
+  for (ItemId q : workload->stream) s->Add(q);
+  EXPECT_NEAR(s->Estimate(), truth, 0.2 * truth);
+}
+
+TEST(AmsF2Test, UnbiasedAcrossSeeds) {
+  // Mean of single-atom estimates over many seeds must track F2.
+  auto workload = MakeZipfWorkload(1000, 1.0, 20000, 13);
+  ASSERT_TRUE(workload.ok());
+  const double truth = workload->oracle.ResidualF2(0);
+
+  double sum = 0.0;
+  constexpr int kSeeds = 60;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    AmsF2Params p;
+    p.groups = 1;
+    p.atoms_per_group = 8;
+    p.seed = static_cast<uint64_t>(seed) * 7919;
+    auto s = AmsF2Sketch::Make(p);
+    ASSERT_TRUE(s.ok());
+    for (ItemId q : workload->stream) s->Add(q);
+    sum += s->Estimate();
+  }
+  // Var of an 8-atom mean <= 2 F2^2 / 8; stderr over 60 seeds ~ F2 * 0.065.
+  EXPECT_NEAR(sum / kSeeds, truth, 0.35 * truth);
+}
+
+TEST(AmsF2Test, TurnstileDeletionsReduceF2) {
+  auto s = AmsF2Sketch::Make(DefaultParams());
+  ASSERT_TRUE(s.ok());
+  s->Add(1, 100);
+  s->Add(2, 100);
+  const double before = s->Estimate();
+  s->Add(2, -100);  // delete item 2 entirely
+  EXPECT_DOUBLE_EQ(s->Estimate(), 10000.0);
+  EXPECT_LT(s->Estimate(), before);
+}
+
+TEST(AmsF2Test, MergeSketchesUnion) {
+  auto a = AmsF2Sketch::Make(DefaultParams());
+  auto b = AmsF2Sketch::Make(DefaultParams());
+  ASSERT_TRUE(a.ok() && b.ok());
+  a->Add(1, 30);
+  b->Add(1, 70);  // same item split across sketches
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_DOUBLE_EQ(a->Estimate(), 10000.0);
+}
+
+TEST(AmsF2Test, MergeRejectsIncompatible) {
+  auto a = AmsF2Sketch::Make(DefaultParams());
+  AmsF2Params p = DefaultParams();
+  p.seed = 12;
+  auto b = AmsF2Sketch::Make(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->Merge(*b).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,66 @@
+#include "util/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace streamfreq {
+namespace bit_util {
+namespace {
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ULL << 63));
+  EXPECT_FALSE(IsPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(BitUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(BitUtilTest, FloorCeilLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(BitUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+  EXPECT_EQ(CeilDiv(1, 3), 1u);
+  EXPECT_EQ(CeilDiv(3, 3), 1u);
+  EXPECT_EQ(CeilDiv(4, 3), 2u);
+}
+
+TEST(BitUtilTest, FastRangeStaysInRange) {
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    EXPECT_EQ(FastRange64(0, n), 0u);
+    EXPECT_LT(FastRange64(~0ULL, n), n);
+    EXPECT_LT(FastRange64(0x123456789ABCDEFULL << 4, n), n);
+  }
+}
+
+TEST(BitUtilTest, FastRangeUsesHighBits) {
+  // Values in the top half of the hash space map to the top half of the
+  // range (the property the sketches rely on after the << 3 spread).
+  EXPECT_GE(FastRange64(1ULL << 63, 100), 50u);
+  EXPECT_LT(FastRange64(1ULL << 62, 100), 50u);
+}
+
+TEST(BitUtilTest, RotateLeft) {
+  EXPECT_EQ(RotateLeft(1, 1), 2u);
+  EXPECT_EQ(RotateLeft(1ULL << 63, 1), 1u);
+}
+
+}  // namespace
+}  // namespace bit_util
+}  // namespace streamfreq

@@ -1,0 +1,76 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamfreq {
+namespace {
+
+TEST(BytesTest, RoundTripMixedValues) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutU64(0);
+  w.PutU64(~0ULL);
+  w.PutI64(-123456789);
+  w.PutDouble(3.14159);
+  EXPECT_EQ(buf.size(), 32u);
+
+  ByteReader r(buf);
+  uint64_t a, b;
+  int64_t c;
+  double d;
+  ASSERT_TRUE(r.GetU64(&a).ok());
+  ASSERT_TRUE(r.GetU64(&b).ok());
+  ASSERT_TRUE(r.GetI64(&c).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, ~0ULL);
+  EXPECT_EQ(c, -123456789);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesTest, UnderflowReportsCorruption) {
+  std::string buf = "short";
+  ByteReader r(buf);
+  uint64_t v;
+  EXPECT_TRUE(r.GetU64(&v).IsCorruption());
+}
+
+TEST(BytesTest, PartialReadThenUnderflow) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutU64(99);
+  buf.resize(12);  // 8 valid + 4 trailing
+  ByteReader r(buf);
+  uint64_t v;
+  ASSERT_TRUE(r.GetU64(&v).ok());
+  EXPECT_EQ(v, 99u);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_TRUE(r.GetU64(&v).IsCorruption());
+}
+
+TEST(BytesTest, PutBytesAppendsRaw) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutBytes("abc", 3);
+  EXPECT_EQ(buf, "abc");
+}
+
+TEST(BytesTest, NegativeAndSpecialDoublesSurvive) {
+  std::string buf;
+  ByteWriter w(&buf);
+  w.PutDouble(-0.0);
+  w.PutDouble(1e308);
+  ByteReader r(buf);
+  double a, b;
+  ASSERT_TRUE(r.GetDouble(&a).ok());
+  ASSERT_TRUE(r.GetDouble(&b).ok());
+  EXPECT_EQ(a, 0.0);
+  EXPECT_TRUE(std::signbit(a));
+  EXPECT_DOUBLE_EQ(b, 1e308);
+}
+
+}  // namespace
+}  // namespace streamfreq

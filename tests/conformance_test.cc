@@ -1,0 +1,127 @@
+// Interface-conformance and determinism sweeps over every algorithm the
+// suite can build: contracts that the harness (and any downstream user)
+// relies on regardless of which algorithm is plugged in.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "eval/suite.h"
+#include "eval/workload.h"
+
+namespace streamfreq {
+namespace {
+
+const AlgorithmKind kAllKinds[] = {
+    AlgorithmKind::kCountSketchTopK,
+    AlgorithmKind::kCountMinTopK,
+    AlgorithmKind::kCountMinConservativeTopK,
+    AlgorithmKind::kMisraGries,
+    AlgorithmKind::kLossyCounting,
+    AlgorithmKind::kSpaceSaving,
+    AlgorithmKind::kStreamSummarySpaceSaving,
+    AlgorithmKind::kStickySampling,
+    AlgorithmKind::kSampling,
+    AlgorithmKind::kConciseSampling,
+    AlgorithmKind::kCountingSampling,
+};
+
+std::string KindName(const ::testing::TestParamInfo<AlgorithmKind>& info) {
+  SuiteSpec spec;
+  auto algo = MakeAlgorithm(info.param, spec);
+  EXPECT_TRUE(algo.ok());
+  std::string name = (*algo)->Name();
+  // Sanitize for gtest: keep alphanumerics only.
+  std::string clean;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) clean.push_back(c);
+  }
+  return clean;
+}
+
+class ConformanceTest : public ::testing::TestWithParam<AlgorithmKind> {
+ protected:
+  static SuiteSpec Spec() {
+    SuiteSpec spec;
+    spec.space_budget_bytes = 16 * 1024;
+    spec.k = 10;
+    spec.seed = 5;
+    spec.expected_stream_length = 60000;
+    return spec;
+  }
+};
+
+TEST_P(ConformanceTest, NameIsNonEmptyAndStable) {
+  auto a = MakeAlgorithm(GetParam(), Spec());
+  auto b = MakeAlgorithm(GetParam(), Spec());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE((*a)->Name().empty());
+  EXPECT_EQ((*a)->Name(), (*b)->Name());
+}
+
+TEST_P(ConformanceTest, CandidatesSortedTruncatedAndSpaceAccounted) {
+  auto workload = MakeZipfWorkload(20000, 1.0, 60000, 9);
+  ASSERT_TRUE(workload.ok());
+  auto algo = MakeAlgorithm(GetParam(), Spec());
+  ASSERT_TRUE(algo.ok());
+  (*algo)->AddAll(workload->stream);
+
+  for (size_t k : {1u, 5u, 100u}) {
+    const auto candidates = (*algo)->Candidates(k);
+    ASSERT_LE(candidates.size(), k);
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      ASSERT_GE(candidates[i - 1].count, candidates[i].count)
+          << "candidates must be sorted descending";
+    }
+  }
+  EXPECT_GT((*algo)->SpaceBytes(), 0u);
+}
+
+TEST_P(ConformanceTest, DeterministicForFixedSeed) {
+  auto workload = MakeZipfWorkload(20000, 1.1, 60000, 11);
+  ASSERT_TRUE(workload.ok());
+  auto a = MakeAlgorithm(GetParam(), Spec());
+  auto b = MakeAlgorithm(GetParam(), Spec());
+  ASSERT_TRUE(a.ok() && b.ok());
+  (*a)->AddAll(workload->stream);
+  (*b)->AddAll(workload->stream);
+
+  const auto ca = (*a)->Candidates(10);
+  const auto cb = (*b)->Candidates(10);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].item, cb[i].item) << "rank " << i;
+    EXPECT_EQ(ca[i].count, cb[i].count) << "rank " << i;
+  }
+  for (const ItemCount& ic : ca) {
+    EXPECT_EQ((*a)->Estimate(ic.item), (*b)->Estimate(ic.item));
+  }
+}
+
+TEST_P(ConformanceTest, WeightedAddAccepted) {
+  auto algo = MakeAlgorithm(GetParam(), Spec());
+  ASSERT_TRUE(algo.ok());
+  // Weight large enough that even low-rate samplers keep some of it.
+  (*algo)->Add(42, 20000);
+  (*algo)->Add(42);
+  // The algorithm need not be exact, but a single dominant item must top
+  // the candidates.
+  const auto candidates = (*algo)->Candidates(1);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].item, 42u);
+}
+
+TEST_P(ConformanceTest, EstimateOfUnseenItemIsBounded) {
+  auto algo = MakeAlgorithm(GetParam(), Spec());
+  ASSERT_TRUE(algo.ok());
+  for (ItemId q = 1; q <= 1000; ++q) (*algo)->Add(q);
+  // An unseen item's estimate may be an upper bound (SS: min count) or
+  // sketch noise, but never larger than the whole stream.
+  EXPECT_LE((*algo)->Estimate(999999999), 1000);
+  EXPECT_GE((*algo)->Estimate(999999999), -1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ConformanceTest,
+                         ::testing::ValuesIn(kAllKinds), KindName);
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,78 @@
+#include "core/count_min_topk.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+CountMinParams DefaultSketch() {
+  CountMinParams p;
+  p.depth = 4;
+  p.width = 2048;
+  p.seed = 9;
+  return p;
+}
+
+TEST(CountMinTopKTest, RejectsBadInputs) {
+  EXPECT_TRUE(CountMinTopK::Make(DefaultSketch(), 0).status().IsInvalidArgument());
+  CountMinParams p = DefaultSketch();
+  p.width = 0;
+  EXPECT_TRUE(CountMinTopK::Make(p, 5).status().IsInvalidArgument());
+}
+
+TEST(CountMinTopKTest, FindsTrueTopKOnSkewedStream) {
+  auto gen = ZipfGenerator::Make(10000, 1.1, 31);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(150000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+
+  constexpr size_t kK = 20;
+  auto algo = CountMinTopK::Make(DefaultSketch(), 2 * kK);
+  ASSERT_TRUE(algo.ok());
+  algo->AddAll(stream);
+
+  std::unordered_set<ItemId> candidates;
+  for (const ItemCount& ic : algo->Candidates(2 * kK)) candidates.insert(ic.item);
+  size_t found = 0;
+  for (const ItemCount& ic : oracle.TopK(kK)) found += candidates.count(ic.item);
+  EXPECT_GE(found, kK - 1);
+}
+
+TEST(CountMinTopKTest, ConservativeVariantNameDiffers) {
+  auto plain = CountMinTopK::Make(DefaultSketch(), 5);
+  CountMinParams p = DefaultSketch();
+  p.conservative = true;
+  auto cu = CountMinTopK::Make(p, 5);
+  ASSERT_TRUE(plain.ok() && cu.ok());
+  EXPECT_NE(plain->Name(), cu->Name());
+  EXPECT_NE(cu->Name().find("CU"), std::string::npos);
+}
+
+TEST(CountMinTopKTest, EstimatePrefersTrackedCount) {
+  auto algo = CountMinTopK::Make(DefaultSketch(), 3);
+  ASSERT_TRUE(algo.ok());
+  for (int i = 0; i < 50; ++i) algo->Add(1);
+  EXPECT_EQ(algo->Estimate(1), 50);
+}
+
+TEST(CountMinTopKTest, CandidatesBoundedByCapacity) {
+  auto algo = CountMinTopK::Make(DefaultSketch(), 5);
+  ASSERT_TRUE(algo.ok());
+  for (ItemId q = 1; q <= 100; ++q) algo->Add(q, static_cast<Count>(q));
+  EXPECT_LE(algo->Candidates(100).size(), 5u);
+}
+
+TEST(CountMinTopKTest, SpaceIncludesSketch) {
+  auto algo = CountMinTopK::Make(DefaultSketch(), 5);
+  ASSERT_TRUE(algo.ok());
+  EXPECT_GE(algo->SpaceBytes(), algo->sketch().SpaceBytes());
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,115 @@
+// Property sweeps over the counter-based algorithms: the deterministic
+// guarantees of Misra-Gries, Space-Saving (both layouts), and Lossy
+// Counting must hold for EVERY (skew, capacity) combination, not just the
+// hand-picked unit-test points.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/lossy_counting.h"
+#include "core/misra_gries.h"
+#include "core/space_saving.h"
+#include "core/stream_summary.h"
+#include "eval/workload.h"
+
+namespace streamfreq {
+namespace {
+
+struct CounterCase {
+  double z;
+  size_t capacity;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<CounterCase>& info) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "z%dp%02d_c%zu",
+                static_cast<int>(info.param.z),
+                static_cast<int>(info.param.z * 100) % 100,
+                info.param.capacity);
+  return buf;
+}
+
+class CounterPropertyTest : public ::testing::TestWithParam<CounterCase> {
+ protected:
+  void SetUp() override {
+    auto w = MakeZipfWorkload(5000, GetParam().z, 60000,
+                              static_cast<uint64_t>(GetParam().z * 1000) +
+                                  GetParam().capacity);
+    ASSERT_TRUE(w.ok());
+    workload_ = std::make_unique<Workload>(std::move(*w));
+  }
+
+  std::unique_ptr<Workload> workload_;
+};
+
+TEST_P(CounterPropertyTest, MisraGriesDeterministicGuarantees) {
+  const size_t cap = GetParam().capacity;
+  auto mg = MisraGries::Make(cap);
+  ASSERT_TRUE(mg.ok());
+  mg->AddAll(workload_->stream);
+
+  const Count n = static_cast<Count>(workload_->stream.size());
+  const Count bound = n / static_cast<Count>(cap + 1);
+  for (const auto& [item, count] : workload_->oracle.counts()) {
+    const Count est = mg->Estimate(item);
+    ASSERT_LE(est, count) << "never overestimate";
+    ASSERT_GE(est, count - bound) << "undercount bounded by n/(c+1)";
+    if (count > bound) {
+      ASSERT_GT(est, 0) << "heavy item must be monitored";
+    }
+  }
+  ASSERT_LE(mg->Candidates(10 * cap).size(), cap);
+}
+
+TEST_P(CounterPropertyTest, SpaceSavingBothLayoutsGuarantees) {
+  const size_t cap = GetParam().capacity;
+  auto heap = SpaceSaving::Make(cap);
+  auto list = StreamSummarySpaceSaving::Make(cap);
+  ASSERT_TRUE(heap.ok() && list.ok());
+  heap->AddAll(workload_->stream);
+  list->AddAll(workload_->stream);
+
+  const Count n = static_cast<Count>(workload_->stream.size());
+  for (auto* algo : std::initializer_list<StreamSummary*>{&*heap, &*list}) {
+    Count total = 0;
+    for (const ItemCount& ic : algo->Candidates(cap)) {
+      total += ic.count;
+      ASSERT_GE(ic.count, workload_->oracle.CountOf(ic.item))
+          << algo->Name() << ": counts are upper bounds";
+    }
+    ASSERT_EQ(total, n) << algo->Name()
+                        << ": monitored counts must sum to the stream length";
+  }
+  ASSERT_LE(heap->MinCount(), n / static_cast<Count>(cap));
+  ASSERT_LE(list->MinCount(), n / static_cast<Count>(cap));
+  ASSERT_TRUE(list->CheckInvariants());
+}
+
+TEST_P(CounterPropertyTest, LossyCountingGuarantees) {
+  // Map capacity to epsilon the way the suite does.
+  const double eps = 1.0 / static_cast<double>(GetParam().capacity * 4);
+  auto lc = LossyCounting::Make(eps);
+  ASSERT_TRUE(lc.ok());
+  lc->AddAll(workload_->stream);
+
+  const double n = static_cast<double>(workload_->stream.size());
+  for (const auto& [item, count] : workload_->oracle.counts()) {
+    const Count est = lc->Estimate(item);
+    ASSERT_LE(est, count) << "never overestimate";
+    ASSERT_GE(static_cast<double>(est),
+              static_cast<double>(count) - eps * n - 1.0)
+        << "undercount bounded by eps*n";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CounterPropertyTest,
+    ::testing::Values(CounterCase{0.5, 16}, CounterCase{0.5, 128},
+                      CounterCase{0.8, 16}, CounterCase{0.8, 128},
+                      CounterCase{1.0, 16}, CounterCase{1.0, 64},
+                      CounterCase{1.2, 32}, CounterCase{1.2, 256},
+                      CounterCase{1.5, 16}, CounterCase{2.0, 64}),
+    CaseName);
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,48 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace streamfreq {
+namespace crc32c {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C test vectors (RFC 3720 appendix / common test suites).
+  EXPECT_EQ(Value("", 0), 0x00000000U);
+  const std::string num = "123456789";
+  EXPECT_EQ(Value(num.data(), num.size()), 0xE3069283U);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Value(zeros.data(), zeros.size()), 0x8A9136AAU);
+}
+
+TEST(Crc32cTest, ExtendMatchesWholeBuffer) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Value(data.data(), data.size());
+  uint32_t incremental = 0;
+  incremental = Extend(incremental, data.data(), 10);
+  incremental = Extend(incremental, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(incremental, whole);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data(100, 'a');
+  const uint32_t original = Value(data.data(), data.size());
+  for (size_t byte : {0u, 50u, 99u}) {
+    std::string corrupted = data;
+    corrupted[byte] ^= 1;
+    EXPECT_NE(Value(corrupted.data(), corrupted.size()), original);
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0x0U, 0x1U, 0xDEADBEEFU, 0xFFFFFFFFU}) {
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+    EXPECT_NE(Mask(crc), crc) << "mask must change the value";
+  }
+}
+
+}  // namespace
+}  // namespace crc32c
+}  // namespace streamfreq

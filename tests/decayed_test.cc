@@ -1,0 +1,118 @@
+#include "core/decayed.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+namespace {
+
+DecayedSketchParams SmallParams(double half_life = 1000.0) {
+  DecayedSketchParams p;
+  p.depth = 5;
+  p.width = 1024;
+  p.seed = 3;
+  p.half_life = half_life;
+  return p;
+}
+
+TEST(DecayedTest, RejectsBadParams) {
+  DecayedSketchParams p = SmallParams();
+  p.depth = 0;
+  EXPECT_TRUE(DecayedCountSketch::Make(p).status().IsInvalidArgument());
+  p = SmallParams();
+  p.half_life = 0.0;
+  EXPECT_TRUE(DecayedCountSketch::Make(p).status().IsInvalidArgument());
+  p = SmallParams();
+  p.half_life = -5.0;
+  EXPECT_TRUE(DecayedCountSketch::Make(p).status().IsInvalidArgument());
+}
+
+TEST(DecayedTest, NoTicksBehavesLikePlainSketch) {
+  auto s = DecayedCountSketch::Make(SmallParams());
+  ASSERT_TRUE(s.ok());
+  s->Add(42, 100);
+  EXPECT_NEAR(s->Estimate(42), 100.0, 1e-9);
+}
+
+TEST(DecayedTest, HalfLifeHalvesContribution) {
+  auto s = DecayedCountSketch::Make(SmallParams(1000.0));
+  ASSERT_TRUE(s.ok());
+  s->Add(7, 100);
+  s->Tick(1000);  // exactly one half-life
+  EXPECT_NEAR(s->Estimate(7), 50.0, 1e-6);
+  s->Tick(1000);
+  EXPECT_NEAR(s->Estimate(7), 25.0, 1e-6);
+}
+
+TEST(DecayedTest, RecentBeatsOldAtEqualRawCount) {
+  auto s = DecayedCountSketch::Make(SmallParams(500.0));
+  ASSERT_TRUE(s.ok());
+  s->Add(1, 100);   // old
+  s->Tick(2000);    // 4 half-lives: old item worth 6.25
+  s->Add(2, 100);   // fresh
+  EXPECT_GT(s->Estimate(2), 10.0 * s->Estimate(1));
+}
+
+TEST(DecayedTest, ContinuousDecayMatchesClosedForm) {
+  auto s = DecayedCountSketch::Make(SmallParams(100.0));
+  ASSERT_TRUE(s.ok());
+  // One occurrence every tick for 300 ticks: decayed sum at the end is
+  // sum_{a=0}^{299} 2^{-a/100} (age a = 299 - t).
+  for (int t = 0; t < 300; ++t) {
+    s->Add(9);
+    if (t < 299) s->Tick();
+  }
+  double expect = 0.0;
+  for (int age = 0; age < 300; ++age) expect += std::exp2(-age / 100.0);
+  EXPECT_NEAR(s->Estimate(9), expect, 0.5);
+}
+
+TEST(DecayedTest, RenormalizationPreservesEstimates) {
+  // Push the scale far past the renorm threshold: 2^64 scale growth needs
+  // 64 half-lives.
+  auto s = DecayedCountSketch::Make(SmallParams(10.0));
+  ASSERT_TRUE(s.ok());
+  s->Add(5, 1 << 20);
+  for (int i = 0; i < 100; ++i) s->Tick(10);  // 100 half-lives total
+  // 2^20 * 2^-100 ~ 0: but a fresh item must still be exact.
+  s->Add(6, 1000);
+  EXPECT_NEAR(s->Estimate(6), 1000.0, 1.0);
+  EXPECT_NEAR(s->Estimate(5), 0.0, 1.0);
+  EXPECT_EQ(s->Now(), 1000u);
+}
+
+TEST(DecayedTest, TrendingItemOvertakesFormerHead) {
+  auto s = DecayedCountSketch::Make(SmallParams(200.0));
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(17);
+  // Phase 1: item A hot.
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 4 == 0) s->Add(111);
+    s->Add(1000000 + rng.UniformBelow(10000));
+    s->Tick();
+  }
+  // Phase 2: item B hot.
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 4 == 0) s->Add(222);
+    s->Add(2000000 + rng.UniformBelow(10000));
+    s->Tick();
+  }
+  EXPECT_GT(s->Estimate(222), 5.0 * std::max(1.0, s->Estimate(111)));
+}
+
+TEST(DecayedTest, SpaceIndependentOfStreamLength) {
+  auto s = DecayedCountSketch::Make(SmallParams());
+  ASSERT_TRUE(s.ok());
+  const size_t before = s->SpaceBytes();
+  for (int i = 0; i < 10000; ++i) {
+    s->Add(static_cast<ItemId>(i));
+    s->Tick();
+  }
+  EXPECT_EQ(s->SpaceBytes(), before);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,132 @@
+#include "core/dgim.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(DgimTest, RejectsBadParams) {
+  EXPECT_TRUE(DgimCounter::Make(0, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(DgimCounter::Make(100, 0).status().IsInvalidArgument());
+}
+
+TEST(DgimTest, EmptyCounterEstimatesZero) {
+  auto c = DgimCounter::Make(100);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->Estimate(), 0u);
+  EXPECT_EQ(c->LowerBound(), 0u);
+  EXPECT_EQ(c->UpperBound(), 0u);
+}
+
+TEST(DgimTest, ExactForSmallCounts) {
+  // With few events there are only size-1 buckets: exact.
+  auto c = DgimCounter::Make(1000, 2);
+  ASSERT_TRUE(c.ok());
+  c->Observe(true);
+  c->Observe(false);
+  c->Observe(true);
+  EXPECT_EQ(c->Estimate(), 2u);
+  EXPECT_EQ(c->Position(), 3u);
+}
+
+TEST(DgimTest, AllEventsExpireAfterWindow) {
+  auto c = DgimCounter::Make(50, 2);
+  ASSERT_TRUE(c.ok());
+  for (int i = 0; i < 30; ++i) c->Observe(true);
+  EXPECT_GT(c->Estimate(), 0u);
+  for (int i = 0; i < 60; ++i) c->Observe(false);
+  EXPECT_EQ(c->UpperBound(), 0u) << "everything fell out of the window";
+}
+
+TEST(DgimTest, BoundsBracketTruthOnRandomStream) {
+  constexpr uint64_t kWindow = 500;
+  auto c = DgimCounter::Make(kWindow, 2);
+  ASSERT_TRUE(c.ok());
+  Xoshiro256 rng(7);
+  std::deque<bool> recent;
+  for (int i = 0; i < 20000; ++i) {
+    const bool event = rng.UniformDouble() < 0.3;
+    c->Observe(event);
+    recent.push_back(event);
+    if (recent.size() > kWindow) recent.pop_front();
+    if (i % 97 == 0) {
+      uint64_t truth = 0;
+      for (bool b : recent) truth += b;
+      ASSERT_GE(c->UpperBound(), truth) << "step " << i;
+      ASSERT_LE(c->LowerBound(), truth) << "step " << i;
+    }
+  }
+}
+
+TEST(DgimTest, RelativeErrorWithinBucketGuarantee) {
+  constexpr uint64_t kWindow = 1000;
+  constexpr size_t kPerSize = 2;
+  auto c = DgimCounter::Make(kWindow, kPerSize);
+  ASSERT_TRUE(c.ok());
+  Xoshiro256 rng(11);
+  std::deque<bool> recent;
+  double worst = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const bool event = rng.UniformDouble() < 0.5;
+    c->Observe(event);
+    recent.push_back(event);
+    if (recent.size() > kWindow) recent.pop_front();
+    if (i > 2000 && i % 137 == 0) {
+      uint64_t truth = 0;
+      for (bool b : recent) truth += b;
+      if (truth > 0) {
+        const double err =
+            std::abs(static_cast<double>(c->Estimate()) -
+                     static_cast<double>(truth)) /
+            static_cast<double>(truth);
+        worst = std::max(worst, err);
+      }
+    }
+  }
+  // Guarantee ~ 1/(2k) = 0.25; leave a little slack for the estimate's
+  // half-oldest-bucket convention.
+  EXPECT_LE(worst, 0.3) << "DGIM relative error bound violated";
+}
+
+TEST(DgimTest, HigherKGivesTighterEstimates) {
+  constexpr uint64_t kWindow = 1000;
+  auto measure = [&](size_t k) {
+    auto c = DgimCounter::Make(kWindow, k);
+    EXPECT_TRUE(c.ok());
+    Xoshiro256 rng(13);
+    std::deque<bool> recent;
+    double total_err = 0.0;
+    int samples = 0;
+    for (int i = 0; i < 30000; ++i) {
+      const bool event = rng.UniformDouble() < 0.5;
+      c->Observe(event);
+      recent.push_back(event);
+      if (recent.size() > kWindow) recent.pop_front();
+      if (i > 2000 && i % 119 == 0) {
+        uint64_t truth = 0;
+        for (bool b : recent) truth += b;
+        total_err += std::abs(static_cast<double>(c->Estimate()) -
+                              static_cast<double>(truth));
+        ++samples;
+      }
+    }
+    return total_err / samples;
+  };
+  EXPECT_LT(measure(8), measure(1));
+}
+
+TEST(DgimTest, SpaceIsLogarithmic) {
+  auto c = DgimCounter::Make(1u << 20, 2);
+  ASSERT_TRUE(c.ok());
+  for (int i = 0; i < 200000; ++i) c->Observe(true);
+  // log2(200000) ~ 17.6 sizes * (k+... ) buckets: must stay tiny.
+  EXPECT_LE(c->BucketCount(), 60u);
+  EXPECT_LT(c->SpaceBytes(), 4096u);
+}
+
+}  // namespace
+}  // namespace streamfreq

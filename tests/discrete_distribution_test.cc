@@ -1,0 +1,74 @@
+#include "stream/discrete_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace streamfreq {
+namespace {
+
+TEST(DiscreteDistributionTest, RejectsBadWeights) {
+  EXPECT_TRUE(DiscreteDistribution::Make({}).status().IsInvalidArgument());
+  EXPECT_TRUE(DiscreteDistribution::Make({0.0, 0.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(DiscreteDistribution::Make({1.0, -1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(DiscreteDistribution::Make({1.0, std::nan("")})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DiscreteDistribution::Make({1.0, INFINITY})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DiscreteDistributionTest, NormalizesPmf) {
+  auto d = DiscreteDistribution::Make({1.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(d->Probability(1), 0.75);
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST(DiscreteDistributionTest, SingleOutcomeAlwaysSampled) {
+  auto d = DiscreteDistribution::Make({42.0});
+  ASSERT_TRUE(d.ok());
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d->Sample(rng), 0u);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightOutcomeNeverSampled) {
+  auto d = DiscreteDistribution::Make({1.0, 0.0, 1.0});
+  ASSERT_TRUE(d.ok());
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(d->Sample(rng), 1u);
+}
+
+TEST(DiscreteDistributionTest, EmpiricalMatchesPmf) {
+  const std::vector<double> weights = {5.0, 1.0, 3.0, 1.0};
+  auto d = DiscreteDistribution::Make(weights);
+  ASSERT_TRUE(d.ok());
+  Xoshiro256 rng(3);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[d->Sample(rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = d->Probability(i) * kDraws;
+    const double sigma = std::sqrt(expected);
+    EXPECT_NEAR(counts[i], expected, 6 * sigma) << "outcome " << i;
+  }
+}
+
+TEST(DiscreteDistributionTest, HandlesManyOutcomes) {
+  std::vector<double> weights(100000, 1.0);
+  weights[0] = 100000.0;  // one heavy item among a flat tail
+  auto d = DiscreteDistribution::Make(weights);
+  ASSERT_TRUE(d.ok());
+  Xoshiro256 rng(4);
+  int heavy = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) heavy += d->Sample(rng) == 0;
+  // P(0) = 0.5; 6 sigma ~ 670.
+  EXPECT_NEAR(heavy, kDraws / 2, 700);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,94 @@
+#include "core/dyadic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+namespace {
+
+struct Block {
+  size_t level;
+  uint64_t prefix;
+};
+
+std::vector<Block> Cover(uint64_t lo, uint64_t hi, size_t bits) {
+  std::vector<Block> blocks;
+  ForEachDyadicBlock(lo, hi, bits,
+                     [&](size_t level, uint64_t prefix) {
+                       blocks.push_back({level, prefix});
+                     });
+  return blocks;
+}
+
+// [start, end] of a block.
+std::pair<uint64_t, uint64_t> Span(const Block& b, size_t bits) {
+  const size_t block_bits = bits - b.level;
+  const uint64_t start = b.prefix << block_bits;
+  return {start, start + (1ULL << block_bits) - 1};
+}
+
+TEST(DyadicTest, SingleKeyIsOneLeafBlock) {
+  const auto blocks = Cover(5, 5, 8);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].level, 8u);
+  EXPECT_EQ(blocks[0].prefix, 5u);
+}
+
+TEST(DyadicTest, FullDomainIsTheRoot) {
+  const auto blocks = Cover(0, 255, 8);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].level, 0u);
+}
+
+TEST(DyadicTest, AlignedHalfIsOneBlock) {
+  const auto blocks = Cover(128, 255, 8);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].level, 1u);
+  EXPECT_EQ(blocks[0].prefix, 1u);
+}
+
+TEST(DyadicTest, CoverIsDisjointCompleteAndSmall) {
+  Xoshiro256 rng(3);
+  constexpr size_t kBits = 12;
+  constexpr uint64_t kDomain = 1ULL << kBits;
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t lo = rng.UniformBelow(kDomain);
+    const uint64_t hi = lo + rng.UniformBelow(kDomain - lo);
+    const auto blocks = Cover(lo, hi, kBits);
+
+    // Small: the canonical dyadic cover needs at most 2*bits blocks.
+    ASSERT_LE(blocks.size(), 2 * kBits) << "[" << lo << "," << hi << "]";
+
+    // Disjoint + complete: spans tile [lo, hi] exactly, in order.
+    uint64_t cursor = lo;
+    for (const Block& b : blocks) {
+      const auto [start, end] = Span(b, kBits);
+      ASSERT_EQ(start, cursor) << "gap or overlap at " << cursor;
+      ASSERT_LE(end, hi) << "block exceeds hi";
+      cursor = end + 1;
+    }
+    ASSERT_EQ(cursor, hi + 1) << "cover stopped early";
+  }
+}
+
+TEST(DyadicTest, ExhaustiveTinyDomain) {
+  constexpr size_t kBits = 4;
+  for (uint64_t lo = 0; lo < 16; ++lo) {
+    for (uint64_t hi = lo; hi < 16; ++hi) {
+      const auto blocks = Cover(lo, hi, kBits);
+      uint64_t cursor = lo;
+      for (const Block& b : blocks) {
+        const auto [start, end] = Span(b, kBits);
+        ASSERT_EQ(start, cursor);
+        cursor = end + 1;
+      }
+      ASSERT_EQ(cursor, hi + 1) << "[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamfreq

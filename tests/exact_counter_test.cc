@@ -1,0 +1,93 @@
+#include "stream/exact_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamfreq {
+namespace {
+
+TEST(ExactCounterTest, EmptyCounter) {
+  ExactCounter c;
+  EXPECT_EQ(c.Distinct(), 0u);
+  EXPECT_EQ(c.TotalCount(), 0);
+  EXPECT_EQ(c.CountOf(1), 0);
+  EXPECT_EQ(c.NthCount(1), 0);
+  EXPECT_DOUBLE_EQ(c.ResidualF2(0), 0.0);
+  EXPECT_TRUE(c.TopK(5).empty());
+}
+
+TEST(ExactCounterTest, CountsAndTotals) {
+  ExactCounter c;
+  c.Add(1);
+  c.Add(1);
+  c.Add(2, 5);
+  EXPECT_EQ(c.CountOf(1), 2);
+  EXPECT_EQ(c.CountOf(2), 5);
+  EXPECT_EQ(c.CountOf(3), 0);
+  EXPECT_EQ(c.Distinct(), 2u);
+  EXPECT_EQ(c.TotalCount(), 7);
+}
+
+TEST(ExactCounterTest, AddAllMatchesLoop) {
+  ExactCounter c;
+  c.AddAll({7, 7, 8, 7});
+  EXPECT_EQ(c.CountOf(7), 3);
+  EXPECT_EQ(c.CountOf(8), 1);
+}
+
+TEST(ExactCounterTest, SortedByCountDescWithIdTiebreak) {
+  ExactCounter c;
+  c.Add(10, 3);
+  c.Add(20, 5);
+  c.Add(30, 3);
+  const auto sorted = c.SortedByCount();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].item, 20u);
+  EXPECT_EQ(sorted[1].item, 10u) << "ties break by ascending id";
+  EXPECT_EQ(sorted[2].item, 30u);
+}
+
+TEST(ExactCounterTest, TopKClipsAndNthCount) {
+  ExactCounter c;
+  c.Add(1, 10);
+  c.Add(2, 20);
+  c.Add(3, 30);
+  EXPECT_EQ(c.TopK(2).size(), 2u);
+  EXPECT_EQ(c.TopK(10).size(), 3u);
+  EXPECT_EQ(c.NthCount(1), 30);
+  EXPECT_EQ(c.NthCount(3), 10);
+  EXPECT_EQ(c.NthCount(4), 0);
+  EXPECT_EQ(c.NthCount(0), 0);
+}
+
+TEST(ExactCounterTest, ResidualF2DropsHead) {
+  ExactCounter c;
+  c.Add(1, 10);
+  c.Add(2, 4);
+  c.Add(3, 3);
+  EXPECT_DOUBLE_EQ(c.ResidualF2(0), 100.0 + 16.0 + 9.0);
+  EXPECT_DOUBLE_EQ(c.ResidualF2(1), 16.0 + 9.0);
+  EXPECT_DOUBLE_EQ(c.ResidualF2(2), 9.0);
+  EXPECT_DOUBLE_EQ(c.ResidualF2(3), 0.0);
+  EXPECT_DOUBLE_EQ(c.ResidualF2(99), 0.0);
+}
+
+TEST(ExactCounterTest, GammaIsSqrtResidualOverWidth) {
+  ExactCounter c;
+  c.Add(1, 10);
+  c.Add(2, 4);
+  EXPECT_DOUBLE_EQ(c.Gamma(1, 4), std::sqrt(16.0 / 4.0));
+  EXPECT_DOUBLE_EQ(c.Gamma(0, 0), 0.0) << "width 0 guarded";
+}
+
+TEST(ExactCounterTest, TurnstileNegativeCounts) {
+  ExactCounter c;
+  c.Add(5, 3);
+  c.Add(5, -4);
+  EXPECT_EQ(c.CountOf(5), -1);
+  EXPECT_EQ(c.TotalCount(), -1);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,50 @@
+#include "core/exact_topk.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "eval/workload.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(ExactTopKTest, PerfectScoresOnAnyWorkload) {
+  auto workload = MakeZipfWorkload(2000, 1.0, 30000, 3);
+  ASSERT_TRUE(workload.ok());
+  ExactTopK exact;
+  const RunResult r = RunAndScore(exact, *workload, 10);
+  EXPECT_DOUBLE_EQ(r.topk_quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.topk_quality.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.are_topk, 0.0);
+}
+
+TEST(ExactTopKTest, SpaceGrowsWithDistinctItems) {
+  ExactTopK exact;
+  exact.Add(1, 100);
+  const size_t one = exact.SpaceBytes();
+  for (ItemId q = 2; q <= 1000; ++q) exact.Add(q);
+  EXPECT_GT(exact.SpaceBytes(), 500 * one)
+      << "the baseline pays per distinct item -- the paper's point";
+}
+
+TEST(ExactTopKTest, TurnstileCountsExactly) {
+  ExactTopK exact;
+  exact.Add(5, 10);
+  exact.Add(5, -3);
+  EXPECT_EQ(exact.Estimate(5), 7);
+  EXPECT_EQ(exact.Estimate(6), 0);
+}
+
+TEST(ExactTopKTest, CandidatesAreTrueTopK) {
+  ExactTopK exact;
+  exact.Add(1, 5);
+  exact.Add(2, 15);
+  exact.Add(3, 10);
+  const auto top2 = exact.Candidates(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].item, 2u);
+  EXPECT_EQ(top2[1].item, 3u);
+}
+
+}  // namespace
+}  // namespace streamfreq

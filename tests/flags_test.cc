@@ -1,0 +1,96 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace streamfreq {
+namespace {
+
+Flags MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.ok()) << flags.status().ToString();
+  return *flags;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags f = MustParse({"--name=value", "--n=42"});
+  EXPECT_EQ(f.GetString("name", ""), "value");
+  EXPECT_EQ(*f.GetInt("n", 0), 42);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags f = MustParse({"--name", "value", "--n", "42"});
+  EXPECT_EQ(f.GetString("name", ""), "value");
+  EXPECT_EQ(*f.GetInt("n", 0), 42);
+}
+
+TEST(FlagsTest, SingleDashAccepted) {
+  const Flags f = MustParse({"-k", "7"});
+  EXPECT_EQ(*f.GetInt("k", 0), 7);
+}
+
+TEST(FlagsTest, BareBooleanAndExplicitValues) {
+  const Flags f = MustParse({"--verbose", "--color=false", "--force=yes"});
+  EXPECT_TRUE(*f.GetBool("verbose", false));
+  EXPECT_FALSE(*f.GetBool("color", true));
+  EXPECT_TRUE(*f.GetBool("force", false));
+  EXPECT_TRUE(*f.GetBool("absent", true));
+  EXPECT_FALSE(*f.GetBool("absent2", false));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags f = MustParse({"topk", "--k", "5", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "topk");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  const Flags f = MustParse({"--k", "5", "--", "--not-a-flag"});
+  EXPECT_EQ(*f.GetInt("k", 0), 5);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagsTest, Defaults) {
+  const Flags f = MustParse({});
+  EXPECT_EQ(f.GetString("missing", "d"), "d");
+  EXPECT_EQ(*f.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(*f.GetDouble("missing", 2.5), 2.5);
+}
+
+TEST(FlagsTest, TypeErrors) {
+  const Flags f = MustParse({"--n=abc", "--x=1.2.3", "--b=maybe"});
+  EXPECT_TRUE(f.GetInt("n", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(f.GetDouble("x", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(f.GetBool("b", false).status().IsInvalidArgument());
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags f = MustParse({"--z=1.25", "--neg=-0.5"});
+  EXPECT_DOUBLE_EQ(*f.GetDouble("z", 0), 1.25);
+  EXPECT_DOUBLE_EQ(*f.GetDouble("neg", 0), -0.5);
+}
+
+TEST(FlagsTest, NegativeIntegerValueViaEquals) {
+  const Flags f = MustParse({"--n=-5"});
+  EXPECT_EQ(*f.GetInt("n", 0), -5);
+}
+
+TEST(FlagsTest, MalformedFlagRejected) {
+  std::vector<const char*> argv = {"prog", "--=x"};
+  EXPECT_TRUE(Flags::Parse(2, argv.data()).status().IsInvalidArgument());
+  std::vector<const char*> argv2 = {"prog", "---triple"};
+  EXPECT_TRUE(Flags::Parse(2, argv2.data()).status().IsInvalidArgument());
+}
+
+TEST(FlagsTest, HasAndNames) {
+  const Flags f = MustParse({"--a=1", "--b"});
+  EXPECT_TRUE(f.Has("a"));
+  EXPECT_TRUE(f.Has("b"));
+  EXPECT_FALSE(f.Has("c"));
+  EXPECT_EQ(f.Names().size(), 2u);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,77 @@
+#include "stream/flow_traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_counter.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(FlowTrafficTest, RejectsBadSpecs) {
+  FlowTrafficSpec spec;
+  spec.pareto_alpha = 0.0;
+  EXPECT_TRUE(FlowTrafficGenerator::Make(spec).status().IsInvalidArgument());
+
+  spec = FlowTrafficSpec{};
+  spec.min_flow_packets = 0;
+  EXPECT_TRUE(FlowTrafficGenerator::Make(spec).status().IsInvalidArgument());
+
+  spec = FlowTrafficSpec{};
+  spec.max_flow_packets = 0;
+  EXPECT_TRUE(FlowTrafficGenerator::Make(spec).status().IsInvalidArgument());
+
+  spec = FlowTrafficSpec{};
+  spec.concurrent_flows = 0;
+  EXPECT_TRUE(FlowTrafficGenerator::Make(spec).status().IsInvalidArgument());
+}
+
+TEST(FlowTrafficTest, DeterministicPerSeed) {
+  FlowTrafficSpec spec;
+  spec.seed = 5;
+  auto a = FlowTrafficGenerator::Make(spec);
+  auto b = FlowTrafficGenerator::Make(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 5000; ++i) EXPECT_EQ(a->Next(), b->Next());
+}
+
+TEST(FlowTrafficTest, ProducesHeavyTail) {
+  FlowTrafficSpec spec;
+  spec.pareto_alpha = 1.1;
+  spec.concurrent_flows = 64;
+  auto gen = FlowTrafficGenerator::Make(spec);
+  ASSERT_TRUE(gen.ok());
+  ExactCounter oracle;
+  oracle.AddAll(gen->Take(300000));
+
+  // Heavy tail: the biggest flow should dwarf the median flow.
+  const auto sorted = oracle.SortedByCount();
+  ASSERT_GT(sorted.size(), 100u);
+  const Count top = sorted.front().count;
+  const Count median = sorted[sorted.size() / 2].count;
+  EXPECT_GT(top, 50 * median)
+      << "Pareto(1.1) flows should include elephants (top=" << top
+      << " median=" << median << ")";
+}
+
+TEST(FlowTrafficTest, RespectsFlowSizeCap) {
+  FlowTrafficSpec spec;
+  spec.pareto_alpha = 0.5;  // extremely heavy tail
+  spec.max_flow_packets = 100;
+  spec.concurrent_flows = 8;
+  auto gen = FlowTrafficGenerator::Make(spec);
+  ASSERT_TRUE(gen.ok());
+  ExactCounter oracle;
+  oracle.AddAll(gen->Take(100000));
+  for (const auto& [id, count] : oracle.counts()) {
+    EXPECT_LE(count, 100) << "flow exceeded the configured cap";
+  }
+}
+
+TEST(FlowTrafficTest, DescribeMentionsAlpha) {
+  auto gen = FlowTrafficGenerator::Make(FlowTrafficSpec{});
+  ASSERT_TRUE(gen.ok());
+  EXPECT_NE(gen->Describe().find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,146 @@
+#include "core/group_testing.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+namespace {
+
+GroupTestingParams SmallParams() {
+  GroupTestingParams p;
+  p.depth = 3;
+  p.groups = 512;
+  p.key_bits = 20;
+  p.seed = 7;
+  return p;
+}
+
+TEST(GroupTestingTest, RejectsBadParams) {
+  GroupTestingParams p = SmallParams();
+  p.depth = 0;
+  EXPECT_TRUE(GroupTestingSketch::Make(p).status().IsInvalidArgument());
+  p = SmallParams();
+  p.key_bits = 0;
+  EXPECT_TRUE(GroupTestingSketch::Make(p).status().IsInvalidArgument());
+  p = SmallParams();
+  p.key_bits = 65;
+  EXPECT_TRUE(GroupTestingSketch::Make(p).status().IsInvalidArgument());
+}
+
+TEST(GroupTestingTest, DecodesSingleHeavyKey) {
+  auto g = GroupTestingSketch::Make(SmallParams());
+  ASSERT_TRUE(g.ok());
+  g->Add(0xABCDE, 100);
+  const auto hits = g->Decode(50);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].key, 0xABCDEu);
+  EXPECT_EQ(hits[0].estimate, 100);
+}
+
+TEST(GroupTestingTest, DecodesKeyZeroAndMaxKey) {
+  auto g = GroupTestingSketch::Make(SmallParams());
+  ASSERT_TRUE(g.ok());
+  g->Add(0, 100);
+  g->Add((1u << 20) - 1, 200);
+  const auto hits = g->Decode(50);
+  std::unordered_set<uint64_t> found;
+  for (const auto& h : hits) found.insert(h.key);
+  EXPECT_TRUE(found.count(0));
+  EXPECT_TRUE(found.count((1u << 20) - 1));
+}
+
+TEST(GroupTestingTest, DecodesManyHeavyKeysAmongNoise) {
+  auto g = GroupTestingSketch::Make(SmallParams());
+  ASSERT_TRUE(g.ok());
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 30000; ++i) g->Add(rng.UniformBelow(1u << 20));
+  const uint64_t heavy[] = {17, 99999, 123456, 777777, 1000000};
+  for (uint64_t k : heavy) g->Add(k, 1500);
+
+  const auto hits = g->Decode(800);
+  std::unordered_set<uint64_t> found;
+  for (const auto& h : hits) found.insert(h.key);
+  for (uint64_t k : heavy) {
+    EXPECT_TRUE(found.count(k)) << "missed heavy key " << k;
+  }
+  // Decoded keys are majority-verified: no garbage below threshold.
+  for (const auto& h : hits) EXPECT_GE(h.estimate, 800);
+}
+
+TEST(GroupTestingTest, EstimateIsUpperBoundOnInsertOnlyStream) {
+  auto g = GroupTestingSketch::Make(SmallParams());
+  ASSERT_TRUE(g.ok());
+  Xoshiro256 rng(5);
+  std::unordered_map<uint64_t, Count> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t k = rng.UniformBelow(1u << 20);
+    g->Add(k);
+    ++truth[k];
+  }
+  int checked = 0;
+  for (const auto& [k, c] : truth) {
+    ASSERT_GE(g->Estimate(k), c);
+    if (++checked == 2000) break;
+  }
+}
+
+TEST(GroupTestingTest, TurnstileDeleteRemovesKeyFromDecode) {
+  auto g = GroupTestingSketch::Make(SmallParams());
+  ASSERT_TRUE(g.ok());
+  g->Add(555, 100);
+  g->Add(777, 100);
+  g->Add(555, -100);  // full deletion
+  const auto hits = g->Decode(50);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].key, 777u);
+}
+
+TEST(GroupTestingTest, SubtractFindsChangedKey) {
+  auto a = GroupTestingSketch::Make(SmallParams());
+  auto b = GroupTestingSketch::Make(SmallParams());
+  ASSERT_TRUE(a.ok() && b.ok());
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = rng.UniformBelow(1u << 20);
+    a->Add(k);
+    b->Add(k);
+  }
+  b->Add(424242, 900);  // only the riser differs
+  ASSERT_TRUE(b->Subtract(*a).ok());
+  const auto hits = b->Decode(500);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].key, 424242u);
+}
+
+TEST(GroupTestingTest, MergeMatchesUnion) {
+  auto a = GroupTestingSketch::Make(SmallParams());
+  auto b = GroupTestingSketch::Make(SmallParams());
+  ASSERT_TRUE(a.ok() && b.ok());
+  a->Add(99, 60);
+  b->Add(99, 50);
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_EQ(a->Estimate(99), 110);
+}
+
+TEST(GroupTestingTest, IncompatibleMergeRejected) {
+  auto a = GroupTestingSketch::Make(SmallParams());
+  GroupTestingParams p = SmallParams();
+  p.seed = 8;
+  auto b = GroupTestingSketch::Make(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->Merge(*b).IsInvalidArgument());
+  EXPECT_TRUE(a->Subtract(*b).IsInvalidArgument());
+}
+
+TEST(GroupTestingTest, SpaceAccountsBitCounters) {
+  auto g = GroupTestingSketch::Make(SmallParams());
+  ASSERT_TRUE(g.ok());
+  // 3 rows * 512 groups * (1 + 20) counters * 8 bytes.
+  EXPECT_GE(g->SpaceBytes(), 3u * 512u * 21u * 8u);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,136 @@
+#include "core/hierarchical_cm.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+namespace {
+
+HierarchicalParams SmallParams() {
+  HierarchicalParams p;
+  p.bits = 16;
+  p.depth = 4;
+  p.width = 512;
+  p.seed = 9;
+  return p;
+}
+
+TEST(HierarchicalCmTest, RejectsBadParams) {
+  HierarchicalParams p = SmallParams();
+  p.bits = 0;
+  EXPECT_TRUE(HierarchicalCountMin::Make(p).status().IsInvalidArgument());
+  p = SmallParams();
+  p.width = 0;
+  EXPECT_TRUE(HierarchicalCountMin::Make(p).status().IsInvalidArgument());
+}
+
+TEST(HierarchicalCmTest, PointAndRangeAreUpperBounds) {
+  auto h = HierarchicalCountMin::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  Xoshiro256 rng(3);
+  std::map<uint64_t, Count> truth;
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t k = rng.UniformBelow(1 << 16);
+    h->Add(k);
+    ++truth[k];
+  }
+  // Points.
+  int checked = 0;
+  for (const auto& [k, c] : truth) {
+    ASSERT_GE(h->EstimatePoint(k), c);
+    if (++checked == 1000) break;
+  }
+  // Ranges.
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t lo = rng.UniformBelow(1 << 16);
+    uint64_t hi = lo + rng.UniformBelow((1 << 16) - lo);
+    Count exact = 0;
+    for (auto it = truth.lower_bound(lo);
+         it != truth.end() && it->first <= hi; ++it) {
+      exact += it->second;
+    }
+    auto est = h->EstimateRange(lo, hi);
+    ASSERT_TRUE(est.ok());
+    ASSERT_GE(*est, exact) << "[" << lo << "," << hi << "]";
+  }
+  // Whole domain is exact.
+  auto whole = h->EstimateRange(0, (1 << 16) - 1);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(*whole, 30000);
+}
+
+TEST(HierarchicalCmTest, HeavyHittersHaveNoFalseNegatives) {
+  auto h = HierarchicalCountMin::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 30000; ++i) h->Add(rng.UniformBelow(1 << 16));
+  const uint64_t heavy[] = {3, 999, 32767, 65535};
+  for (uint64_t k : heavy) h->Add(k, 1000);
+
+  const auto hits = h->HeavyHitters(1000);
+  std::unordered_set<uint64_t> found;
+  for (const HeavyHitter& hh : hits) found.insert(hh.key);
+  for (uint64_t k : heavy) {
+    ASSERT_TRUE(found.count(k))
+        << "structural no-false-negative property violated for " << k;
+  }
+}
+
+TEST(HierarchicalCmTest, RanksAndQuantilesBracketTruth) {
+  auto h = HierarchicalCountMin::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  Xoshiro256 rng(7);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) h->Add(rng.UniformBelow(1 << 16));
+
+  // RankOfKey is an overestimating prefix sum; it must be monotone and
+  // within ~10% of the uniform expectation.
+  Count prev = -1;
+  for (uint64_t key : {1000u, 20000u, 40000u, 60000u}) {
+    const Count rank = h->RankOfKey(key);
+    ASSERT_GE(rank, prev) << "ranks must be monotone";
+    prev = rank;
+    const double expect =
+        static_cast<double>(kN) * static_cast<double>(key) / 65536.0;
+    EXPECT_NEAR(static_cast<double>(rank), expect, expect * 0.15 + 200.0);
+  }
+  const uint64_t median = h->KeyAtRank(kN / 2);
+  EXPECT_NEAR(static_cast<double>(median), 32768.0, 5000.0);
+}
+
+TEST(HierarchicalCmTest, MergeMatchesUnion) {
+  auto a = HierarchicalCountMin::Make(SmallParams());
+  auto b = HierarchicalCountMin::Make(SmallParams());
+  ASSERT_TRUE(a.ok() && b.ok());
+  a->Add(100, 5);
+  b->Add(100, 7);
+  b->Add(200, 3);
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_EQ(a->TotalWeight(), 15);
+  EXPECT_GE(a->EstimatePoint(100), 12);
+  EXPECT_GE(a->EstimatePoint(200), 3);
+}
+
+TEST(HierarchicalCmTest, IncompatibleMergeRejected) {
+  auto a = HierarchicalCountMin::Make(SmallParams());
+  HierarchicalParams p = SmallParams();
+  p.seed = 10;
+  auto b = HierarchicalCountMin::Make(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->Merge(*b).IsInvalidArgument());
+}
+
+TEST(HierarchicalCmTest, RangeErrors) {
+  auto h = HierarchicalCountMin::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->EstimateRange(5, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(h->EstimateRange(0, 1 << 16).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace streamfreq

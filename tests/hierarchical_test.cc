@@ -1,0 +1,194 @@
+#include "core/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hash/random.h"
+#include "stream/exact_counter.h"
+
+namespace streamfreq {
+namespace {
+
+HierarchicalParams SmallParams() {
+  HierarchicalParams p;
+  p.bits = 16;
+  p.depth = 5;
+  p.width = 512;
+  p.seed = 5;
+  return p;
+}
+
+TEST(HierarchicalTest, RejectsBadParams) {
+  HierarchicalParams p = SmallParams();
+  p.bits = 0;
+  EXPECT_TRUE(HierarchicalCountSketch::Make(p).status().IsInvalidArgument());
+  p = SmallParams();
+  p.bits = 41;
+  EXPECT_TRUE(HierarchicalCountSketch::Make(p).status().IsInvalidArgument());
+  p = SmallParams();
+  p.width = 0;
+  EXPECT_TRUE(HierarchicalCountSketch::Make(p).status().IsInvalidArgument());
+}
+
+TEST(HierarchicalTest, PointEstimateSingleKeyExact) {
+  auto h = HierarchicalCountSketch::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  h->Add(1234, 50);
+  EXPECT_EQ(h->EstimatePoint(1234), 50);
+  EXPECT_EQ(h->TotalWeight(), 50);
+}
+
+TEST(HierarchicalTest, RangeQueriesMatchExactOnSparseData) {
+  auto h = HierarchicalCountSketch::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  // A handful of keys: few collisions, estimates near-exact.
+  h->Add(10, 5);
+  h->Add(100, 7);
+  h->Add(1000, 11);
+  h->Add(65535, 3);
+
+  auto expect_range = [&](uint64_t lo, uint64_t hi, Count want) {
+    auto got = h->EstimateRange(lo, hi);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, want) << "[" << lo << ", " << hi << "]";
+  };
+  expect_range(0, 65535, 26);       // whole domain: exact via total
+  expect_range(10, 10, 5);          // single key
+  expect_range(0, 99, 5);           // [0,100)
+  expect_range(0, 100, 12);
+  expect_range(11, 999, 7);
+  expect_range(101, 65535, 14);
+  expect_range(20000, 60000, 0);    // empty range
+}
+
+TEST(HierarchicalTest, RangeErrors) {
+  auto h = HierarchicalCountSketch::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->EstimateRange(5, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(h->EstimateRange(0, 1 << 16).status().IsOutOfRange());
+}
+
+TEST(HierarchicalTest, HeavyHittersRecoveredWithoutTracking) {
+  auto h = HierarchicalCountSketch::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  Xoshiro256 rng(3);
+  // Background noise: 20k light keys.
+  for (int i = 0; i < 20000; ++i) h->Add(rng.UniformBelow(1 << 16));
+  // Five planted heavy keys.
+  const uint64_t heavy[] = {7, 4242, 30000, 55555, 65000};
+  for (uint64_t k : heavy) h->Add(k, 2000);
+
+  const auto hits = h->HeavyHitters(1000);
+  std::unordered_set<uint64_t> found;
+  for (const HeavyHitter& hh : hits) found.insert(hh.key);
+  for (uint64_t k : heavy) {
+    EXPECT_TRUE(found.count(k)) << "missed heavy key " << k;
+  }
+  // No wild false positives: every reported key must be genuinely heavy-ish.
+  for (const HeavyHitter& hh : hits) {
+    EXPECT_GE(hh.estimate, 1000);
+  }
+}
+
+TEST(HierarchicalTest, TurnstileHeavyHitterOfDifference) {
+  // The capability the heap tracker cannot provide: find heavy *deltas*
+  // from subtracted sketches, one pass per stream, no second pass.
+  HierarchicalParams p = SmallParams();
+  auto s1 = HierarchicalCountSketch::Make(p);
+  auto s2 = HierarchicalCountSketch::Make(p);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = rng.UniformBelow(1 << 16);
+    s1->Add(k);
+    s2->Add(k);  // identical background
+  }
+  // Riser and faller live in different level-1 subtrees: a positive and a
+  // negative delta under a shared ancestor would cancel in its estimate
+  // and prune the descent (documented HeavyHitters caveat).
+  s2->Add(31337, 3000);  // the riser (< 2^15 subtree)
+  s1->Add(50000, 2500);  // the faller (>= 2^15 subtree)
+
+  ASSERT_TRUE(s2->Subtract(*s1).ok());
+  const auto hits = s2->HeavyHitters(1500);
+  ASSERT_GE(hits.size(), 2u);
+  std::unordered_set<uint64_t> found;
+  for (const HeavyHitter& hh : hits) found.insert(hh.key);
+  EXPECT_TRUE(found.count(31337));
+  EXPECT_TRUE(found.count(50000));
+  for (const HeavyHitter& hh : hits) {
+    if (hh.key == 31337) {
+      EXPECT_GT(hh.estimate, 0);
+    }
+    if (hh.key == 50000) {
+      EXPECT_LT(hh.estimate, 0);
+    }
+  }
+}
+
+TEST(HierarchicalTest, KeyAtRankFindsMedianOnSkewedData) {
+  auto h = HierarchicalCountSketch::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  // 1000 copies of key 100, 1000 of key 200, 1000 of key 300.
+  h->Add(100, 1000);
+  h->Add(200, 1000);
+  h->Add(300, 1000);
+  EXPECT_EQ(h->KeyAtRank(500), 100u);
+  EXPECT_EQ(h->KeyAtRank(1500), 200u);
+  EXPECT_EQ(h->KeyAtRank(2500), 300u);
+}
+
+TEST(HierarchicalTest, QuantilesApproximateOnUniformData) {
+  auto h = HierarchicalCountSketch::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  Xoshiro256 rng(11);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) h->Add(rng.UniformBelow(1 << 16));
+  // Median of U[0, 65536) should land near 32768 (within ~10%).
+  const uint64_t median = h->KeyAtRank(kN / 2);
+  EXPECT_NEAR(static_cast<double>(median), 32768.0, 6500.0);
+  const uint64_t p90 = h->KeyAtRank(kN * 9 / 10);
+  EXPECT_NEAR(static_cast<double>(p90), 58982.0, 6500.0);
+}
+
+TEST(HierarchicalTest, MergeMatchesUnion) {
+  auto a = HierarchicalCountSketch::Make(SmallParams());
+  auto b = HierarchicalCountSketch::Make(SmallParams());
+  auto both = HierarchicalCountSketch::Make(SmallParams());
+  ASSERT_TRUE(a.ok() && b.ok() && both.ok());
+  a->Add(5, 10);
+  both->Add(5, 10);
+  b->Add(9, 20);
+  both->Add(9, 20);
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_EQ(a->TotalWeight(), both->TotalWeight());
+  EXPECT_EQ(a->EstimatePoint(5), both->EstimatePoint(5));
+  EXPECT_EQ(a->EstimatePoint(9), both->EstimatePoint(9));
+}
+
+TEST(HierarchicalTest, IncompatibleMergeRejected) {
+  auto a = HierarchicalCountSketch::Make(SmallParams());
+  HierarchicalParams p = SmallParams();
+  p.seed = 6;
+  auto b = HierarchicalCountSketch::Make(p);
+  p = SmallParams();
+  p.bits = 12;
+  auto c = HierarchicalCountSketch::Make(p);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE(a->Merge(*b).IsInvalidArgument());
+  EXPECT_TRUE(a->Merge(*c).IsInvalidArgument());
+}
+
+TEST(HierarchicalTest, NarrowLevelsClampWidth) {
+  // bits=16 with width 512: level 1 has 2 prefixes, so its sketch width
+  // must be clamped; space must be far below bits * full-width.
+  auto h = HierarchicalCountSketch::Make(SmallParams());
+  ASSERT_TRUE(h.ok());
+  const size_t full = 16 * 5 * 512 * sizeof(int64_t);
+  EXPECT_LT(h->SpaceBytes(), full);
+}
+
+}  // namespace
+}  // namespace streamfreq

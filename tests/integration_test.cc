@@ -1,0 +1,206 @@
+// Cross-module integration tests: generators -> trace I/O -> algorithms ->
+// metrics, the full pipelines the benchmarks rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/count_sketch.h"
+#include "core/max_change.h"
+#include "core/misra_gries.h"
+#include "core/sketch_params.h"
+#include "core/space_saving.h"
+#include "core/top_k_tracker.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "stream/query_log.h"
+#include "stream/trace.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(IntegrationTest, Lemma5SizedSketchSolvesApproxTop) {
+  // End-to-end Theorem 1: size the sketch from the stream's own statistics
+  // via Lemma 5, run the Section 3.2 algorithm, check the ApproxTop
+  // contract with the paper's epsilon.
+  auto workload = MakeZipfWorkload(20000, 1.0, 200000, 11);
+  ASSERT_TRUE(workload.ok());
+  constexpr size_t kK = 10;
+  const double kEps = 0.2;
+
+  ApproxTopSpec spec;
+  spec.stream_length = workload->n();
+  spec.k = kK;
+  spec.epsilon = kEps;
+  spec.delta = 0.05;
+  spec.residual_f2 = workload->oracle.ResidualF2(kK);
+  spec.nk = static_cast<double>(workload->oracle.NthCount(kK));
+  auto sizing = SizeForApproxTop(spec);
+  ASSERT_TRUE(sizing.ok());
+
+  CountSketchParams params;
+  params.depth = sizing->depth;
+  params.width = sizing->width;
+  params.seed = 2024;
+  auto algo = CountSketchTopK::Make(params, kK);
+  ASSERT_TRUE(algo.ok());
+  algo->AddAll(workload->stream);
+
+  const auto verdict =
+      CheckApproxTop(algo->Candidates(kK), workload->oracle, kK, kEps);
+  EXPECT_TRUE(verdict.Pass())
+      << "low=" << verdict.violations_low
+      << " missing=" << verdict.violations_missing
+      << " (b=" << sizing->width << ", t=" << sizing->depth << ")";
+}
+
+TEST(IntegrationTest, TraceRoundTripPreservesAlgorithmOutput) {
+  auto workload = MakeZipfWorkload(5000, 1.1, 50000, 13);
+  ASSERT_TRUE(workload.ok());
+  const std::string path = ::testing::TempDir() + "/sfq_integration_trace.bin";
+  ASSERT_TRUE(WriteTrace(path, workload->stream).ok());
+  auto loaded = ReadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 1024;
+  p.seed = 5;
+  auto direct = CountSketchTopK::Make(p, 20);
+  auto replayed = CountSketchTopK::Make(p, 20);
+  ASSERT_TRUE(direct.ok() && replayed.ok());
+  direct->AddAll(workload->stream);
+  replayed->AddAll(*loaded);
+
+  const auto a = direct->Candidates(20);
+  const auto b = replayed->Candidates(20);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, SketchAndCounterAlgorithmsAgreeOnHeavyHead) {
+  auto workload = MakeZipfWorkload(30000, 1.2, 150000, 17);
+  ASSERT_TRUE(workload.ok());
+  constexpr size_t kK = 10;
+  const auto truth = workload->oracle.TopK(kK);
+
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 4096;
+  p.seed = 6;
+  auto cs = CountSketchTopK::Make(p, 3 * kK);
+  auto mg = MisraGries::Make(200);
+  auto ss = SpaceSaving::Make(200);
+  ASSERT_TRUE(cs.ok() && mg.ok() && ss.ok());
+  cs->AddAll(workload->stream);
+  mg->AddAll(workload->stream);
+  ss->AddAll(workload->stream);
+
+  for (StreamSummary* algo :
+       std::initializer_list<StreamSummary*>{&*cs, &*mg, &*ss}) {
+    const PrecisionRecall pr =
+        ComputePrecisionRecall(algo->Candidates(kK), truth);
+    EXPECT_GE(pr.recall, 0.9) << algo->Name();
+  }
+}
+
+TEST(IntegrationTest, SerializedDifferenceSketchFindsChanges) {
+  // Distributed-deployment scenario from the paper's additivity remark:
+  // sketch S1 on one node, S2 on another, ship both, subtract centrally.
+  QueryLogSpec spec;
+  spec.universe = 5000;
+  spec.period_length = 60000;
+  spec.trending = 5;
+  spec.fading = 5;
+  spec.boost = 16.0;
+  spec.fade = 0.0625;
+  spec.seed = 19;
+  auto log = MakeQueryLog(spec);
+  ASSERT_TRUE(log.ok());
+
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 4096;
+  p.seed = 7;
+  auto node1 = CountSketch::Make(p);
+  auto node2 = CountSketch::Make(p);
+  ASSERT_TRUE(node1.ok() && node2.ok());
+  for (ItemId q : log->period1) node1->Add(q);
+  for (ItemId q : log->period2) node2->Add(q);
+
+  std::string blob1, blob2;
+  node1->SerializeTo(&blob1);
+  node2->SerializeTo(&blob2);
+  auto s1 = CountSketch::Deserialize(blob1);
+  auto s2 = CountSketch::Deserialize(blob2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_TRUE(s2->Subtract(*s1).ok());
+
+  // The boosted items must show strongly positive deltas.
+  ExactCounter c1, c2;
+  c1.AddAll(log->period1);
+  c2.AddAll(log->period2);
+  for (ItemId id : log->trending_ids) {
+    const Count true_delta = c2.CountOf(id) - c1.CountOf(id);
+    const Count est = s2->Estimate(id);
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(true_delta),
+                std::max(100.0, 0.3 * static_cast<double>(true_delta)));
+  }
+}
+
+TEST(IntegrationTest, MaxChangeBeatsNaiveTopKDiffing) {
+  // The paper's motivation for Section 4.2: items can change a lot without
+  // ever being in either period's top-k. Build such an instance and verify
+  // the max-change detector finds the changer that top-k diffing misses.
+  Stream s1, s2;
+  // 30 stable heavy hitters in both periods.
+  for (ItemId q = 1; q <= 30; ++q) {
+    for (int i = 0; i < 1000; ++i) {
+      s1.push_back(q);
+      s2.push_back(q);
+    }
+  }
+  // The changer: rank ~31 in both periods, but swings 400 -> 900.
+  for (int i = 0; i < 400; ++i) s1.push_back(777);
+  for (int i = 0; i < 900; ++i) s2.push_back(777);
+
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 4096;
+  p.seed = 23;
+  auto changes = MaxChangeDetector::Run(p, 20, s1, s2, 1);
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].item, 777u);
+  EXPECT_EQ((*changes)[0].Delta(), 500);
+
+  // Naive approach: diff the per-period top-10 lists -> 777 never appears.
+  ExactCounter c1, c2;
+  c1.AddAll(s1);
+  c2.AddAll(s2);
+  for (const ItemCount& ic : c1.TopK(10)) EXPECT_NE(ic.item, 777u);
+  for (const ItemCount& ic : c2.TopK(10)) EXPECT_NE(ic.item, 777u);
+}
+
+TEST(IntegrationTest, FlowWorkloadHeavyHittersDetected) {
+  auto workload = MakeFlowWorkload(1.1, 200000, 29);
+  ASSERT_TRUE(workload.ok());
+  constexpr size_t kK = 10;
+  const auto truth = workload->oracle.TopK(kK);
+
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 8192;
+  p.seed = 31;
+  auto algo = CountSketchTopK::Make(p, 4 * kK);
+  ASSERT_TRUE(algo.ok());
+  algo->AddAll(workload->stream);
+  const PrecisionRecall pr = ComputePrecisionRecall(algo->Candidates(kK), truth);
+  EXPECT_GE(pr.recall, 0.8) << "elephant flows must be identified";
+}
+
+}  // namespace
+}  // namespace streamfreq

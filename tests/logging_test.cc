@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace streamfreq {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const auto original = internal::GetMinLogLevel();
+  internal::SetMinLogLevel(internal::LogLevel::kError);
+  EXPECT_EQ(internal::GetMinLogLevel(), internal::LogLevel::kError);
+  internal::SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, ChecksPassOnTrueConditions) {
+  SFQ_CHECK(true);
+  SFQ_CHECK_EQ(1, 1);
+  SFQ_CHECK_NE(1, 2);
+  SFQ_CHECK_LT(1, 2);
+  SFQ_CHECK_LE(2, 2);
+  SFQ_CHECK_GT(3, 2);
+  SFQ_CHECK_GE(3, 3);
+  SFQ_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ SFQ_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckEqFailurePrintsOperands) {
+  EXPECT_DEATH({ SFQ_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+TEST(LoggingDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH({ SFQ_CHECK_OK(Status::IoError("disk gone")); }, "disk gone");
+}
+
+TEST(LoggingTest, DebugChecksCompileInBothModes) {
+  SFQ_DCHECK(true);
+  SFQ_DCHECK_LT(1, 2);
+  SFQ_DCHECK_LE(1, 1);
+  SFQ_DCHECK_GE(2, 1);
+}
+
+}  // namespace
+}  // namespace streamfreq

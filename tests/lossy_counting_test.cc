@@ -1,0 +1,120 @@
+#include "core/lossy_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(LossyCountingTest, RejectsBadEpsilon) {
+  EXPECT_TRUE(LossyCounting::Make(0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(LossyCounting::Make(1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(LossyCounting::Make(-0.1).status().IsInvalidArgument());
+}
+
+TEST(LossyCountingTest, NeverOverestimates) {
+  auto gen = ZipfGenerator::Make(2000, 1.0, 3);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(40000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  auto lc = LossyCounting::Make(0.001);
+  ASSERT_TRUE(lc.ok());
+  lc->AddAll(stream);
+  for (const auto& [item, count] : oracle.counts()) {
+    ASSERT_LE(lc->Estimate(item), count);
+  }
+}
+
+TEST(LossyCountingTest, UndercountBoundedByEpsN) {
+  auto gen = ZipfGenerator::Make(2000, 1.1, 5);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(40000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  const double eps = 0.002;
+  auto lc = LossyCounting::Make(eps);
+  ASSERT_TRUE(lc.ok());
+  lc->AddAll(stream);
+  const double bound = eps * static_cast<double>(stream.size());
+  for (const auto& [item, count] : oracle.counts()) {
+    ASSERT_GE(static_cast<double>(lc->Estimate(item)),
+              static_cast<double>(count) - bound - 1.0);
+  }
+}
+
+TEST(LossyCountingTest, IcebergQueryHasNoFalseNegatives) {
+  auto gen = ZipfGenerator::Make(2000, 1.1, 7);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(40000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  const double eps = 0.001;
+  const double support = 0.005;
+  auto lc = LossyCounting::Make(eps);
+  ASSERT_TRUE(lc.ok());
+  lc->AddAll(stream);
+
+  std::unordered_set<ItemId> answer;
+  for (const ItemCount& ic : lc->IcebergQuery(support)) answer.insert(ic.item);
+  for (const auto& [item, count] : oracle.counts()) {
+    if (static_cast<double>(count) >=
+        support * static_cast<double>(stream.size())) {
+      EXPECT_TRUE(answer.count(item)) << "missed iceberg item " << item;
+    }
+  }
+}
+
+TEST(LossyCountingTest, EntryCountStaysBounded) {
+  // Theory: at most (1/eps) log(eps n) entries. Check with 2x headroom.
+  auto gen = ZipfGenerator::Make(50000, 0.8, 9);
+  ASSERT_TRUE(gen.ok());
+  const double eps = 0.001;
+  auto lc = LossyCounting::Make(eps);
+  ASSERT_TRUE(lc.ok());
+  constexpr size_t kN = 200000;
+  for (size_t i = 0; i < kN; ++i) lc->Add(gen->Next());
+  const double bound =
+      (1.0 / eps) * std::log(eps * static_cast<double>(kN)) * 2.0;
+  EXPECT_LT(static_cast<double>(lc->EntryCount()), bound);
+}
+
+TEST(LossyCountingTest, PrunesInfrequentItems) {
+  auto lc = LossyCounting::Make(0.1);  // bucket width 10
+  ASSERT_TRUE(lc.ok());
+  lc->Add(42);  // appears once, in bucket 1
+  for (ItemId q = 100; q < 130; ++q) lc->Add(q);  // push past boundaries
+  EXPECT_EQ(lc->Estimate(42), 0) << "one-hit wonder must be pruned";
+}
+
+TEST(LossyCountingTest, FrequentItemSurvivesPruning) {
+  auto lc = LossyCounting::Make(0.1);
+  ASSERT_TRUE(lc.ok());
+  for (int i = 0; i < 100; ++i) {
+    lc->Add(7);
+    lc->Add(static_cast<ItemId>(1000 + i));  // churn of singletons
+  }
+  EXPECT_GT(lc->Estimate(7), 80);
+}
+
+TEST(LossyCountingTest, WeightedUpdatesCountFully) {
+  auto lc = LossyCounting::Make(0.01);
+  ASSERT_TRUE(lc.ok());
+  lc->Add(3, 500);
+  EXPECT_EQ(lc->Estimate(3), 500);
+  EXPECT_EQ(lc->stream_length(), 500);
+}
+
+TEST(LossyCountingTest, NameMentionsEpsilon) {
+  auto lc = LossyCounting::Make(0.25);
+  ASSERT_TRUE(lc.ok());
+  EXPECT_NE(lc->Name().find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamfreq

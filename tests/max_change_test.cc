@@ -1,0 +1,167 @@
+#include "core/max_change.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "stream/exact_counter.h"
+#include "stream/query_log.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+CountSketchParams DefaultSketch() {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 4096;
+  p.seed = 77;
+  return p;
+}
+
+TEST(MaxChangeTest, RejectsZeroTracked) {
+  EXPECT_TRUE(
+      MaxChangeDetector::Make(DefaultSketch(), 0).status().IsInvalidArgument());
+}
+
+TEST(MaxChangeTest, SimplePlantedChange) {
+  // S1: item 1 x100, item 2 x100. S2: item 1 x100, item 2 x10, item 3 x200.
+  Stream s1, s2;
+  for (int i = 0; i < 100; ++i) s1.push_back(1);
+  for (int i = 0; i < 100; ++i) s1.push_back(2);
+  for (int i = 0; i < 100; ++i) s2.push_back(1);
+  for (int i = 0; i < 10; ++i) s2.push_back(2);
+  for (int i = 0; i < 200; ++i) s2.push_back(3);
+
+  auto changes = MaxChangeDetector::Run(DefaultSketch(), 10, s1, s2, 3);
+  ASSERT_TRUE(changes.ok());
+  ASSERT_GE(changes->size(), 2u);
+  EXPECT_EQ((*changes)[0].item, 3u);
+  EXPECT_EQ((*changes)[0].Delta(), 200);
+  EXPECT_EQ((*changes)[1].item, 2u);
+  EXPECT_EQ((*changes)[1].Delta(), -90);
+}
+
+TEST(MaxChangeTest, ExactCountsForReportedItems) {
+  Stream s1 = {5, 5, 5, 6, 6};
+  Stream s2 = {5, 6, 6, 6, 6, 7};
+  auto changes = MaxChangeDetector::Run(DefaultSketch(), 10, s1, s2, 10);
+  ASSERT_TRUE(changes.ok());
+  for (const ChangeResult& c : *changes) {
+    if (c.item == 5) {
+      EXPECT_EQ(c.count_s1, 3);
+      EXPECT_EQ(c.count_s2, 1);
+    }
+    if (c.item == 6) {
+      EXPECT_EQ(c.count_s1, 2);
+      EXPECT_EQ(c.count_s2, 4);
+    }
+    if (c.item == 7) {
+      EXPECT_EQ(c.count_s1, 0);
+      EXPECT_EQ(c.count_s2, 1);
+    }
+  }
+}
+
+TEST(MaxChangeTest, IdenticalStreamsReportZeroDeltas) {
+  auto gen = ZipfGenerator::Make(100, 1.0, 5);
+  ASSERT_TRUE(gen.ok());
+  const Stream s = gen->Take(5000);
+  auto changes = MaxChangeDetector::Run(DefaultSketch(), 20, s, s, 5);
+  ASSERT_TRUE(changes.ok());
+  for (const ChangeResult& c : *changes) {
+    EXPECT_EQ(c.Delta(), 0);
+  }
+}
+
+TEST(MaxChangeTest, DetectsTrendingQueriesInSyntheticLog) {
+  QueryLogSpec spec;
+  spec.universe = 20000;
+  spec.z = 1.0;
+  spec.period_length = 150000;
+  spec.trending = 10;
+  spec.fading = 10;
+  spec.boost = 16.0;
+  spec.fade = 0.0625;
+  spec.seed = 99;
+  auto log = MakeQueryLog(spec);
+  ASSERT_TRUE(log.ok());
+
+  // Ground truth: top-20 exact |delta| items.
+  ExactCounter c1, c2;
+  c1.AddAll(log->period1);
+  c2.AddAll(log->period2);
+  ExactCounter delta;
+  for (const auto& [item, cnt] : c1.counts()) delta.Add(item, -cnt);
+  for (const auto& [item, cnt] : c2.counts()) delta.Add(item, cnt);
+  std::vector<std::pair<Count, ItemId>> truth;
+  for (const auto& [item, d] : delta.counts()) {
+    truth.push_back({d < 0 ? -d : d, item});
+  }
+  std::sort(truth.rbegin(), truth.rend());
+  truth.resize(20);
+
+  auto changes = MaxChangeDetector::Run(DefaultSketch(), 100, log->period1,
+                                        log->period2, 20);
+  ASSERT_TRUE(changes.ok());
+  std::unordered_set<ItemId> reported;
+  for (const ChangeResult& c : *changes) reported.insert(c.item);
+
+  size_t hits = 0;
+  for (const auto& [mag, item] : truth) hits += reported.count(item);
+  EXPECT_GE(hits, 16u) << "at least 80% of true top changers found";
+}
+
+TEST(MaxChangeTest, ReportsBothRisersAndFallers) {
+  Stream s1, s2;
+  for (int i = 0; i < 500; ++i) s1.push_back(1);  // disappears
+  for (int i = 0; i < 500; ++i) s2.push_back(2);  // appears
+  auto changes = MaxChangeDetector::Run(DefaultSketch(), 10, s1, s2, 2);
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 2u);
+  std::unordered_set<ItemId> reported;
+  for (const ChangeResult& c : *changes) reported.insert(c.item);
+  EXPECT_TRUE(reported.count(1));
+  EXPECT_TRUE(reported.count(2));
+}
+
+TEST(MaxChangeTest, IncrementalApiMatchesRun) {
+  Stream s1 = {1, 1, 2};
+  Stream s2 = {2, 2, 2, 3};
+  auto det = MaxChangeDetector::Make(DefaultSketch(), 10);
+  ASSERT_TRUE(det.ok());
+  for (ItemId q : s1) det->ObserveS1(q);
+  for (ItemId q : s2) det->ObserveS2(q);
+  det->FinishFirstPass();
+  for (ItemId q : s1) det->SecondPass(1, q);
+  for (ItemId q : s2) det->SecondPass(2, q);
+  const auto a = det->TopChanges(10);
+  auto b = MaxChangeDetector::Run(DefaultSketch(), 10, s1, s2, 10);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.size(), b->size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, (*b)[i].item);
+    EXPECT_EQ(a[i].Delta(), (*b)[i].Delta());
+  }
+}
+
+TEST(MaxChangeTest, DifferenceSketchEstimatesDeltas) {
+  Stream s1, s2;
+  for (int i = 0; i < 300; ++i) s1.push_back(10);
+  for (int i = 0; i < 120; ++i) s2.push_back(10);
+  auto det = MaxChangeDetector::Make(DefaultSketch(), 5);
+  ASSERT_TRUE(det.ok());
+  for (ItemId q : s1) det->ObserveS1(q);
+  for (ItemId q : s2) det->ObserveS2(q);
+  det->FinishFirstPass();
+  EXPECT_EQ(det->difference_sketch().Estimate(10), -180);
+}
+
+TEST(MaxChangeTest, AbsDeltaHelper) {
+  ChangeResult r{1, 10, 3};
+  EXPECT_EQ(r.Delta(), -7);
+  EXPECT_EQ(r.AbsDelta(), 7);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,143 @@
+// Mergeable-summaries tests: distributed aggregation with counter-based
+// algorithms (the counterpart to the paper's sketch additivity).
+#include <gtest/gtest.h>
+
+#include "core/misra_gries.h"
+#include "core/space_saving.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(MergeableMisraGriesTest, RejectsMismatchedCapacities) {
+  auto a = MisraGries::Make(8);
+  auto b = MisraGries::Make(16);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->Merge(*b).IsInvalidArgument());
+}
+
+TEST(MergeableMisraGriesTest, DisjointSmallStreamsMergeExactly) {
+  auto a = MisraGries::Make(10);
+  auto b = MisraGries::Make(10);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (ItemId q = 1; q <= 5; ++q) a->Add(q, static_cast<Count>(10 * q));
+  for (ItemId q = 4; q <= 8; ++q) b->Add(q, static_cast<Count>(100 * q));
+  ASSERT_TRUE(a->Merge(*b).ok());
+  // Everything fits: counts are exact sums.
+  EXPECT_EQ(a->Estimate(3), 30);
+  EXPECT_EQ(a->Estimate(4), 40 + 400);
+  EXPECT_EQ(a->Estimate(8), 800);
+  EXPECT_EQ(a->MaxError(), 0);
+}
+
+TEST(MergeableMisraGriesTest, MergedGuaranteeHoldsOnUnionStream) {
+  // Split a Zipf stream across 4 "nodes", merge pairwise, and verify the
+  // union-stream Misra-Gries guarantees.
+  auto gen = ZipfGenerator::Make(3000, 1.1, 7);
+  ASSERT_TRUE(gen.ok());
+  constexpr size_t kCap = 64;
+  constexpr size_t kPerNode = 25000;
+
+  ExactCounter oracle;
+  std::vector<MisraGries> nodes;
+  for (int node = 0; node < 4; ++node) {
+    auto mg = MisraGries::Make(kCap);
+    ASSERT_TRUE(mg.ok());
+    for (size_t i = 0; i < kPerNode; ++i) {
+      const ItemId q = gen->Next();
+      mg->Add(q);
+      oracle.Add(q);
+    }
+    nodes.push_back(std::move(*mg));
+  }
+  ASSERT_TRUE(nodes[0].Merge(nodes[1]).ok());
+  ASSERT_TRUE(nodes[2].Merge(nodes[3]).ok());
+  ASSERT_TRUE(nodes[0].Merge(nodes[2]).ok());
+
+  const Count n = static_cast<Count>(4 * kPerNode);
+  const Count bound = n / static_cast<Count>(kCap + 1);
+  size_t monitored = 0;
+  for (const auto& [item, count] : oracle.counts()) {
+    const Count est = nodes[0].Estimate(item);
+    ASSERT_LE(est, count) << "merged MG must not overestimate";
+    ASSERT_GE(est, count - bound) << "merged undercount beyond (n1+n2)/(c+1)";
+    monitored += est > 0;
+  }
+  EXPECT_LE(nodes[0].Candidates(10 * kCap).size(), kCap);
+  EXPECT_LE(nodes[0].MaxError(), bound);
+}
+
+TEST(MergeableSpaceSavingTest, RejectsMismatchedCapacities) {
+  auto a = SpaceSaving::Make(8);
+  auto b = SpaceSaving::Make(16);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->Merge(*b).IsInvalidArgument());
+}
+
+TEST(MergeableSpaceSavingTest, DisjointSmallStreamsMergeExactly) {
+  auto a = SpaceSaving::Make(10);
+  auto b = SpaceSaving::Make(10);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (ItemId q = 1; q <= 5; ++q) a->Add(q, static_cast<Count>(10 * q));
+  for (ItemId q = 4; q <= 8; ++q) b->Add(q, static_cast<Count>(100 * q));
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_EQ(a->Estimate(4), 440);
+  EXPECT_EQ(a->ErrorOf(4), 0);
+  EXPECT_EQ(a->Estimate(8), 800);
+}
+
+TEST(MergeableSpaceSavingTest, MergedBoundsHoldOnUnionStream) {
+  auto gen = ZipfGenerator::Make(3000, 1.1, 11);
+  ASSERT_TRUE(gen.ok());
+  constexpr size_t kCap = 64;
+  constexpr size_t kPerNode = 25000;
+
+  ExactCounter oracle;
+  auto a = SpaceSaving::Make(kCap);
+  auto b = SpaceSaving::Make(kCap);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < kPerNode; ++i) {
+    const ItemId q = gen->Next();
+    a->Add(q);
+    oracle.Add(q);
+  }
+  for (size_t i = 0; i < kPerNode; ++i) {
+    const ItemId q = gen->Next();
+    b->Add(q);
+    oracle.Add(q);
+  }
+  ASSERT_TRUE(a->Merge(*b).ok());
+
+  for (const ItemCount& ic : a->Candidates(kCap)) {
+    ASSERT_GE(ic.count, oracle.CountOf(ic.item))
+        << "merged counts must stay upper bounds";
+    ASSERT_LE(ic.count - a->ErrorOf(ic.item), oracle.CountOf(ic.item))
+        << "merged count - error must stay a lower bound";
+  }
+  // The merged top candidates must include the true union head.
+  const auto truth = oracle.TopK(5);
+  const auto candidates = a->Candidates(10);
+  for (const ItemCount& t : truth) {
+    bool found = false;
+    for (const ItemCount& c : candidates) found |= c.item == t.item;
+    EXPECT_TRUE(found) << "true union top-5 item " << t.item
+                       << " missing after merge";
+  }
+}
+
+TEST(MergeableSpaceSavingTest, MergePreservesHeapIntegrity) {
+  auto a = SpaceSaving::Make(4);
+  auto b = SpaceSaving::Make(4);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (ItemId q = 1; q <= 8; ++q) a->Add(q, static_cast<Count>(q));
+  for (ItemId q = 5; q <= 12; ++q) b->Add(q, static_cast<Count>(q));
+  ASSERT_TRUE(a->Merge(*b).ok());
+  // Post-merge the structure must keep absorbing updates correctly.
+  for (ItemId q = 100; q <= 120; ++q) a->Add(q, 50);
+  EXPECT_EQ(a->MonitoredCount(), 4u);
+  EXPECT_GT(a->MinCount(), 0);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,112 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace streamfreq {
+namespace {
+
+TEST(PrecisionRecallTest, EmptyInputsGiveZero) {
+  const PrecisionRecall pr = ComputePrecisionRecall({}, {{1, 10}});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 0.0);
+  const PrecisionRecall pr2 = ComputePrecisionRecall({{1, 10}}, {});
+  EXPECT_DOUBLE_EQ(pr2.precision, 0.0);
+}
+
+TEST(PrecisionRecallTest, PerfectMatch) {
+  const std::vector<ItemCount> both = {{1, 10}, {2, 5}};
+  const PrecisionRecall pr = ComputePrecisionRecall(both, both);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 1.0);
+}
+
+TEST(PrecisionRecallTest, PartialOverlap) {
+  const std::vector<ItemCount> candidates = {{1, 10}, {2, 5}, {3, 4}, {4, 3}};
+  const std::vector<ItemCount> truth = {{1, 10}, {2, 5}};
+  const PrecisionRecall pr = ComputePrecisionRecall(candidates, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_NEAR(pr.F1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionRecallTest, CandidateCountsIrrelevant) {
+  // Only membership matters for P/R; the reported counts may be estimates.
+  const PrecisionRecall pr =
+      ComputePrecisionRecall({{1, 99999}}, {{1, 10}, {2, 10}});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+}
+
+TEST(AverageRelativeErrorTest, ZeroWhenExact) {
+  const std::vector<ItemCount> truth = {{1, 10}, {2, 20}};
+  EXPECT_DOUBLE_EQ(
+      AverageRelativeError(truth, [](ItemId q) { return 10 * static_cast<Count>(q); }),
+      0.0);
+}
+
+TEST(AverageRelativeErrorTest, AveragesSymmetrically) {
+  const std::vector<ItemCount> truth = {{1, 100}, {2, 100}};
+  // Estimates 110 and 90: both 10% off.
+  const double are = AverageRelativeError(
+      truth, [](ItemId q) { return q == 1 ? 110 : 90; });
+  EXPECT_DOUBLE_EQ(are, 0.1);
+}
+
+TEST(AverageRelativeErrorTest, EmptyTruthIsZero) {
+  EXPECT_DOUBLE_EQ(AverageRelativeError({}, [](ItemId) { return 0; }), 0.0);
+}
+
+TEST(MaxAbsoluteErrorTest, PicksWorst) {
+  const std::vector<ItemCount> truth = {{1, 100}, {2, 100}};
+  EXPECT_DOUBLE_EQ(
+      MaxAbsoluteError(truth, [](ItemId q) { return q == 1 ? 95 : 120; }),
+      20.0);
+}
+
+TEST(CheckApproxTopTest, PassesOnExactTopK) {
+  ExactCounter oracle;
+  oracle.Add(1, 100);
+  oracle.Add(2, 90);
+  oracle.Add(3, 10);
+  const auto v = CheckApproxTop({{1, 100}, {2, 90}}, oracle, 2, 0.1);
+  EXPECT_TRUE(v.Pass());
+  EXPECT_EQ(v.violations_low, 0u);
+  EXPECT_EQ(v.violations_missing, 0u);
+}
+
+TEST(CheckApproxTopTest, FlagsLightCandidate) {
+  ExactCounter oracle;
+  oracle.Add(1, 100);
+  oracle.Add(2, 90);
+  oracle.Add(3, 10);
+  // Item 3 (count 10) is far below (1-eps)*n_2 = 81.
+  const auto v = CheckApproxTop({{1, 100}, {3, 95}}, oracle, 2, 0.1);
+  EXPECT_FALSE(v.all_candidates_heavy);
+  EXPECT_EQ(v.violations_low, 1u);
+}
+
+TEST(CheckApproxTopTest, FlagsMissingMandatoryItem) {
+  ExactCounter oracle;
+  oracle.Add(1, 200);  // 200 >= (1+0.1)*90 = 99: mandatory
+  oracle.Add(2, 90);
+  oracle.Add(3, 85);
+  const auto v = CheckApproxTop({{2, 90}, {3, 85}}, oracle, 2, 0.1);
+  EXPECT_FALSE(v.all_heavy_found);
+  EXPECT_GE(v.violations_missing, 1u);
+}
+
+TEST(CheckApproxTopTest, BoundaryItemsAreAllowedEitherWay) {
+  ExactCounter oracle;
+  oracle.Add(1, 100);
+  oracle.Add(2, 100);
+  oracle.Add(3, 95);  // within (1 +/- eps) n_k: neither mandatory nor banned
+  const auto with3 = CheckApproxTop({{1, 100}, {3, 95}}, oracle, 2, 0.1);
+  EXPECT_TRUE(with3.all_candidates_heavy);
+  const auto without3 = CheckApproxTop({{1, 100}, {2, 100}}, oracle, 2, 0.1);
+  EXPECT_TRUE(without3.Pass());
+}
+
+}  // namespace
+}  // namespace streamfreq

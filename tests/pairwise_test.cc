@@ -1,0 +1,163 @@
+#include "hash/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace streamfreq {
+namespace {
+
+TEST(ModMersenne61Test, MatchesNaiveModulo) {
+  const uint64_t p = kMersenne61;
+  const uint128_t cases[] = {
+      0,
+      1,
+      p - 1,
+      p,
+      p + 1,
+      static_cast<uint128_t>(p) * 3 + 7,
+      (static_cast<uint128_t>(1) << 122) + 12345,
+      static_cast<uint128_t>(p - 1) * (p - 1),
+  };
+  for (uint128_t v : cases) {
+    EXPECT_EQ(ModMersenne61(v), static_cast<uint64_t>(v % p));
+  }
+}
+
+TEST(CarterWegmanTest, DeterministicGivenParams) {
+  SplitMix64 seeder(42);
+  CarterWegmanHash h(seeder);
+  CarterWegmanHash h2 = CarterWegmanHash::FromParams(h.a(), h.b());
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_EQ(h.Eval(x), h2.Eval(x));
+    EXPECT_EQ(h.Bucket(x, 64), h2.Bucket(x, 64));
+    EXPECT_EQ(h.Sign(x), h2.Sign(x));
+  }
+}
+
+TEST(CarterWegmanTest, EvalMatchesAffineFormula) {
+  CarterWegmanHash h = CarterWegmanHash::FromParams(12345, 6789);
+  for (uint64_t x : {uint64_t{0}, uint64_t{1}, uint64_t{999999},
+                     uint64_t{kMersenne61 - 1}}) {
+    const uint128_t expect =
+        (static_cast<uint128_t>(12345) * x + 6789) % kMersenne61;
+    EXPECT_EQ(h.Eval(x), static_cast<uint64_t>(expect));
+  }
+}
+
+TEST(CarterWegmanTest, BucketsWithinRange) {
+  SplitMix64 seeder(7);
+  CarterWegmanHash h(seeder);
+  for (uint64_t range : {1ull, 2ull, 3ull, 100ull, 4096ull}) {
+    for (uint64_t x = 0; x < 500; ++x) {
+      EXPECT_LT(h.Bucket(x, range), range);
+    }
+  }
+}
+
+TEST(CarterWegmanTest, BucketsRoughlyUniform) {
+  SplitMix64 seeder(11);
+  CarterWegmanHash h(seeder);
+  constexpr uint64_t kRange = 16;
+  constexpr int kKeys = 64000;
+  int counts[kRange] = {};
+  for (int x = 0; x < kKeys; ++x) ++counts[h.Bucket(static_cast<uint64_t>(x), kRange)];
+  const double expected = static_cast<double>(kKeys) / kRange;
+  for (uint64_t b = 0; b < kRange; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.15) << "bucket " << b;
+  }
+}
+
+TEST(CarterWegmanTest, SignsNearlyBalanced) {
+  SplitMix64 seeder(13);
+  CarterWegmanHash h(seeder);
+  int64_t sum = 0;
+  constexpr int kKeys = 100000;
+  for (int x = 0; x < kKeys; ++x) {
+    const int64_t s = h.Sign(static_cast<uint64_t>(x));
+    ASSERT_TRUE(s == 1 || s == -1);
+    sum += s;
+  }
+  // Balanced signs: |sum| ~ O(sqrt(n)) ~ 316; allow 6 sigma.
+  EXPECT_LT(std::abs(sum), 2000);
+}
+
+TEST(CarterWegmanTest, PairwiseSignProductsAreBalanced) {
+  // Pairwise independence: for fixed x != y, E[s(x) * s(y)] = 0 over the
+  // random choice of the function. Sample many functions.
+  SplitMix64 seeder(17);
+  int64_t sum = 0;
+  constexpr int kFunctions = 20000;
+  for (int i = 0; i < kFunctions; ++i) {
+    CarterWegmanHash h(seeder);
+    sum += h.Sign(123) * h.Sign(456);
+  }
+  EXPECT_LT(std::abs(sum), 900);  // ~6 sigma for 20k +/-1 trials
+}
+
+TEST(CarterWegmanTest, BucketCollisionsNearExpectation) {
+  // Pairwise independence: Pr[h(x) = h(y)] ~ 1/range over random functions.
+  SplitMix64 seeder(19);
+  constexpr uint64_t kRange = 32;
+  constexpr int kFunctions = 30000;
+  int collisions = 0;
+  for (int i = 0; i < kFunctions; ++i) {
+    CarterWegmanHash h(seeder);
+    if (h.Bucket(777, kRange) == h.Bucket(888, kRange)) ++collisions;
+  }
+  const double expected = static_cast<double>(kFunctions) / kRange;
+  EXPECT_NEAR(collisions, expected, 6.5 * std::sqrt(expected));
+}
+
+TEST(MultiplyShiftTest, DeterministicAndInRange) {
+  SplitMix64 seeder(23);
+  MultiplyShiftHash h(seeder);
+  MultiplyShiftHash h2 = MultiplyShiftHash::FromParams(h.a(), h.b());
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_EQ(h.Bucket(x, 100), h2.Bucket(x, 100));
+    EXPECT_LT(h.Bucket(x, 100), 100u);
+    const int64_t s = h.Sign(x);
+    EXPECT_TRUE(s == 1 || s == -1);
+  }
+}
+
+TEST(MultiplyShiftTest, MultiplierForcedOdd) {
+  SplitMix64 seeder(29);
+  for (int i = 0; i < 100; ++i) {
+    MultiplyShiftHash h(seeder);
+    EXPECT_EQ(h.a() & 1, 1u);
+  }
+}
+
+TEST(TabulationTest, DeterministicAndInRange) {
+  SplitMix64 s1(31), s2(31);
+  TabulationHash a(s1), b(s2);
+  for (uint64_t x = 0; x < 1000; ++x) {
+    EXPECT_EQ(a.Eval(x), b.Eval(x));
+    EXPECT_LT(a.Bucket(x, 37), 37u);
+  }
+}
+
+TEST(TabulationTest, SingleByteChangeAvalanches) {
+  SplitMix64 seeder(37);
+  TabulationHash h(seeder);
+  // Flipping one input byte XORs a full random table entry into the hash;
+  // outputs should differ for every such flip.
+  const uint64_t base = h.Eval(0x1122334455667788ULL);
+  for (int byte = 0; byte < 8; ++byte) {
+    const uint64_t flipped = 0x1122334455667788ULL ^ (0xFFULL << (8 * byte));
+    EXPECT_NE(h.Eval(flipped), base) << "byte " << byte;
+  }
+}
+
+TEST(TabulationTest, SignsNearlyBalanced) {
+  SplitMix64 seeder(41);
+  TabulationHash h(seeder);
+  int64_t sum = 0;
+  for (uint64_t x = 0; x < 100000; ++x) sum += h.Sign(x);
+  EXPECT_LT(std::abs(sum), 2000);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,98 @@
+#include "core/phi_heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/workload.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(PhiHeavyHittersTest, RejectsBadPhi) {
+  EXPECT_TRUE(PhiHeavyHitters::Make(0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(PhiHeavyHitters::Make(1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(PhiHeavyHitters::Make(-0.1).status().IsInvalidArgument());
+  EXPECT_TRUE(PhiHeavyHitters::Make(1e-12).status().IsInvalidArgument());
+}
+
+TEST(PhiHeavyHittersTest, EmptyStreamReportsNothing) {
+  auto hh = PhiHeavyHitters::Make(0.1);
+  ASSERT_TRUE(hh.ok());
+  EXPECT_TRUE(hh->Report().empty());
+}
+
+TEST(PhiHeavyHittersTest, SimpleMajorityItem) {
+  auto hh = PhiHeavyHitters::Make(0.3);
+  ASSERT_TRUE(hh.ok());
+  for (int i = 0; i < 60; ++i) hh->Add(1);
+  for (ItemId q = 100; q < 140; ++q) hh->Add(q);
+  const auto report = hh->Report();
+  ASSERT_GE(report.size(), 1u);
+  EXPECT_EQ(report[0].item, 1u);
+  EXPECT_TRUE(report[0].guaranteed);
+  EXPECT_GE(report[0].count_upper, 60);
+  EXPECT_LE(report[0].count_lower, 60);
+}
+
+TEST(PhiHeavyHittersTest, NoFalseNegativesOnZipf) {
+  auto workload = MakeZipfWorkload(20000, 1.1, 200000, 7);
+  ASSERT_TRUE(workload.ok());
+  const double phi = 0.01;
+  auto hh = PhiHeavyHitters::Make(phi);
+  ASSERT_TRUE(hh.ok());
+  for (ItemId q : workload->stream) hh->Add(q);
+
+  std::unordered_set<ItemId> reported;
+  for (const PhiHeavyHitter& r : hh->Report()) reported.insert(r.item);
+  const double threshold = phi * static_cast<double>(workload->n());
+  for (const auto& [item, count] : workload->oracle.counts()) {
+    if (static_cast<double>(count) > threshold) {
+      ASSERT_TRUE(reported.count(item))
+          << "missed phi-heavy item " << item << " (count " << count << ")";
+    }
+  }
+}
+
+TEST(PhiHeavyHittersTest, GuaranteedListHasNoFalsePositives) {
+  auto workload = MakeZipfWorkload(20000, 1.0, 200000, 9);
+  ASSERT_TRUE(workload.ok());
+  const double phi = 0.005;
+  auto hh = PhiHeavyHitters::Make(phi);
+  ASSERT_TRUE(hh.ok());
+  for (ItemId q : workload->stream) hh->Add(q);
+
+  const double threshold = phi * static_cast<double>(workload->n());
+  for (const PhiHeavyHitter& r : hh->GuaranteedOnly()) {
+    ASSERT_TRUE(r.guaranteed);
+    ASSERT_GT(static_cast<double>(workload->oracle.CountOf(r.item)), threshold)
+        << "guaranteed item " << r.item << " is not actually phi-heavy";
+  }
+}
+
+TEST(PhiHeavyHittersTest, ReportedBoundsBracketTruth) {
+  auto workload = MakeZipfWorkload(5000, 1.2, 100000, 11);
+  ASSERT_TRUE(workload.ok());
+  auto hh = PhiHeavyHitters::Make(0.01);
+  ASSERT_TRUE(hh.ok());
+  for (ItemId q : workload->stream) hh->Add(q);
+  for (const PhiHeavyHitter& r : hh->Report()) {
+    const Count truth = workload->oracle.CountOf(r.item);
+    ASSERT_GE(r.count_upper, truth);
+    ASSERT_LE(r.count_lower, truth);
+  }
+}
+
+TEST(PhiHeavyHittersTest, SpaceScalesInversePhi) {
+  auto coarse = PhiHeavyHitters::Make(0.1);
+  auto fine = PhiHeavyHitters::Make(0.001);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  for (ItemId q = 1; q <= 100000; ++q) {
+    coarse->Add(q % 5000);
+    fine->Add(q % 5000);
+  }
+  EXPECT_LT(coarse->SpaceBytes() * 10, fine->SpaceBytes());
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,85 @@
+#include "stream/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_counter.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(QueryLogTest, RejectsBadSpecs) {
+  QueryLogSpec spec;
+  spec.universe = 0;
+  EXPECT_TRUE(MakeQueryLog(spec).status().IsInvalidArgument());
+
+  spec = QueryLogSpec{};
+  spec.period_length = 0;
+  EXPECT_TRUE(MakeQueryLog(spec).status().IsInvalidArgument());
+
+  spec = QueryLogSpec{};
+  spec.trending = 60;
+  spec.fading = 60;
+  spec.universe = 100;
+  EXPECT_TRUE(MakeQueryLog(spec).status().IsInvalidArgument());
+
+  spec = QueryLogSpec{};
+  spec.boost = 0.5;  // must be > 1
+  EXPECT_TRUE(MakeQueryLog(spec).status().IsInvalidArgument());
+
+  spec = QueryLogSpec{};
+  spec.fade = 1.5;  // must be < 1
+  EXPECT_TRUE(MakeQueryLog(spec).status().IsInvalidArgument());
+}
+
+TEST(QueryLogTest, PeriodsHaveRequestedLength) {
+  QueryLogSpec spec;
+  spec.universe = 1000;
+  spec.period_length = 20000;
+  spec.trending = 5;
+  spec.fading = 5;
+  auto log = MakeQueryLog(spec);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->period1.size(), 20000u);
+  EXPECT_EQ(log->period2.size(), 20000u);
+  EXPECT_EQ(log->trending_ids.size(), 5u);
+  EXPECT_EQ(log->fading_ids.size(), 5u);
+}
+
+TEST(QueryLogTest, TrendingItemsActuallyRise) {
+  QueryLogSpec spec;
+  spec.universe = 10000;
+  spec.period_length = 200000;
+  spec.trending = 10;
+  spec.fading = 10;
+  spec.boost = 8.0;
+  spec.fade = 0.125;
+  auto log = MakeQueryLog(spec);
+  ASSERT_TRUE(log.ok());
+
+  ExactCounter c1, c2;
+  c1.AddAll(log->period1);
+  c2.AddAll(log->period2);
+
+  for (ItemId id : log->trending_ids) {
+    EXPECT_GT(c2.CountOf(id), 2 * c1.CountOf(id))
+        << "trending item should at least double";
+  }
+  for (ItemId id : log->fading_ids) {
+    EXPECT_LT(2 * c2.CountOf(id), c1.CountOf(id))
+        << "fading item should at least halve";
+  }
+}
+
+TEST(QueryLogTest, DeterministicPerSeed) {
+  QueryLogSpec spec;
+  spec.universe = 100;
+  spec.period_length = 1000;
+  auto a = MakeQueryLog(spec);
+  auto b = MakeQueryLog(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->period1, b->period1);
+  EXPECT_EQ(a->period2, b->period2);
+}
+
+}  // namespace
+}  // namespace streamfreq

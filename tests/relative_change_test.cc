@@ -1,0 +1,123 @@
+#include "core/relative_change.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "stream/query_log.h"
+
+namespace streamfreq {
+namespace {
+
+CountSketchParams DefaultSketch() {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 4096;
+  p.seed = 3;
+  return p;
+}
+
+TEST(RelativeChangeTest, RejectsBadInputs) {
+  EXPECT_TRUE(RelativeChangeDetector::Make(DefaultSketch(), 0, 10.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RelativeChangeDetector::Make(DefaultSketch(), 10, 0.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RelativeChangeDetector::Make(DefaultSketch(), 10, -1.0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RelativeChangeTest, FindsLargestRatioChange) {
+  Stream s1, s2;
+  // Item 1: 100 -> 110 (10% change). Item 2: 50 -> 400 (8x). Item 3 stable.
+  for (int i = 0; i < 100; ++i) s1.push_back(1);
+  for (int i = 0; i < 110; ++i) s2.push_back(1);
+  for (int i = 0; i < 50; ++i) s1.push_back(2);
+  for (int i = 0; i < 400; ++i) s2.push_back(2);
+  for (int i = 0; i < 500; ++i) s1.push_back(3);
+  for (int i = 0; i < 500; ++i) s2.push_back(3);
+
+  auto changes =
+      RelativeChangeDetector::Run(DefaultSketch(), 10, 10.0, s1, s2, 3);
+  ASSERT_TRUE(changes.ok());
+  ASSERT_GE(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].item, 2u) << "8x riser must rank first";
+  EXPECT_EQ((*changes)[0].count_s1, 50);
+  EXPECT_EQ((*changes)[0].count_s2, 400);
+}
+
+TEST(RelativeChangeTest, SmoothingSuppressesTinyRatios) {
+  Stream s1, s2;
+  // Without smoothing a 1 -> 30 singleton is a "30x riser"; with smoothing
+  // s = 50 its score is (30+50)/(1+50) = 1.57, far below a 1000 -> 3000
+  // item's (3000+50)/(1000+50) = 2.9.
+  s1.push_back(100);
+  for (int i = 0; i < 30; ++i) s2.push_back(100);
+  for (int i = 0; i < 1000; ++i) s1.push_back(200);
+  for (int i = 0; i < 3000; ++i) s2.push_back(200);
+
+  auto strong_smoothing =
+      RelativeChangeDetector::Run(DefaultSketch(), 10, 50.0, s1, s2, 1);
+  ASSERT_TRUE(strong_smoothing.ok());
+  ASSERT_EQ(strong_smoothing->size(), 1u);
+  EXPECT_EQ((*strong_smoothing)[0].item, 200u)
+      << "smoothing must prefer the absolute-and-relative riser";
+
+  auto weak_smoothing =
+      RelativeChangeDetector::Run(DefaultSketch(), 10, 0.5, s1, s2, 1);
+  ASSERT_TRUE(weak_smoothing.ok());
+  ASSERT_EQ(weak_smoothing->size(), 1u);
+  EXPECT_EQ((*weak_smoothing)[0].item, 100u)
+      << "weak smoothing chases the raw ratio";
+}
+
+TEST(RelativeChangeTest, DetectsFadersSymmetrically) {
+  Stream s1, s2;
+  for (int i = 0; i < 800; ++i) s1.push_back(7);  // 800 -> 100
+  for (int i = 0; i < 100; ++i) s2.push_back(7);
+  for (int i = 0; i < 300; ++i) s1.push_back(8);  // stable
+  for (int i = 0; i < 300; ++i) s2.push_back(8);
+
+  auto changes =
+      RelativeChangeDetector::Run(DefaultSketch(), 10, 20.0, s1, s2, 1);
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].item, 7u);
+  EXPECT_GT((*changes)[0].ExactRatio(20.0), 4.0);
+}
+
+TEST(RelativeChangeTest, FindsPlantedRisersInQueryLog) {
+  QueryLogSpec spec;
+  spec.universe = 20000;
+  spec.period_length = 100000;
+  spec.trending = 8;
+  spec.fading = 8;
+  spec.boost = 16.0;
+  spec.fade = 0.0625;
+  spec.seed = 23;
+  auto log = MakeQueryLog(spec);
+  ASSERT_TRUE(log.ok());
+
+  auto changes = RelativeChangeDetector::Run(DefaultSketch(), 64, 30.0,
+                                             log->period1, log->period2, 16);
+  ASSERT_TRUE(changes.ok());
+  std::unordered_set<ItemId> reported;
+  for (const auto& c : *changes) reported.insert(c.item);
+  size_t hits = 0;
+  for (ItemId id : log->trending_ids) hits += reported.count(id);
+  for (ItemId id : log->fading_ids) hits += reported.count(id);
+  EXPECT_GE(hits, 12u) << "at least 75% of planted ratio-changers found";
+}
+
+TEST(RelativeChangeTest, ExactRatioUsesSmoothing) {
+  RelativeChangeResult r{1, 10, 90, 0.0};
+  EXPECT_DOUBLE_EQ(r.ExactRatio(10.0), 100.0 / 20.0);
+  RelativeChangeResult faller{2, 90, 10, 0.0};
+  EXPECT_DOUBLE_EQ(faller.ExactRatio(10.0), 100.0 / 20.0)
+      << "fallers score symmetrically";
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,53 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace streamfreq {
+namespace {
+
+TEST(ReportTest, PrintsTableWithoutEnvVar) {
+  unsetenv("SFQ_CSV_DIR");
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  EmitTable(table, "unit_test_exp", os);
+  EXPECT_NE(os.str().find("| a"), std::string::npos);
+  EXPECT_EQ(os.str().find("csv:"), std::string::npos);
+}
+
+TEST(ReportTest, WritesCsvWhenEnvVarSet) {
+  const std::string dir = ::testing::TempDir();
+  setenv("SFQ_CSV_DIR", dir.c_str(), 1);
+  TablePrinter table({"x", "y"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  EmitTable(table, "unit_test_exp2", os);
+  unsetenv("SFQ_CSV_DIR");
+
+  const std::string path = dir + "/unit_test_exp2.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "x,y\n1,2\n");
+  EXPECT_NE(os.str().find("csv:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, BadCsvDirDoesNotAbort) {
+  setenv("SFQ_CSV_DIR", "/nonexistent-dir-xyz", 1);
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  std::ostringstream os;
+  EmitTable(table, "unit_test_exp3", os);  // must not crash
+  unsetenv("SFQ_CSV_DIR");
+  EXPECT_NE(os.str().find("| a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamfreq

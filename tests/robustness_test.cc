@@ -1,0 +1,162 @@
+// Fuzz-style robustness tests: random operation sequences checked against
+// the exact-counting reference, and hostile inputs to the parsers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/count_sketch.h"
+#include "core/misra_gries.h"
+#include "core/sketch_io.h"
+#include "core/space_saving.h"
+#include "core/stream_summary.h"
+#include "hash/random.h"
+#include "stream/exact_counter.h"
+#include "stream/trace.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(RobustnessTest, RandomTurnstileSequenceMatchesReferenceOnSparseKeys) {
+  // Few enough keys that sketch collisions are negligible: every estimate
+  // must match the signed reference count exactly-ish.
+  CountSketchParams p;
+  p.depth = 7;
+  p.width = 4096;
+  p.seed = 1;
+  auto sketch = CountSketch::Make(p);
+  ASSERT_TRUE(sketch.ok());
+  ExactCounter reference;
+  Xoshiro256 rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const ItemId item = 1 + rng.UniformBelow(20);
+    const Count weight =
+        static_cast<Count>(rng.UniformBelow(100)) - 50;  // [-50, 49]
+    sketch->Add(item, weight);
+    reference.Add(item, weight);
+  }
+  for (ItemId item = 1; item <= 20; ++item) {
+    EXPECT_EQ(sketch->Estimate(item), reference.CountOf(item))
+        << "item " << item;
+  }
+}
+
+TEST(RobustnessTest, CounterAlgorithmsSurviveAdversarialOrderings) {
+  // Strictly increasing, strictly decreasing, and sawtooth arrival counts
+  // stress every eviction path; invariants must hold throughout.
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    auto mg = MisraGries::Make(8);
+    auto ss = SpaceSaving::Make(8);
+    auto ssl = StreamSummarySpaceSaving::Make(8);
+    ASSERT_TRUE(mg.ok() && ss.ok() && ssl.ok());
+    Count total = 0;
+    for (int i = 1; i <= 300; ++i) {
+      ItemId item;
+      if (pattern == 0) {
+        item = static_cast<ItemId>(i);  // all distinct
+      } else if (pattern == 1) {
+        item = static_cast<ItemId>(301 - i);
+      } else {
+        item = static_cast<ItemId>(i % 17);  // sawtooth reuse
+      }
+      const Count w = 1 + (i % 5);
+      mg->Add(item, w);
+      ss->Add(item, w);
+      ssl->Add(item, w);
+      total += w;
+      ASSERT_TRUE(ssl->CheckInvariants()) << "pattern " << pattern << " step " << i;
+    }
+    Count ss_total = 0;
+    for (const ItemCount& ic : ss->Candidates(8)) ss_total += ic.count;
+    EXPECT_EQ(ss_total, total) << "Space-Saving mass conservation";
+  }
+}
+
+TEST(RobustnessTest, DeserializeArbitraryBytesNeverCrashes) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string junk(rng.UniformBelow(512), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.UniformBelow(256));
+    auto result = CountSketch::Deserialize(junk);
+    // Either corruption or (vanishingly unlikely) a valid small sketch;
+    // never a crash.
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsCorruption());
+    }
+  }
+}
+
+TEST(RobustnessTest, DeserializeBitflippedRealSketchFailsCleanly) {
+  CountSketchParams p;
+  p.depth = 3;
+  p.width = 64;
+  p.seed = 5;
+  auto sketch = CountSketch::Make(p);
+  ASSERT_TRUE(sketch.ok());
+  for (ItemId q = 1; q <= 100; ++q) sketch->Add(q);
+  std::string blob;
+  sketch->SerializeTo(&blob);
+
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string corrupted = blob;
+    // Flip a byte in the header region (the payload region would yield a
+    // valid sketch with different counters, which is acceptable).
+    corrupted[rng.UniformBelow(48)] ^=
+        static_cast<char>(1 + rng.UniformBelow(255));
+    auto result = CountSketch::Deserialize(corrupted);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsCorruption() ||
+                  result.status().IsInvalidArgument())
+          << result.status().ToString();
+    }
+  }
+}
+
+TEST(RobustnessTest, SketchFileDetectsEveryPayloadBitflip) {
+  const std::string path = ::testing::TempDir() + "/sfq_robust.skf";
+  CountSketchParams p;
+  p.depth = 3;
+  p.width = 32;
+  p.seed = 5;
+  auto sketch = CountSketch::Make(p);
+  ASSERT_TRUE(sketch.ok());
+  sketch->Add(1, 12345);
+  ASSERT_TRUE(WriteSketchFile(path, *sketch).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string corrupted = data;
+    const size_t pos = 20 + rng.UniformBelow(corrupted.size() - 20);
+    corrupted[pos] ^= static_cast<char>(1 << rng.UniformBelow(8));
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption())
+        << "payload flip at byte " << pos << " not caught";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RobustnessTest, TraceReaderHandlesHugeDeclaredLength) {
+  // A header declaring 2^60 items must not trigger a giant allocation
+  // crash; the reader should fail with Corruption on the short payload.
+  const std::string path = ::testing::TempDir() + "/sfq_hugetrace.bin";
+  std::ofstream out(path, std::ios::binary);
+  out << "SFQTRC01";
+  const uint64_t huge = 1ULL << 40;  // bounded: 8 TiB payload declared
+  out.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  out << "tiny";
+  out.close();
+  auto result = ReadTrace(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamfreq

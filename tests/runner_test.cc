@@ -1,0 +1,59 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/space_saving.h"
+#include "eval/workload.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(RunnerTest, ScoresPerfectAlgorithmPerfectly) {
+  auto workload = MakeZipfWorkload(500, 1.2, 20000, 3);
+  ASSERT_TRUE(workload.ok());
+  // Space-Saving with capacity = universe is exact.
+  auto ss = SpaceSaving::Make(500);
+  ASSERT_TRUE(ss.ok());
+  const RunResult r = RunAndScore(*ss, *workload, 10);
+  EXPECT_EQ(r.algorithm, ss->Name());
+  EXPECT_DOUBLE_EQ(r.topk_quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.topk_quality.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.are_topk, 0.0);
+  EXPECT_DOUBLE_EQ(r.max_abs_error, 0.0);
+  EXPECT_GT(r.items_per_second, 0.0);
+  EXPECT_GT(r.update_ns_per_item, 0.0);
+  EXPECT_GT(r.space_bytes, 0u);
+}
+
+TEST(RunnerTest, TinySummaryScoresImperfectly) {
+  auto workload = MakeZipfWorkload(5000, 0.7, 50000, 5);
+  ASSERT_TRUE(workload.ok());
+  auto ss = SpaceSaving::Make(10);  // way too small for z=0.7 top-10
+  ASSERT_TRUE(ss.ok());
+  const RunResult r = RunAndScore(*ss, *workload, 10);
+  EXPECT_GT(r.are_topk, 0.0) << "overestimates must show up in ARE";
+}
+
+TEST(WorkloadTest, ZipfWorkloadConsistent) {
+  auto w = MakeZipfWorkload(1000, 1.0, 5000, 1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->n(), 5000u);
+  EXPECT_EQ(w->oracle.TotalCount(), 5000);
+  EXPECT_LE(w->oracle.Distinct(), 1000u);
+  EXPECT_NE(w->description.find("Zipf"), std::string::npos);
+}
+
+TEST(WorkloadTest, FlowWorkloadConsistent) {
+  auto w = MakeFlowWorkload(1.2, 5000, 2);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->n(), 5000u);
+  EXPECT_EQ(w->oracle.TotalCount(), 5000);
+}
+
+TEST(WorkloadTest, PropagatesGeneratorErrors) {
+  EXPECT_TRUE(MakeZipfWorkload(0, 1.0, 10, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeFlowWorkload(-1.0, 10, 1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,185 @@
+#include "core/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(SamplingTest, RejectsBadProbability) {
+  EXPECT_TRUE(SamplingSummary::Make(0.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(SamplingSummary::Make(1.5, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(SamplingSummary::Make(-0.1, 1).status().IsInvalidArgument());
+}
+
+TEST(SamplingTest, ProbabilityOneIsExact) {
+  auto s = SamplingSummary::Make(1.0, 1);
+  ASSERT_TRUE(s.ok());
+  s->Add(1, 10);
+  s->Add(2, 7);
+  EXPECT_EQ(s->Estimate(1), 10);
+  EXPECT_EQ(s->Estimate(2), 7);
+  EXPECT_EQ(s->DistinctSampled(), 2u);
+}
+
+TEST(SamplingTest, EstimateRoughlyUnbiased) {
+  auto gen = ZipfGenerator::Make(1000, 1.0, 3);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(100000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  auto s = SamplingSummary::Make(0.05, 77);
+  ASSERT_TRUE(s.ok());
+  s->AddAll(stream);
+
+  const ItemId head = gen->IdForRank(1);
+  const double truth = static_cast<double>(oracle.CountOf(head));
+  // Binomial(truth, 0.05) scaled by 1/0.05: stddev = sqrt(truth*p*(1-p))/p.
+  const double sigma = std::sqrt(truth * 0.05 * 0.95) / 0.05;
+  EXPECT_NEAR(static_cast<double>(s->Estimate(head)), truth, 6 * sigma);
+}
+
+TEST(SamplingTest, SampleSizeNearExpectation) {
+  auto gen = ZipfGenerator::Make(100000, 0.0, 5);  // uniform: worst case
+  ASSERT_TRUE(gen.ok());
+  auto s = SamplingSummary::Make(0.01, 9);
+  ASSERT_TRUE(s.ok());
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) s->Add(gen->Next());
+  // Expected sampled occurrences = 2000; distinct <= that.
+  EXPECT_LT(s->DistinctSampled(), 2600u);
+  EXPECT_GT(s->DistinctSampled(), 1400u);
+}
+
+TEST(SamplingTest, LowFrequencyItemsPolluteCandidates) {
+  // The paper's point: SAMPLING cannot guarantee ApproxTop because rare
+  // items picked up by chance ride the candidate list with inflated
+  // estimates. With p small, a singleton sampled once estimates 1/p.
+  auto s = SamplingSummary::Make(0.001, 11);
+  ASSERT_TRUE(s.ok());
+  // 5000 singletons: ~5 get sampled, each estimating 1000.
+  for (ItemId q = 1; q <= 5000; ++q) s->Add(q);
+  s->Add(999999, 400);  // the actually-frequent item
+  const auto candidates = s->Candidates(10);
+  bool singleton_outranks_heavy = false;
+  for (const ItemCount& ic : candidates) {
+    if (ic.item != 999999 && ic.count >= 400) singleton_outranks_heavy = true;
+  }
+  EXPECT_TRUE(singleton_outranks_heavy)
+      << "sampled singletons should (mis)rank above the heavy item";
+}
+
+TEST(ConciseSamplingTest, RejectsZeroBudget) {
+  EXPECT_TRUE(ConciseSampling::Make(0, 1).status().IsInvalidArgument());
+}
+
+TEST(ConciseSamplingTest, RespectsEntryBudget) {
+  auto gen = ZipfGenerator::Make(50000, 0.0, 3);
+  ASSERT_TRUE(gen.ok());
+  auto cs = ConciseSampling::Make(500, 7);
+  ASSERT_TRUE(cs.ok());
+  for (int i = 0; i < 100000; ++i) {
+    cs->Add(gen->Next());
+  }
+  EXPECT_LE(cs->SpaceBytes() / 24, 500u);
+  EXPECT_GT(cs->tau(), 1.0) << "threshold must have risen under pressure";
+}
+
+TEST(ConciseSamplingTest, HeavyItemEstimateTracksTruth) {
+  auto cs = ConciseSampling::Make(100, 9);
+  ASSERT_TRUE(cs.ok());
+  for (int i = 0; i < 10000; ++i) {
+    cs->Add(1);
+    cs->Add(static_cast<ItemId>(100 + (i % 5000)));  // churn
+  }
+  const double est = static_cast<double>(cs->Estimate(1));
+  EXPECT_NEAR(est, 10000.0, 3000.0);
+}
+
+TEST(CountingSamplingTest, RejectsZeroBudget) {
+  EXPECT_TRUE(CountingSampling::Make(0, 1).status().IsInvalidArgument());
+}
+
+TEST(CountingSamplingTest, ExactOnceAdmittedAtRateOne) {
+  auto cs = CountingSampling::Make(100, 5);
+  ASSERT_TRUE(cs.ok());
+  // tau = 1: first occurrence admits; all later occurrences exact.
+  for (int i = 0; i < 50; ++i) cs->Add(42);
+  EXPECT_EQ(cs->Estimate(42), 50);
+}
+
+TEST(CountingSamplingTest, RespectsEntryBudgetAndBeatsConciseAccuracy) {
+  auto gen = ZipfGenerator::Make(20000, 1.0, 13);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(100000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+
+  auto counting = CountingSampling::Make(300, 7);
+  auto concise = ConciseSampling::Make(300, 7);
+  ASSERT_TRUE(counting.ok() && concise.ok());
+  counting->AddAll(stream);
+  concise->AddAll(stream);
+
+  // Counting samples keep exact tails: their top-1 estimate should be at
+  // least as close to truth as concise samples' (allow equality).
+  const ItemId head = gen->IdForRank(1);
+  const double truth = static_cast<double>(oracle.CountOf(head));
+  const double counting_err =
+      std::abs(static_cast<double>(counting->Estimate(head)) - truth);
+  const double concise_err =
+      std::abs(static_cast<double>(concise->Estimate(head)) - truth);
+  EXPECT_LE(counting_err, concise_err + truth * 0.05)
+      << "counting samples should not be materially worse on the head";
+}
+
+TEST(StickySamplingTest, RejectsBadParameters) {
+  EXPECT_TRUE(StickySampling::Make(0.0, 0.001, 0.1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(StickySampling::Make(0.01, 0.02, 0.1, 1).status().IsInvalidArgument())
+      << "epsilon must be below support";
+  EXPECT_TRUE(StickySampling::Make(0.01, 0.001, 0.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(StickySampling::Make(1.0, 0.001, 0.1, 1).status().IsInvalidArgument());
+}
+
+TEST(StickySamplingTest, NeverOverestimates) {
+  auto gen = ZipfGenerator::Make(2000, 1.0, 17);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(30000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  auto st = StickySampling::Make(0.01, 0.002, 0.1, 3);
+  ASSERT_TRUE(st.ok());
+  st->AddAll(stream);
+  for (const auto& [item, count] : oracle.counts()) {
+    ASSERT_LE(st->Estimate(item), count);
+  }
+}
+
+TEST(StickySamplingTest, FindsSupportThresholdItems) {
+  auto gen = ZipfGenerator::Make(2000, 1.2, 19);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(50000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  const double support = 0.01;
+  const double eps = 0.002;
+  auto st = StickySampling::Make(support, eps, 0.05, 5);
+  ASSERT_TRUE(st.ok());
+  st->AddAll(stream);
+
+  // Guarantee: items with f >= s*n have estimate >= (s - eps)*n w.h.p.
+  const double n = static_cast<double>(stream.size());
+  for (const auto& [item, count] : oracle.counts()) {
+    if (static_cast<double>(count) >= support * n) {
+      EXPECT_GE(static_cast<double>(st->Estimate(item)), (support - eps) * n)
+          << "support item undercounted beyond eps";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamfreq

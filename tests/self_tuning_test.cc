@@ -1,0 +1,149 @@
+#include "core/self_tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/top_k_tracker.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+
+namespace streamfreq {
+namespace {
+
+ProfilerParams DefaultParams() {
+  ProfilerParams p;
+  p.k = 10;
+  p.epsilon = 0.2;
+  p.delta = 0.05;
+  p.space_saving_capacity = 1024;
+  p.f2.groups = 9;
+  p.f2.atoms_per_group = 32;
+  p.seed = 5;
+  return p;
+}
+
+TEST(SelfTuningTest, RejectsBadParams) {
+  ProfilerParams p = DefaultParams();
+  p.k = 0;
+  EXPECT_TRUE(StreamProfiler::Make(p).status().IsInvalidArgument());
+  p = DefaultParams();
+  p.space_saving_capacity = 5;  // < 2k
+  EXPECT_TRUE(StreamProfiler::Make(p).status().IsInvalidArgument());
+  p = DefaultParams();
+  p.epsilon = 0.0;
+  EXPECT_TRUE(StreamProfiler::Make(p).status().IsInvalidArgument());
+}
+
+TEST(SelfTuningTest, SizeBeforeProfilingFails) {
+  auto profiler = StreamProfiler::Make(DefaultParams());
+  ASSERT_TRUE(profiler.ok());
+  EXPECT_TRUE(profiler->Size(1000).status().IsInvalidArgument());
+  profiler->Add(1);
+  EXPECT_TRUE(profiler->Size(0).status().IsInvalidArgument());
+}
+
+TEST(SelfTuningTest, ProfiledStatisticsTrackTruth) {
+  auto workload = MakeZipfWorkload(20000, 1.0, 200000, 17);
+  ASSERT_TRUE(workload.ok());
+  auto profiler = StreamProfiler::Make(DefaultParams());
+  ASSERT_TRUE(profiler.ok());
+  for (ItemId q : workload->stream) profiler->Add(q);
+
+  EXPECT_EQ(profiler->ItemsSeen(), workload->n());
+  const double true_f2 = workload->oracle.ResidualF2(0);
+  EXPECT_NEAR(profiler->EstimateF2(), true_f2, 0.25 * true_f2);
+
+  const double true_nk = static_cast<double>(workload->oracle.NthCount(10));
+  // n_k estimate is a lower bound but should be in the right ballpark on
+  // skewed data (top items are exactly counted by Space-Saving here).
+  EXPECT_LE(profiler->EstimateNk(), true_nk * 1.01);
+  EXPECT_GE(profiler->EstimateNk(), true_nk * 0.5);
+}
+
+TEST(SelfTuningTest, SelfTunedWidthIsSufficientForApproxTop) {
+  // Profile the full stream, size the sketch, run the paper's algorithm:
+  // the self-tuned sketch must pass the ApproxTop contract.
+  auto workload = MakeZipfWorkload(20000, 1.0, 200000, 19);
+  ASSERT_TRUE(workload.ok());
+  const ProfilerParams pp = DefaultParams();
+  auto profiler = StreamProfiler::Make(pp);
+  ASSERT_TRUE(profiler.ok());
+  for (ItemId q : workload->stream) profiler->Add(q);
+
+  auto sizing = profiler->Size(workload->n());
+  ASSERT_TRUE(sizing.ok());
+
+  CountSketchParams params;
+  params.depth = sizing->depth;
+  params.width = sizing->width;
+  params.seed = 999;
+  auto algo = CountSketchTopK::Make(params, pp.k);
+  ASSERT_TRUE(algo.ok());
+  algo->AddAll(workload->stream);
+
+  const auto verdict = CheckApproxTop(algo->Candidates(pp.k), workload->oracle,
+                                      pp.k, pp.epsilon);
+  EXPECT_TRUE(verdict.Pass())
+      << "self-tuned b=" << sizing->width << " t=" << sizing->depth;
+}
+
+TEST(SelfTuningTest, SelfTunedWidthIsConservativeVsOracle) {
+  // Using full F2 instead of F2^{>k} can only widen the sketch.
+  auto workload = MakeZipfWorkload(20000, 1.1, 150000, 23);
+  ASSERT_TRUE(workload.ok());
+  const ProfilerParams pp = DefaultParams();
+  auto profiler = StreamProfiler::Make(pp);
+  ASSERT_TRUE(profiler.ok());
+  for (ItemId q : workload->stream) profiler->Add(q);
+  auto tuned = profiler->Size(workload->n());
+  ASSERT_TRUE(tuned.ok());
+
+  ApproxTopSpec oracle_spec;
+  oracle_spec.stream_length = workload->n();
+  oracle_spec.k = pp.k;
+  oracle_spec.epsilon = pp.epsilon;
+  oracle_spec.delta = pp.delta;
+  oracle_spec.residual_f2 = workload->oracle.ResidualF2(pp.k);
+  oracle_spec.nk = static_cast<double>(workload->oracle.NthCount(pp.k));
+  auto oracle = SizeForApproxTop(oracle_spec);
+  ASSERT_TRUE(oracle.ok());
+
+  EXPECT_GE(tuned->width, oracle->width / 2)
+      << "tuned width should not undershoot the oracle materially";
+}
+
+TEST(SelfTuningTest, PrefixProfilingExtrapolates) {
+  // Profile only the first 10% and size for the full stream; the width
+  // must still pass ApproxTop (the Zipf shape is stationary).
+  auto workload = MakeZipfWorkload(20000, 1.0, 200000, 29);
+  ASSERT_TRUE(workload.ok());
+  const ProfilerParams pp = DefaultParams();
+  auto profiler = StreamProfiler::Make(pp);
+  ASSERT_TRUE(profiler.ok());
+  for (size_t i = 0; i < workload->stream.size() / 10; ++i) {
+    profiler->Add(workload->stream[i]);
+  }
+  auto sizing = profiler->Size(workload->n());
+  ASSERT_TRUE(sizing.ok());
+
+  CountSketchParams params;
+  params.depth = sizing->depth;
+  params.width = sizing->width;
+  params.seed = 777;
+  auto algo = CountSketchTopK::Make(params, pp.k);
+  ASSERT_TRUE(algo.ok());
+  algo->AddAll(workload->stream);
+  const auto verdict = CheckApproxTop(algo->Candidates(pp.k), workload->oracle,
+                                      pp.k, pp.epsilon);
+  EXPECT_TRUE(verdict.Pass());
+}
+
+TEST(SelfTuningTest, ProfilerIsSmall) {
+  auto profiler = StreamProfiler::Make(DefaultParams());
+  ASSERT_TRUE(profiler.ok());
+  for (ItemId q = 1; q <= 5000; ++q) profiler->Add(q);
+  EXPECT_LT(profiler->SpaceBytes(), 200u * 1024u)
+      << "the profiler must stay far below the main sketch's footprint";
+}
+
+}  // namespace
+}  // namespace streamfreq

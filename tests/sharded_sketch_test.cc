@@ -1,0 +1,95 @@
+#include "core/sharded_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+CountSketchParams DefaultParams() {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 1024;
+  p.seed = 12;
+  return p;
+}
+
+TEST(ShardedSketchTest, RejectsZeroShards) {
+  EXPECT_TRUE(
+      ShardedCountSketch::Make(DefaultParams(), 0).status().IsInvalidArgument());
+}
+
+TEST(ShardedSketchTest, CombineEqualsSequentialIngest) {
+  auto gen = ZipfGenerator::Make(5000, 1.0, 21);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(40000);
+
+  auto sharded = ShardedCountSketch::Make(DefaultParams(), 4);
+  ASSERT_TRUE(sharded.ok());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    sharded->shard(i % 4).Add(stream[i]);
+  }
+  auto combined = sharded->Combine();
+  ASSERT_TRUE(combined.ok());
+
+  auto sequential = CountSketch::Make(DefaultParams());
+  ASSERT_TRUE(sequential.ok());
+  for (ItemId q : stream) sequential->Add(q);
+
+  for (size_t row = 0; row < sequential->depth(); ++row) {
+    for (size_t col = 0; col < sequential->width(); col += 3) {
+      ASSERT_EQ(combined->CounterAt(row, col), sequential->CounterAt(row, col));
+    }
+  }
+}
+
+TEST(ShardedSketchTest, ConcurrentIngestMatchesGroundTruth) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 50000;
+
+  auto sharded = ShardedCountSketch::Make(DefaultParams(), kThreads);
+  ASSERT_TRUE(sharded.ok());
+
+  // Each thread streams its own deterministic Zipf slice into its shard.
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sharded, t] {
+      auto gen = ZipfGenerator::Make(2000, 1.1, 100 + t);
+      ASSERT_TRUE(gen.ok());
+      CountSketch& shard = sharded->shard(t);
+      for (size_t i = 0; i < kPerThread; ++i) shard.Add(gen->Next());
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Ground truth from replaying the same slices single-threaded.
+  ExactCounter oracle;
+  for (size_t t = 0; t < kThreads; ++t) {
+    auto gen = ZipfGenerator::Make(2000, 1.1, 100 + t);
+    ASSERT_TRUE(gen.ok());
+    for (size_t i = 0; i < kPerThread; ++i) oracle.Add(gen->Next());
+  }
+
+  auto combined = sharded->Combine();
+  ASSERT_TRUE(combined.ok());
+  for (const ItemCount& ic : oracle.TopK(10)) {
+    const double err = std::abs(
+        static_cast<double>(combined->Estimate(ic.item) - ic.count));
+    EXPECT_LT(err, 0.05 * static_cast<double>(ic.count) + 50.0)
+        << "item " << ic.item;
+  }
+}
+
+TEST(ShardedSketchTest, SpaceIsShardsTimesSketch) {
+  auto sharded = ShardedCountSketch::Make(DefaultParams(), 3);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->SpaceBytes(), 3 * sharded->shard(0).SpaceBytes());
+}
+
+}  // namespace
+}  // namespace streamfreq

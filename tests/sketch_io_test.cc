@@ -1,0 +1,104 @@
+#include "core/sketch_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace streamfreq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+CountSketch MakeLoadedSketch() {
+  CountSketchParams p;
+  p.depth = 4;
+  p.width = 256;
+  p.seed = 99;
+  auto s = CountSketch::Make(p);
+  EXPECT_TRUE(s.ok());
+  for (ItemId q = 1; q <= 1000; ++q) s->Add(q, static_cast<Count>(q % 31));
+  return std::move(*s);
+}
+
+TEST(SketchIoTest, RoundTrip) {
+  const std::string path = TempPath("sfq_sketch_roundtrip.skf");
+  const CountSketch original = MakeLoadedSketch();
+  ASSERT_TRUE(WriteSketchFile(path, original).ok());
+  auto loaded = ReadSketchFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->CompatibleWith(original));
+  for (ItemId q = 1; q <= 1000; ++q) {
+    ASSERT_EQ(loaded->Estimate(q), original.Estimate(q));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadSketchFile(TempPath("nope.skf")).status().IsIoError());
+}
+
+TEST(SketchIoTest, FlippedPayloadBitIsCorruption) {
+  const std::string path = TempPath("sfq_sketch_bitflip.skf");
+  ASSERT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data[data.size() / 2] ^= 0x10;  // corrupt mid-payload
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(data.data(), static_cast<std::streamsize>(data.size()));
+
+  EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, TruncationIsCorruption) {
+  const std::string path = TempPath("sfq_sketch_trunc.skf");
+  ASSERT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(data.data(), static_cast<std::streamsize>(data.size() - 100));
+  EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+
+  // Header-only truncation.
+  std::ofstream(path, std::ios::binary | std::ios::trunc).write(data.data(), 10);
+  EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("sfq_sketch_magic.skf");
+  std::ofstream(path, std::ios::binary)
+      << std::string(64, 'x');  // 64 junk bytes
+  EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, SavedSketchStaysMergeable) {
+  const std::string path = TempPath("sfq_sketch_merge.skf");
+  CountSketchParams p;
+  p.depth = 4;
+  p.width = 128;
+  p.seed = 7;
+  auto a = CountSketch::Make(p);
+  ASSERT_TRUE(a.ok());
+  a->Add(42, 10);
+  ASSERT_TRUE(WriteSketchFile(path, *a).ok());
+
+  auto b = ReadSketchFile(path);
+  ASSERT_TRUE(b.ok());
+  b->Add(42, 5);
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_EQ(a->Estimate(42), 25);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamfreq

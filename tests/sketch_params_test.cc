@@ -1,0 +1,140 @@
+#include "core/sketch_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace streamfreq {
+namespace {
+
+ApproxTopSpec ValidSpec() {
+  ApproxTopSpec spec;
+  spec.stream_length = 1000000;
+  spec.k = 100;
+  spec.epsilon = 0.1;
+  spec.delta = 0.01;
+  spec.residual_f2 = 1e8;
+  spec.nk = 1000.0;
+  return spec;
+}
+
+TEST(SizeForApproxTopTest, RejectsBadInputs) {
+  auto spec = ValidSpec();
+  spec.stream_length = 0;
+  EXPECT_TRUE(SizeForApproxTop(spec).status().IsInvalidArgument());
+  spec = ValidSpec();
+  spec.k = 0;
+  EXPECT_TRUE(SizeForApproxTop(spec).status().IsInvalidArgument());
+  spec = ValidSpec();
+  spec.epsilon = 0.0;
+  EXPECT_TRUE(SizeForApproxTop(spec).status().IsInvalidArgument());
+  spec = ValidSpec();
+  spec.epsilon = 1.0;
+  EXPECT_TRUE(SizeForApproxTop(spec).status().IsInvalidArgument());
+  spec = ValidSpec();
+  spec.delta = 0.0;
+  EXPECT_TRUE(SizeForApproxTop(spec).status().IsInvalidArgument());
+  spec = ValidSpec();
+  spec.nk = 0.0;
+  EXPECT_TRUE(SizeForApproxTop(spec).status().IsInvalidArgument());
+  spec = ValidSpec();
+  spec.residual_f2 = -1.0;
+  EXPECT_TRUE(SizeForApproxTop(spec).status().IsInvalidArgument());
+}
+
+TEST(SizeForApproxTopTest, DepthIsLogNOverDelta) {
+  auto spec = ValidSpec();
+  auto sizing = SizeForApproxTop(spec);
+  ASSERT_TRUE(sizing.ok());
+  EXPECT_EQ(sizing->depth,
+            static_cast<size_t>(std::ceil(std::log2(1000000.0 / 0.01))));
+}
+
+TEST(SizeForApproxTopTest, WidthUsesLemma5Max) {
+  auto spec = ValidSpec();
+  // collision term: 256 * 1e8 / (0.1*1000)^2 = 256e8 / 1e4 = 2.56e6 > 8k.
+  auto sizing = SizeForApproxTop(spec);
+  ASSERT_TRUE(sizing.ok());
+  EXPECT_EQ(sizing->width, static_cast<size_t>(2.56e6));
+
+  // Tiny residual: the 8k arm dominates.
+  spec.residual_f2 = 1.0;
+  sizing = SizeForApproxTop(spec);
+  ASSERT_TRUE(sizing.ok());
+  EXPECT_EQ(sizing->width, 8u * 100u);
+}
+
+TEST(SizeForApproxTopTest, GammaConsistentWithWidth) {
+  auto spec = ValidSpec();
+  auto sizing = SizeForApproxTop(spec);
+  ASSERT_TRUE(sizing.ok());
+  EXPECT_DOUBLE_EQ(
+      sizing->gamma,
+      std::sqrt(spec.residual_f2 / static_cast<double>(sizing->width)));
+  // Lemma 5's purpose: 16 * gamma <= eps * nk.
+  EXPECT_LE(16.0 * sizing->gamma, spec.epsilon * spec.nk);
+}
+
+TEST(ZipfWidthTest, MatchesSection41Regimes) {
+  constexpr size_t k = 100;
+  constexpr uint64_t m = 1000000;
+  // z > 1/2: b = k.
+  EXPECT_EQ(ZipfWidth(1.0, k, m), k);
+  EXPECT_EQ(ZipfWidth(0.75, k, m), k);
+  // z = 1/2: b = k log m.
+  EXPECT_EQ(ZipfWidth(0.5, k, m),
+            static_cast<size_t>(std::ceil(k * std::log(1e6))));
+  // z < 1/2: b = m^{1-2z} k^{2z}, decreasing in z.
+  EXPECT_GT(ZipfWidth(0.1, k, m), ZipfWidth(0.3, k, m));
+  EXPECT_GT(ZipfWidth(0.3, k, m), ZipfWidth(0.49, k, m));
+  // z = 0 degenerates to m.
+  EXPECT_EQ(ZipfWidth(0.0, k, m), m);
+}
+
+TEST(ZipfTrackedCountTest, MatchesFormulaAndClamps) {
+  // l = k / (1-eps)^{1/z}.
+  EXPECT_EQ(ZipfTrackedCount(1.0, 100, 0.5), 200u);
+  EXPECT_EQ(ZipfTrackedCount(0.5, 100, 0.5), 400u);
+  // Tiny epsilon: clamp to k+1.
+  EXPECT_EQ(ZipfTrackedCount(1.0, 100, 1e-9), 101u);
+}
+
+TEST(Table1Test, CountSketchBeatsSamplingBelowZOne) {
+  // The paper's conclusion: for z < 1, Count-Sketch space is asymptotically
+  // smaller. At m = 1e8 (large), the gap must show at z = 0.75.
+  constexpr size_t k = 100;
+  constexpr uint64_t m = 100000000;
+  constexpr uint64_t n = 1000000000;
+  EXPECT_LT(Table1CountSketchSpace(0.75, k, m, n),
+            Table1SamplingSpace(0.75, k, m));
+  EXPECT_LT(Table1CountSketchSpace(0.6, k, m, n),
+            Table1SamplingSpace(0.6, k, m));
+}
+
+TEST(Table1Test, SamplingSpaceGrowsWithUniverseBelowZOne) {
+  constexpr size_t k = 100;
+  EXPECT_GT(Table1SamplingSpace(0.5, k, 1u << 26),
+            Table1SamplingSpace(0.5, k, 1u << 20));
+  // For z > 1 SAMPLING is universe-independent.
+  EXPECT_DOUBLE_EQ(Table1SamplingSpace(1.5, k, 1u << 26),
+                   Table1SamplingSpace(1.5, k, 1u << 20));
+}
+
+TEST(Table1Test, KpsSpaceMatchesRegimes) {
+  constexpr size_t k = 100;
+  constexpr uint64_t m = 1000000;
+  EXPECT_DOUBLE_EQ(Table1KpsSpace(0.5, k, m),
+                   std::pow(100.0, 0.5) * std::pow(1e6, 0.5));
+  EXPECT_DOUBLE_EQ(Table1KpsSpace(1.0, k, m), 100.0 * std::log(1e6));
+  EXPECT_DOUBLE_EQ(Table1KpsSpace(2.0, k, m), std::pow(100.0, 2.0));
+}
+
+TEST(Table1Test, CountSketchSpaceFlatInUniverseAboveHalf) {
+  constexpr size_t k = 100;
+  constexpr uint64_t n = 1u << 30;
+  EXPECT_DOUBLE_EQ(Table1CountSketchSpace(1.0, k, 1u << 20, n),
+                   Table1CountSketchSpace(1.0, k, 1u << 26, n));
+}
+
+}  // namespace
+}  // namespace streamfreq

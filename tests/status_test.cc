@@ -1,0 +1,120 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad width");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("broken");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "broken");
+  // Copying back over an error with OK clears it.
+  copy = Status::OK();
+  EXPECT_TRUE(copy.ok());
+  EXPECT_TRUE(s.IsCorruption()) << "source untouched";
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::IoError("disk");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsIoError());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowAccess) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status PropagationDemo(int x) {
+  STREAMFREQ_RETURN_NOT_OK(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(PropagationDemo(1).ok());
+  EXPECT_TRUE(PropagationDemo(-1).IsInvalidArgument());
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  STREAMFREQ_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  STREAMFREQ_ASSIGN_OR_RETURN(int quarter, HalfOf(half));
+  return quarter;
+}
+
+TEST(MacroTest, AssignOrReturnChains) {
+  Result<int> r = QuarterOf(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+  EXPECT_TRUE(QuarterOf(6).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace streamfreq

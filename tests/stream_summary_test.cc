@@ -1,0 +1,149 @@
+#include "core/stream_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/space_saving.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+TEST(StreamSummarySsTest, RejectsZeroCapacity) {
+  EXPECT_TRUE(StreamSummarySpaceSaving::Make(0).status().IsInvalidArgument());
+}
+
+TEST(StreamSummarySsTest, ExactWhenDistinctFits) {
+  auto ss = StreamSummarySpaceSaving::Make(10);
+  ASSERT_TRUE(ss.ok());
+  for (ItemId q = 1; q <= 10; ++q) ss->Add(q, static_cast<Count>(2 * q));
+  for (ItemId q = 1; q <= 10; ++q) {
+    EXPECT_EQ(ss->Estimate(q), 2 * static_cast<Count>(q));
+    EXPECT_EQ(ss->ErrorOf(q), 0);
+  }
+  EXPECT_TRUE(ss->CheckInvariants());
+}
+
+TEST(StreamSummarySsTest, MatchesHeapVariantExactly) {
+  // Both variants implement the same deterministic algorithm (given the
+  // same victim selection at ties). Compare full candidate multisets of
+  // (count) and the monitored invariants on a churny stream.
+  auto gen = ZipfGenerator::Make(5000, 0.9, 13);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(60000);
+
+  constexpr size_t kCap = 128;
+  auto ssl = StreamSummarySpaceSaving::Make(kCap);
+  auto ssh = SpaceSaving::Make(kCap);
+  ASSERT_TRUE(ssl.ok() && ssh.ok());
+  ssl->AddAll(stream);
+  ssh->AddAll(stream);
+
+  // Victim choice at count ties differs, so monitored sets may differ on
+  // tail entries; but the algorithm's invariants must agree:
+  EXPECT_EQ(ssl->MonitoredCount(), ssh->MonitoredCount());
+  EXPECT_EQ(ssl->MinCount(), ssh->MinCount());
+  // Total counts are stream length for both.
+  Count total_ssl = 0, total_ssh = 0;
+  for (const ItemCount& ic : ssl->Candidates(kCap)) total_ssl += ic.count;
+  for (const ItemCount& ic : ssh->Candidates(kCap)) total_ssh += ic.count;
+  EXPECT_EQ(total_ssl, static_cast<Count>(stream.size()));
+  EXPECT_EQ(total_ssh, static_cast<Count>(stream.size()));
+  // Head agreement: top-10 items identical.
+  const auto top_ssl = ssl->Candidates(10);
+  const auto top_ssh = ssh->Candidates(10);
+  ASSERT_EQ(top_ssl.size(), top_ssh.size());
+  for (size_t i = 0; i < top_ssl.size(); ++i) {
+    EXPECT_EQ(top_ssl[i].count, top_ssh[i].count) << "rank " << i;
+  }
+}
+
+TEST(StreamSummarySsTest, GuaranteesMatchSpaceSavingTheory) {
+  auto gen = ZipfGenerator::Make(2000, 1.1, 17);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(50000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  constexpr size_t kCap = 100;
+  auto ss = StreamSummarySpaceSaving::Make(kCap);
+  ASSERT_TRUE(ss.ok());
+  ss->AddAll(stream);
+
+  EXPECT_LE(ss->MinCount(),
+            static_cast<Count>(stream.size() / kCap));
+  for (const ItemCount& ic : ss->Candidates(kCap)) {
+    ASSERT_GE(ic.count, oracle.CountOf(ic.item)) << "upper bound";
+    ASSERT_LE(ic.count - ss->ErrorOf(ic.item), oracle.CountOf(ic.item))
+        << "count - error lower bound";
+  }
+  EXPECT_TRUE(ss->CheckInvariants());
+}
+
+TEST(StreamSummarySsTest, InvariantsHoldUnderChurn) {
+  auto gen = ZipfGenerator::Make(10000, 0.4, 19);
+  ASSERT_TRUE(gen.ok());
+  auto ss = StreamSummarySpaceSaving::Make(32);
+  ASSERT_TRUE(ss.ok());
+  for (int i = 0; i < 5000; ++i) {
+    ss->Add(gen->Next());
+    if (i % 257 == 0) {
+      ASSERT_TRUE(ss->CheckInvariants()) << "at step " << i;
+    }
+  }
+  EXPECT_TRUE(ss->CheckInvariants());
+}
+
+TEST(StreamSummarySsTest, WeightedUpdatesCrossBuckets) {
+  auto ss = StreamSummarySpaceSaving::Make(4);
+  ASSERT_TRUE(ss.ok());
+  ss->Add(1, 5);
+  ss->Add(2, 10);
+  ss->Add(3, 10);
+  ss->Add(1, 100);  // jumps over the 10-bucket
+  EXPECT_EQ(ss->Estimate(1), 105);
+  EXPECT_TRUE(ss->CheckInvariants());
+}
+
+TEST(StreamSummarySsTest, ReplacementInheritsMinPlusWeight) {
+  auto ss = StreamSummarySpaceSaving::Make(2);
+  ASSERT_TRUE(ss.ok());
+  ss->Add(1, 10);
+  ss->Add(2, 20);
+  ss->Add(3, 7);
+  EXPECT_EQ(ss->Estimate(3), 17);
+  EXPECT_EQ(ss->ErrorOf(3), 10);
+  EXPECT_FALSE(ss->Estimate(1) == 10 && ss->ErrorOf(1) == 0)
+      << "item 1 must have been evicted";
+  EXPECT_TRUE(ss->CheckInvariants());
+}
+
+TEST(StreamSummarySsTest, CandidatesDescendingFromBucketList) {
+  auto ss = StreamSummarySpaceSaving::Make(8);
+  ASSERT_TRUE(ss.ok());
+  ss->Add(1, 3);
+  ss->Add(2, 9);
+  ss->Add(3, 6);
+  ss->Add(4, 9);
+  const auto c = ss->Candidates(8);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[0].count, 9);
+  EXPECT_EQ(c[1].count, 9);
+  EXPECT_EQ(c[2].count, 6);
+  EXPECT_EQ(c[3].count, 3);
+  EXPECT_EQ(ss->Candidates(2).size(), 2u);
+}
+
+TEST(StreamSummarySsTest, UnmonitoredEstimateIsMinCount) {
+  auto ss = StreamSummarySpaceSaving::Make(2);
+  ASSERT_TRUE(ss.ok());
+  EXPECT_EQ(ss->Estimate(999), 0) << "empty summary";
+  ss->Add(1, 4);
+  EXPECT_EQ(ss->Estimate(999), 0) << "slots still free";
+  ss->Add(2, 6);
+  EXPECT_EQ(ss->Estimate(999), 4) << "full: min count is the bound";
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,66 @@
+#include "hash/string_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace streamfreq {
+namespace {
+
+TEST(StringHashTest, DeterministicAcrossCalls) {
+  EXPECT_EQ(HashString("hello", 1), HashString("hello", 1));
+  EXPECT_EQ(HashString("", 0), HashString("", 0));
+}
+
+TEST(StringHashTest, SeedChangesOutput) {
+  EXPECT_NE(HashString("hello", 1), HashString("hello", 2));
+}
+
+TEST(StringHashTest, ContentChangesOutput) {
+  EXPECT_NE(HashString("hello", 1), HashString("hellp", 1));
+  EXPECT_NE(HashString("abc", 1), HashString("abcd", 1));
+  // Length is mixed in, so a trailing NUL-like extension differs too.
+  EXPECT_NE(HashString(std::string("a\0", 2), 1), HashString("a", 1));
+}
+
+TEST(StringHashTest, LongInputsCrossBlockBoundaries) {
+  std::string base(1000, 'x');
+  std::string changed = base;
+  changed[500] = 'y';
+  EXPECT_NE(HashString(base, 1), HashString(changed, 1));
+  changed = base;
+  changed[999] = 'y';  // in the length-tail block
+  EXPECT_NE(HashString(base, 1), HashString(changed, 1));
+}
+
+TEST(StringHashTest, NoCollisionsOnSmallCorpus) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    seen.insert(HashString("key-" + std::to_string(i), 7));
+  }
+  EXPECT_EQ(seen.size(), 20000u);
+}
+
+TEST(StringHashTest, BitsLookBalanced) {
+  // Count set bits across many hashes: each bit position should be ~50%.
+  constexpr int kKeys = 20000;
+  int bit_counts[64] = {};
+  for (int i = 0; i < kKeys; ++i) {
+    const uint64_t h = HashString("item" + std::to_string(i), 3);
+    for (int b = 0; b < 64; ++b) {
+      bit_counts[b] += (h >> b) & 1;
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(bit_counts[b], kKeys / 2, 600) << "bit " << b;
+  }
+}
+
+TEST(StringHashTest, HashBytesAgreesWithHashString) {
+  const std::string s = "some payload";
+  EXPECT_EQ(HashBytes(s.data(), s.size(), 9), HashString(s, 9));
+}
+
+}  // namespace
+}  // namespace streamfreq

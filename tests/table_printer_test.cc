@@ -1,0 +1,78 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace streamfreq {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, FormatsDoublesCompactly) {
+  EXPECT_EQ(TablePrinter::Format(1.0), "1");
+  EXPECT_EQ(TablePrinter::Format(0.5), "0.5");
+  EXPECT_EQ(TablePrinter::Format(123456.0), "1.235e+05");
+  EXPECT_EQ(TablePrinter::Format(std::string("s")), "s");
+  EXPECT_EQ(TablePrinter::Format(42), "42");
+}
+
+TEST(TablePrinterTest, AddRowValuesFormats) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRowValues("x", 3, 2.5);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,3,2.5\n");
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecials) {
+  TablePrinter t({"k"});
+  t.AddRow({"a,b"});
+  t.AddRow({"quote\"inside"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "k\n\"a,b\"\n\"quote\"\"inside\"\n");
+}
+
+TEST(TablePrinterTest, WriteCsvCreatesFile) {
+  TablePrinter t({"h"});
+  t.AddRow({"v"});
+  const std::string path = ::testing::TempDir() + "/sfq_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "h\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinterTest, WriteCsvBadPathFails) {
+  TablePrinter t({"h"});
+  EXPECT_TRUE(t.WriteCsv("/nonexistent-dir-xyz/file.csv").IsIoError());
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row width mismatch");
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,108 @@
+#include "stream/text_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace streamfreq {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream(path, std::ios::binary) << content;
+  return path;
+}
+
+std::vector<std::string> Tokens(const std::string& path,
+                                const TextReaderOptions& options = {}) {
+  std::vector<std::string> out;
+  auto count = ForEachToken(path, options,
+                            [&](const std::string& t) { out.push_back(t); });
+  EXPECT_TRUE(count.ok()) << count.status().ToString();
+  if (count.ok()) {
+    EXPECT_EQ(*count, out.size());
+  }
+  return out;
+}
+
+TEST(TextIoTest, MissingFileIsIoError) {
+  auto r = ForEachToken("/nonexistent/sfq.txt", {}, [](const std::string&) {});
+  EXPECT_TRUE(r.status().IsIoError());
+}
+
+TEST(TextIoTest, SplitsOnWhitespaceAndPunctuation) {
+  const std::string path =
+      WriteTemp("sfq_text1.txt", "Hello, world! streaming\nalgorithms.");
+  const auto tokens = Tokens(path);
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "streaming");
+  EXPECT_EQ(tokens[3], "algorithms");
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, LowercaseCanBeDisabled) {
+  const std::string path = WriteTemp("sfq_text2.txt", "MiXeD Case");
+  TextReaderOptions opts;
+  opts.lowercase = false;
+  const auto tokens = Tokens(path, opts);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "MiXeD");
+  EXPECT_EQ(tokens[1], "Case");
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, ApostrophesAndHyphensStayInside) {
+  const std::string path = WriteTemp("sfq_text3.txt", "don't re-use");
+  const auto tokens = Tokens(path);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "don't");
+  EXPECT_EQ(tokens[1], "re-use");
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, DigitsControlledByOption) {
+  const std::string path = WriteTemp("sfq_text4.txt", "top10 abc123");
+  const auto with_digits = Tokens(path);
+  ASSERT_EQ(with_digits.size(), 2u);
+  EXPECT_EQ(with_digits[0], "top10");
+
+  TextReaderOptions opts;
+  opts.keep_digits = false;
+  const auto without = Tokens(path, opts);
+  ASSERT_EQ(without.size(), 2u) << "digits act as delimiters when disabled";
+  EXPECT_EQ(without[0], "top");
+  EXPECT_EQ(without[1], "abc");
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, MinLengthFilters) {
+  const std::string path = WriteTemp("sfq_text5.txt", "a bb ccc dddd");
+  TextReaderOptions opts;
+  opts.min_token_length = 3;
+  const auto tokens = Tokens(path, opts);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "ccc");
+  EXPECT_EQ(tokens[1], "dddd");
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, EmptyFileEmitsNothing) {
+  const std::string path = WriteTemp("sfq_text6.txt", "");
+  EXPECT_TRUE(Tokens(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, TrailingTokenWithoutDelimiterEmitted) {
+  const std::string path = WriteTemp("sfq_text7.txt", "last");
+  const auto tokens = Tokens(path);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "last");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,165 @@
+#include "core/top_k_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "stream/adversarial.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+CountSketchParams DefaultSketch() {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 2048;
+  p.seed = 21;
+  return p;
+}
+
+TEST(CountSketchTopKTest, RejectsZeroTracked) {
+  EXPECT_TRUE(
+      CountSketchTopK::Make(DefaultSketch(), 0).status().IsInvalidArgument());
+}
+
+TEST(CountSketchTopKTest, PropagatesSketchErrors) {
+  CountSketchParams p = DefaultSketch();
+  p.width = 0;
+  EXPECT_TRUE(CountSketchTopK::Make(p, 10).status().IsInvalidArgument());
+}
+
+TEST(CountSketchTopKTest, FindsTrueTopKOnSkewedStream) {
+  auto gen = ZipfGenerator::Make(10000, 1.1, 33);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(200000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+
+  constexpr size_t kK = 20;
+  auto algo = CountSketchTopK::Make(DefaultSketch(), 2 * kK);
+  ASSERT_TRUE(algo.ok());
+  algo->AddAll(stream);
+
+  std::unordered_set<ItemId> candidates;
+  for (const ItemCount& ic : algo->Candidates(2 * kK)) candidates.insert(ic.item);
+  size_t found = 0;
+  for (const ItemCount& ic : oracle.TopK(kK)) found += candidates.count(ic.item);
+  EXPECT_GE(found, kK - 1) << "nearly all true top-k must be tracked";
+}
+
+TEST(CountSketchTopKTest, TrackedCountsAreAccurate) {
+  auto gen = ZipfGenerator::Make(10000, 1.2, 35);
+  ASSERT_TRUE(gen.ok());
+  const Stream stream = gen->Take(100000);
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+
+  auto algo = CountSketchTopK::Make(DefaultSketch(), 50);
+  ASSERT_TRUE(algo.ok());
+  algo->AddAll(stream);
+
+  // Head items are tracked early, so their tracked counts (estimate at
+  // insertion + exact increments) are close to truth.
+  for (const ItemCount& ic : algo->Candidates(5)) {
+    const double truth = static_cast<double>(oracle.CountOf(ic.item));
+    EXPECT_NEAR(static_cast<double>(ic.count), truth, truth * 0.1 + 50.0);
+  }
+}
+
+TEST(CountSketchTopKTest, TrackerEventsMaintainInvariant) {
+  auto gen = ZipfGenerator::Make(1000, 1.0, 37);
+  ASSERT_TRUE(gen.ok());
+  constexpr size_t kTracked = 10;
+  auto algo = CountSketchTopK::Make(DefaultSketch(), kTracked);
+  ASSERT_TRUE(algo.ok());
+
+  std::unordered_set<ItemId> shadow;  // mirror of the tracked set
+  for (int i = 0; i < 20000; ++i) {
+    const ItemId q = gen->Next();
+    const bool was_tracked = algo->IsTracked(q);
+    const TrackerEvent e = algo->AddTracked(q);
+    if (was_tracked) {
+      ASSERT_FALSE(e.inserted);
+      ASSERT_EQ(e.evicted, 0u);
+    }
+    if (e.inserted) {
+      if (e.evicted != 0) {
+        ASSERT_TRUE(shadow.count(e.evicted)) << "evicted item was not tracked";
+        shadow.erase(e.evicted);
+      }
+      shadow.insert(q);
+    }
+    ASSERT_LE(shadow.size(), kTracked);
+    ASSERT_EQ(algo->IsTracked(q), shadow.count(q) > 0);
+  }
+}
+
+TEST(CountSketchTopKTest, EstimateUsesTrackedCountWhenAvailable) {
+  auto algo = CountSketchTopK::Make(DefaultSketch(), 5);
+  ASSERT_TRUE(algo.ok());
+  for (int i = 0; i < 100; ++i) algo->Add(1);
+  ASSERT_TRUE(algo->IsTracked(1));
+  EXPECT_EQ(algo->Estimate(1), 100) << "tracked: exact count expected";
+  EXPECT_EQ(algo->Estimate(12345), 0) << "untracked: sketch estimate";
+}
+
+TEST(CountSketchTopKTest, CandidatesTruncatedAndSorted) {
+  auto algo = CountSketchTopK::Make(DefaultSketch(), 10);
+  ASSERT_TRUE(algo.ok());
+  for (ItemId q = 1; q <= 5; ++q) {
+    for (ItemId i = 0; i < q * 10; ++i) algo->Add(q);
+  }
+  const auto top3 = algo->Candidates(3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].item, 5u);
+  EXPECT_EQ(top3[1].item, 4u);
+  EXPECT_EQ(top3[2].item, 3u);
+  EXPECT_GE(top3[0].count, top3[1].count);
+}
+
+TEST(CountSketchTopKTest, SolvesApproxTopOnBoundaryInstance) {
+  // The adversarial instance: k head items, shadows at head-1. ApproxTop
+  // permits shadows in the output (they exceed (1-eps) n_k) but must not
+  // output tail items, and must include all (1+eps) n_k items = heads.
+  AdversarialSpec spec;
+  spec.k = 10;
+  spec.shadows = 20;
+  spec.head_count = 2000;
+  spec.gap = 1;
+  spec.tail_items = 5000;
+  spec.tail_count = 3;
+  spec.seed = 5;
+  auto stream = MakeAdversarialStream(spec);
+  ASSERT_TRUE(stream.ok());
+
+  CountSketchParams p = DefaultSketch();
+  p.width = 8192;
+  auto algo = CountSketchTopK::Make(p, 40);
+  ASSERT_TRUE(algo.ok());
+  algo->AddAll(*stream);
+
+  for (const ItemCount& ic : algo->Candidates(spec.k)) {
+    EXPECT_LT(ic.item, kTailBase) << "tail item in the top-k output";
+    EXPECT_GE(ic.item, kHeadBase);
+  }
+}
+
+TEST(CountSketchTopKTest, SpaceIncludesSketchAndHeap) {
+  auto algo = CountSketchTopK::Make(DefaultSketch(), 100);
+  ASSERT_TRUE(algo.ok());
+  const size_t empty_space = algo->SpaceBytes();
+  EXPECT_GE(empty_space, algo->sketch().SpaceBytes());
+  for (ItemId q = 1; q <= 100; ++q) algo->Add(q);
+  EXPECT_GT(algo->SpaceBytes(), empty_space);
+}
+
+TEST(CountSketchTopKTest, NameEncodesParameters) {
+  auto algo = CountSketchTopK::Make(DefaultSketch(), 7);
+  ASSERT_TRUE(algo.ok());
+  EXPECT_EQ(algo->Name(), "CountSketchTopK(t=5,b=2048,l=7)");
+}
+
+}  // namespace
+}  // namespace streamfreq

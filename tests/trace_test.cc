@@ -1,0 +1,79 @@
+#include "stream/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace streamfreq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceTest, RoundTrip) {
+  const std::string path = TempPath("sfq_trace_roundtrip.bin");
+  const Stream original = {1, 2, 3, ~0ULL, 0, 42};
+  ASSERT_TRUE(WriteTrace(path, original).ok());
+  auto loaded = ReadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EmptyStreamRoundTrips) {
+  const std::string path = TempPath("sfq_trace_empty.bin");
+  ASSERT_TRUE(WriteTrace(path, {}).ok());
+  auto loaded = ReadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadTrace(TempPath("does_not_exist.bin")).status().IsIoError());
+}
+
+TEST(TraceTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("sfq_trace_badmagic.bin");
+  std::ofstream(path, std::ios::binary) << "NOTMAGIC________________";
+  EXPECT_TRUE(ReadTrace(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, TruncatedPayloadIsCorruption) {
+  const std::string path = TempPath("sfq_trace_trunc.bin");
+  ASSERT_TRUE(WriteTrace(path, {1, 2, 3, 4}).ok());
+  // Chop off the last 8 bytes.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::string data(size, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(size));
+  in.close();
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(data.data(), static_cast<std::streamsize>(size - 8));
+  EXPECT_TRUE(ReadTrace(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, TruncatedHeaderIsCorruption) {
+  const std::string path = TempPath("sfq_trace_hdr.bin");
+  std::ofstream(path, std::ios::binary) << "SFQTRC01";  // magic, no length
+  EXPECT_TRUE(ReadTrace(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, OverwriteReplacesContent) {
+  const std::string path = TempPath("sfq_trace_overwrite.bin");
+  ASSERT_TRUE(WriteTrace(path, {1, 2, 3}).ok());
+  ASSERT_TRUE(WriteTrace(path, {9}).ok());
+  auto loaded = ReadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, Stream({9}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,88 @@
+#include "core/typed.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+namespace {
+
+CountSketchParams DefaultSketch() {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 2048;
+  p.seed = 3;
+  return p;
+}
+
+TEST(StringTopKTest, PropagatesConstructionErrors) {
+  CountSketchParams p = DefaultSketch();
+  p.depth = 0;
+  EXPECT_TRUE(StringTopK::Make(p, 10).status().IsInvalidArgument());
+  EXPECT_TRUE(StringTopK::Make(DefaultSketch(), 0).status().IsInvalidArgument());
+}
+
+TEST(StringTopKTest, TracksFrequentQueries) {
+  auto topk = StringTopK::Make(DefaultSketch(), 10);
+  ASSERT_TRUE(topk.ok());
+  for (int i = 0; i < 500; ++i) topk->Add("weather");
+  for (int i = 0; i < 300; ++i) topk->Add("news");
+  for (int i = 0; i < 100; ++i) topk->Add("maps");
+  for (int i = 0; i < 2000; ++i) topk->Add("rare-" + std::to_string(i));
+
+  const auto candidates = topk->Candidates(3);
+  ASSERT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(candidates[0].key, "weather");
+  EXPECT_EQ(candidates[1].key, "news");
+  EXPECT_EQ(candidates[2].key, "maps");
+}
+
+TEST(StringTopKTest, EstimatesFrequentKeysAccurately) {
+  auto topk = StringTopK::Make(DefaultSketch(), 10);
+  ASSERT_TRUE(topk.ok());
+  for (int i = 0; i < 1000; ++i) topk->Add("popular");
+  EXPECT_NEAR(static_cast<double>(topk->Estimate("popular")), 1000.0, 50.0);
+  EXPECT_NEAR(static_cast<double>(topk->Estimate("never-seen")), 0.0, 50.0);
+}
+
+TEST(StringTopKTest, KeysFollowEvictions) {
+  // Small tracked set under churn: every candidate must resolve to a real
+  // key (the dictionary must track insertions and evictions exactly).
+  auto topk = StringTopK::Make(DefaultSketch(), 4);
+  ASSERT_TRUE(topk.ok());
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 30000; ++i) {
+    topk->Add("key-" + std::to_string(rng.UniformBelow(50)),
+              1 + static_cast<Count>(rng.UniformBelow(3)));
+  }
+  for (const KeyCount& kc : topk->Candidates(4)) {
+    EXPECT_NE(kc.key, "<unknown>") << "dictionary lost a tracked key";
+    EXPECT_EQ(kc.key.rfind("key-", 0), 0u);
+  }
+}
+
+TEST(StringTopKTest, WeightedAdds) {
+  auto topk = StringTopK::Make(DefaultSketch(), 5);
+  ASSERT_TRUE(topk.ok());
+  topk->Add("bulk", 500);
+  topk->Add("single");
+  const auto c = topk->Candidates(2);
+  ASSERT_GE(c.size(), 1u);
+  EXPECT_EQ(c[0].key, "bulk");
+  EXPECT_EQ(c[0].count, 500);
+}
+
+TEST(StringTopKTest, SpaceIncludesStoredKeys) {
+  auto topk = StringTopK::Make(DefaultSketch(), 5);
+  ASSERT_TRUE(topk.ok());
+  const size_t before = topk->SpaceBytes();
+  topk->Add(std::string(1000, 'x'));
+  EXPECT_GT(topk->SpaceBytes(), before + 500)
+      << "stored key bytes must be accounted";
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,116 @@
+#include "core/windowed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+namespace {
+
+WindowedSketchParams SmallParams(uint64_t window, size_t blocks) {
+  WindowedSketchParams p;
+  p.window = window;
+  p.blocks = blocks;
+  p.sketch.depth = 5;
+  p.sketch.width = 1024;
+  p.sketch.seed = 17;
+  return p;
+}
+
+TEST(WindowedTest, RejectsBadParams) {
+  EXPECT_TRUE(
+      WindowedCountSketch::Make(SmallParams(100, 0)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      WindowedCountSketch::Make(SmallParams(3, 8)).status().IsInvalidArgument());
+  WindowedSketchParams p = SmallParams(100, 4);
+  p.sketch.width = 0;
+  EXPECT_TRUE(WindowedCountSketch::Make(p).status().IsInvalidArgument());
+}
+
+TEST(WindowedTest, BehavesExactlyLikeSketchBeforeWindowFills) {
+  auto w = WindowedCountSketch::Make(SmallParams(10000, 4));
+  ASSERT_TRUE(w.ok());
+  for (int i = 0; i < 500; ++i) w->Add(7);
+  EXPECT_EQ(w->Estimate(7), 500);
+  EXPECT_EQ(w->CoveredItems(), 500u);
+  EXPECT_EQ(w->TotalItems(), 500u);
+}
+
+TEST(WindowedTest, OldItemsExpire) {
+  // Window of 1000 in 4 blocks of 250: an item seen only at the start must
+  // vanish once > ~1000 newer items arrive.
+  auto w = WindowedCountSketch::Make(SmallParams(1000, 4));
+  ASSERT_TRUE(w.ok());
+  for (int i = 0; i < 200; ++i) w->Add(42);
+  EXPECT_EQ(w->Estimate(42), 200);
+
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1500; ++i) w->Add(1000 + rng.UniformBelow(100000));
+  EXPECT_LT(std::abs(w->Estimate(42)), 10)
+      << "expired item must estimate ~0 (only live-item collision noise)";
+  EXPECT_LE(w->CoveredItems(), 1000u);
+  EXPECT_GT(w->CoveredItems(), 750u) << "window must cover W - W/R items";
+}
+
+TEST(WindowedTest, RecentItemsFullyCounted) {
+  auto w = WindowedCountSketch::Make(SmallParams(1000, 4));
+  ASSERT_TRUE(w.ok());
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) w->Add(1000 + rng.UniformBelow(100000));
+  // 100 fresh arrivals of one item, all inside the window.
+  for (int i = 0; i < 100; ++i) w->Add(77);
+  EXPECT_EQ(w->Estimate(77), 100);
+}
+
+TEST(WindowedTest, CoverageOscillatesWithinOneBlock) {
+  auto w = WindowedCountSketch::Make(SmallParams(800, 8));  // blocks of 100
+  ASSERT_TRUE(w.ok());
+  for (int i = 0; i < 10000; ++i) {
+    w->Add(static_cast<ItemId>(i));
+    if (i > 800) {
+      ASSERT_LE(w->CoveredItems(), 800u);
+      ASSERT_GE(w->CoveredItems(), 700u);
+    }
+  }
+  EXPECT_EQ(w->TotalItems(), 10000u);
+}
+
+TEST(WindowedTest, WeightedArrivalStraddlingBlocks) {
+  auto w = WindowedCountSketch::Make(SmallParams(400, 4));  // blocks of 100
+  ASSERT_TRUE(w.ok());
+  w->Add(5, 250);  // spans 2.5 blocks
+  EXPECT_EQ(w->Estimate(5), 250);
+  EXPECT_EQ(w->CoveredItems(), 250u);
+  // Push the first blocks out.
+  w->Add(6, 400);
+  EXPECT_LT(w->Estimate(5), 250) << "part of the bulk arrival must expire";
+}
+
+TEST(WindowedTest, SlidingTopItemChanges) {
+  // Epoch 1: item A dominates. Epoch 2: item B. After epoch 2 the window
+  // must rank B >> A.
+  auto w = WindowedCountSketch::Make(SmallParams(2000, 8));
+  ASSERT_TRUE(w.ok());
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    w->Add(i % 3 == 0 ? 111 : 100000 + rng.UniformBelow(10000));
+  }
+  EXPECT_GT(w->Estimate(111), 500);
+  for (int i = 0; i < 2500; ++i) {
+    w->Add(i % 3 == 0 ? 222 : 200000 + rng.UniformBelow(10000));
+  }
+  EXPECT_LT(w->Estimate(111), 100);
+  EXPECT_GT(w->Estimate(222), 500);
+}
+
+TEST(WindowedTest, SpaceCountsAllBlocksPlusMerged) {
+  auto w = WindowedCountSketch::Make(SmallParams(1000, 4));
+  ASSERT_TRUE(w.ok());
+  // 4 blocks + merged = 5 sketches of 5x1024 counters.
+  EXPECT_GE(w->SpaceBytes(), 5u * 5u * 1024u * sizeof(int64_t));
+}
+
+}  // namespace
+}  // namespace streamfreq

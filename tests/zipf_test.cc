@@ -1,0 +1,108 @@
+#include "stream/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace streamfreq {
+namespace {
+
+TEST(ZipfGeneratorTest, RejectsBadParameters) {
+  EXPECT_TRUE(ZipfGenerator::Make(0, 1.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(ZipfGenerator::Make(10, -0.5, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ZipfGenerator::Make(10, std::nan(""), 1).status().IsInvalidArgument());
+  // Universe cap: a mistyped 10^12 must fail cleanly, not exhaust memory.
+  EXPECT_TRUE(ZipfGenerator::Make(1ull << 40, 1.0, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ZipfGeneratorTest, ProbabilitiesSumToOne) {
+  auto gen = ZipfGenerator::Make(1000, 1.0, 1);
+  ASSERT_TRUE(gen.ok());
+  double total = 0.0;
+  for (uint64_t q = 1; q <= 1000; ++q) total += gen->ProbabilityOfRank(q);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfGeneratorTest, ProbabilityFollowsPowerLaw) {
+  auto gen = ZipfGenerator::Make(1000, 1.5, 1);
+  ASSERT_TRUE(gen.ok());
+  // p(q) / p(2q) = 2^z for the pure power law.
+  EXPECT_NEAR(gen->ProbabilityOfRank(1) / gen->ProbabilityOfRank(2),
+              std::pow(2.0, 1.5), 1e-9);
+  EXPECT_NEAR(gen->ProbabilityOfRank(10) / gen->ProbabilityOfRank(20),
+              std::pow(2.0, 1.5), 1e-9);
+}
+
+TEST(ZipfGeneratorTest, ZeroSkewIsUniform) {
+  auto gen = ZipfGenerator::Make(100, 0.0, 1);
+  ASSERT_TRUE(gen.ok());
+  for (uint64_t q = 1; q <= 100; ++q) {
+    EXPECT_DOUBLE_EQ(gen->ProbabilityOfRank(q), 0.01);
+  }
+}
+
+TEST(ZipfGeneratorTest, DeterministicForSeed) {
+  auto a = ZipfGenerator::Make(1000, 1.1, 77);
+  auto b = ZipfGenerator::Make(1000, 1.1, 77);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a->Next(), b->Next());
+}
+
+TEST(ZipfGeneratorTest, IdsAreStableAndScattered) {
+  auto gen = ZipfGenerator::Make(100, 1.0, 5);
+  ASSERT_TRUE(gen.ok());
+  std::set<ItemId> ids;
+  for (uint64_t q = 1; q <= 100; ++q) {
+    const ItemId id = gen->IdForRank(q);
+    EXPECT_EQ(id, gen->IdForRank(q)) << "ids must be stable";
+    EXPECT_NE(id, 0u) << "id 0 is reserved";
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 100u) << "rank relabeling must be injective here";
+}
+
+TEST(ZipfGeneratorTest, EmpiricalHeadFrequencyMatches) {
+  auto gen = ZipfGenerator::Make(10000, 1.0, 9);
+  ASSERT_TRUE(gen.ok());
+  constexpr int kDraws = 300000;
+  std::unordered_map<ItemId, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen->Next()];
+  for (uint64_t rank : {1ull, 2ull, 5ull, 10ull}) {
+    const double expected = gen->ProbabilityOfRank(rank) * kDraws;
+    const double sigma = std::sqrt(expected);
+    EXPECT_NEAR(counts[gen->IdForRank(rank)], expected, 6 * sigma)
+        << "rank " << rank;
+  }
+}
+
+TEST(ZipfGeneratorTest, DescribeMentionsParameters) {
+  auto gen = ZipfGenerator::Make(42, 1.25, 1);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_NE(gen->Describe().find("m=42"), std::string::npos);
+}
+
+TEST(UniformGeneratorTest, RejectsEmptyUniverse) {
+  EXPECT_TRUE(UniformGenerator::Make(0, 1).status().IsInvalidArgument());
+}
+
+TEST(UniformGeneratorTest, CoversUniverse) {
+  auto gen = UniformGenerator::Make(10, 3);
+  ASSERT_TRUE(gen.ok());
+  std::set<ItemId> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(gen->Next());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(UniformGeneratorTest, TakeMaterializesRequestedLength) {
+  auto gen = UniformGenerator::Make(10, 3);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->Take(257).size(), 257u);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -1,0 +1,348 @@
+// sfq — command-line front end for the streamfreq library.
+//
+// Subcommands:
+//   generate   synthesize a workload and write a binary trace
+//   topk       run the Count-Sketch top-k algorithm over a trace
+//   suite      run the full algorithm suite over a trace and score it
+//   maxchange  find the largest frequency changes between two traces
+//   sketch     build a Count-Sketch from a trace and save it (checksummed)
+//   inspect    print the parameters of a saved sketch file
+//   estimate   point-query a saved sketch file
+//
+// Examples:
+//   sfq generate --kind zipf --z 1.1 --m 100000 --n 1000000 --out q.trace
+//   sfq topk --trace q.trace --k 10 --width 4096
+//   sfq maxchange --before day1.trace --after day2.trace --k 20
+//   sfq sketch --trace q.trace --out q.skf && sfq inspect --sketch q.skf
+#include <iostream>
+#include <string>
+
+#include "core/count_sketch.h"
+#include "core/max_change.h"
+#include "core/sketch_io.h"
+#include "core/top_k_tracker.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/suite.h"
+#include "core/phi_heavy_hitters.h"
+#include "core/typed.h"
+#include "stream/exact_counter.h"
+#include "stream/flow_traffic.h"
+#include "stream/text_io.h"
+#include "stream/trace.h"
+#include "stream/zipf.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace streamfreq {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "sfq: " << status.ToString() << "\n";
+  return 1;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "usage: sfq <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate  --kind zipf|uniform|flows --n N [--m M] [--z Z]\n"
+      "            [--alpha A] [--seed S] --out FILE\n"
+      "  topk      --trace FILE [--k K] [--depth T] [--width B]\n"
+      "            [--tracked L] [--seed S]\n"
+      "  suite     --trace FILE [--k K] [--budget BYTES]\n"
+      "  maxchange --before FILE --after FILE [--k K] [--depth T]\n"
+      "            [--width B] [--tracked L]\n"
+      "  sketch    --trace FILE --out FILE [--depth T] [--width B] [--seed S]\n"
+      "  inspect   --sketch FILE\n"
+      "  estimate  --sketch FILE --item ID\n"
+      "  words     --text FILE [--k K] [--depth T] [--width B]\n"
+      "            [--min-length L]\n"
+      "  hh        --trace FILE [--phi F]   (phi-heavy-hitters report)\n";
+}
+
+Result<CountSketchParams> SketchParamsFromFlags(const Flags& flags) {
+  CountSketchParams p;
+  STREAMFREQ_ASSIGN_OR_RETURN(const int64_t depth, flags.GetInt("depth", 5));
+  STREAMFREQ_ASSIGN_OR_RETURN(const int64_t width, flags.GetInt("width", 4096));
+  STREAMFREQ_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt("seed", 1));
+  if (depth <= 0 || width <= 0) {
+    return Status::InvalidArgument("--depth and --width must be positive");
+  }
+  p.depth = static_cast<size_t>(depth);
+  p.width = static_cast<size_t>(width);
+  p.seed = static_cast<uint64_t>(seed);
+  return p;
+}
+
+Result<Stream> LoadTrace(const Flags& flags, const std::string& flag_name) {
+  const std::string path = flags.GetString(flag_name, "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--" + flag_name + " is required");
+  }
+  return ReadTrace(path);
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string kind = flags.GetString("kind", "zipf");
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+  auto n = flags.GetInt("n", 1000000);
+  auto m = flags.GetInt("m", 100000);
+  auto z = flags.GetDouble("z", 1.0);
+  auto alpha = flags.GetDouble("alpha", 1.2);
+  auto seed = flags.GetInt("seed", 1);
+  for (const Status& s :
+       {n.status(), m.status(), z.status(), alpha.status(), seed.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+
+  Stream stream;
+  if (kind == "zipf") {
+    auto gen = ZipfGenerator::Make(static_cast<uint64_t>(*m), *z,
+                                   static_cast<uint64_t>(*seed));
+    if (!gen.ok()) return Fail(gen.status());
+    stream = gen->Take(static_cast<size_t>(*n));
+    std::cout << "generated " << gen->Describe() << ", n=" << *n << "\n";
+  } else if (kind == "uniform") {
+    auto gen = UniformGenerator::Make(static_cast<uint64_t>(*m),
+                                      static_cast<uint64_t>(*seed));
+    if (!gen.ok()) return Fail(gen.status());
+    stream = gen->Take(static_cast<size_t>(*n));
+    std::cout << "generated " << gen->Describe() << ", n=" << *n << "\n";
+  } else if (kind == "flows") {
+    FlowTrafficSpec spec;
+    spec.pareto_alpha = *alpha;
+    spec.seed = static_cast<uint64_t>(*seed);
+    auto gen = FlowTrafficGenerator::Make(spec);
+    if (!gen.ok()) return Fail(gen.status());
+    stream = gen->Take(static_cast<size_t>(*n));
+    std::cout << "generated " << gen->Describe() << ", n=" << *n << "\n";
+  } else {
+    return Fail(Status::InvalidArgument("unknown --kind: " + kind));
+  }
+
+  const Status s = WriteTrace(out, stream);
+  if (!s.ok()) return Fail(s);
+  std::cout << "wrote " << out << " (" << stream.size() << " items)\n";
+  return 0;
+}
+
+int CmdTopK(const Flags& flags) {
+  auto stream = LoadTrace(flags, "trace");
+  if (!stream.ok()) return Fail(stream.status());
+  auto params = SketchParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+  auto k = flags.GetInt("k", 10);
+  if (!k.ok()) return Fail(k.status());
+  auto tracked = flags.GetInt("tracked", 2 * *k);
+  if (!tracked.ok()) return Fail(tracked.status());
+
+  auto algo = CountSketchTopK::Make(*params, static_cast<size_t>(*tracked));
+  if (!algo.ok()) return Fail(algo.status());
+  algo->AddAll(*stream);
+
+  ExactCounter oracle;
+  oracle.AddAll(*stream);
+  const auto truth = oracle.TopK(static_cast<size_t>(*k));
+  const auto candidates = algo->Candidates(static_cast<size_t>(*k));
+  const PrecisionRecall pr = ComputePrecisionRecall(candidates, truth);
+
+  TablePrinter table({"rank", "item", "estimate", "true count"});
+  int rank = 0;
+  for (const ItemCount& ic : candidates) {
+    table.AddRowValues(++rank, ic.item, ic.count, oracle.CountOf(ic.item));
+  }
+  table.Print(std::cout);
+  std::cout << "recall@" << *k << "=" << pr.recall << " precision@" << *k
+            << "=" << pr.precision << " space="
+            << algo->SpaceBytes() / 1024 << "KiB\n";
+  return 0;
+}
+
+int CmdSuite(const Flags& flags) {
+  auto stream = LoadTrace(flags, "trace");
+  if (!stream.ok()) return Fail(stream.status());
+  auto k = flags.GetInt("k", 10);
+  auto budget = flags.GetInt("budget", 64 * 1024);
+  auto seed = flags.GetInt("seed", 1);
+  for (const Status& s : {k.status(), budget.status(), seed.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+
+  Workload workload;
+  workload.stream = *std::move(stream);
+  workload.oracle.AddAll(workload.stream);
+  workload.description = flags.GetString("trace", "");
+
+  SuiteSpec spec;
+  spec.space_budget_bytes = static_cast<size_t>(*budget);
+  spec.k = static_cast<size_t>(*k);
+  spec.seed = static_cast<uint64_t>(*seed);
+  spec.expected_stream_length = workload.stream.size();
+  auto suite = MakeDefaultSuite(spec);
+  if (!suite.ok()) return Fail(suite.status());
+
+  TablePrinter table(
+      {"algorithm", "recall", "precision", "ARE", "space KiB", "Mitems/s"});
+  for (const auto& algo : *suite) {
+    const RunResult r = RunAndScore(*algo, workload, spec.k);
+    table.AddRowValues(r.algorithm, r.topk_quality.recall,
+                       r.topk_quality.precision, r.are_topk,
+                       static_cast<double>(r.space_bytes) / 1024.0,
+                       r.items_per_second / 1e6);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdMaxChange(const Flags& flags) {
+  auto before = LoadTrace(flags, "before");
+  if (!before.ok()) return Fail(before.status());
+  auto after = LoadTrace(flags, "after");
+  if (!after.ok()) return Fail(after.status());
+  auto params = SketchParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+  auto k = flags.GetInt("k", 10);
+  if (!k.ok()) return Fail(k.status());
+  auto tracked = flags.GetInt("tracked", 10 * *k);
+  if (!tracked.ok()) return Fail(tracked.status());
+
+  auto changes =
+      MaxChangeDetector::Run(*params, static_cast<size_t>(*tracked), *before,
+                             *after, static_cast<size_t>(*k));
+  if (!changes.ok()) return Fail(changes.status());
+  TablePrinter table({"item", "before", "after", "delta"});
+  for (const ChangeResult& c : *changes) {
+    table.AddRowValues(c.item, c.count_s1, c.count_s2, c.Delta());
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdSketch(const Flags& flags) {
+  auto stream = LoadTrace(flags, "trace");
+  if (!stream.ok()) return Fail(stream.status());
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
+  auto params = SketchParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+
+  auto sketch = CountSketch::Make(*params);
+  if (!sketch.ok()) return Fail(sketch.status());
+  for (ItemId q : *stream) sketch->Add(q);
+  const Status s = WriteSketchFile(out, *sketch);
+  if (!s.ok()) return Fail(s);
+  std::cout << "wrote " << out << " (t=" << sketch->depth()
+            << ", b=" << sketch->width() << ", "
+            << sketch->SpaceBytes() / 1024 << " KiB of counters)\n";
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  const std::string path = flags.GetString("sketch", "");
+  if (path.empty()) return Fail(Status::InvalidArgument("--sketch is required"));
+  auto sketch = ReadSketchFile(path);
+  if (!sketch.ok()) return Fail(sketch.status());
+  std::cout << "depth (t):  " << sketch->depth() << "\n"
+            << "width (b):  " << sketch->width() << "\n"
+            << "seed:       " << sketch->seed() << "\n"
+            << "family:     " << static_cast<int>(sketch->params().family)
+            << "\n"
+            << "estimator:  " << static_cast<int>(sketch->params().estimator)
+            << "\n"
+            << "space:      " << sketch->SpaceBytes() / 1024 << " KiB\n";
+  return 0;
+}
+
+int CmdEstimate(const Flags& flags) {
+  const std::string path = flags.GetString("sketch", "");
+  if (path.empty()) return Fail(Status::InvalidArgument("--sketch is required"));
+  if (!flags.Has("item")) return Fail(Status::InvalidArgument("--item is required"));
+  auto item = flags.GetInt("item", 0);
+  if (!item.ok()) return Fail(item.status());
+  auto sketch = ReadSketchFile(path);
+  if (!sketch.ok()) return Fail(sketch.status());
+  std::cout << sketch->Estimate(static_cast<ItemId>(*item)) << "\n";
+  return 0;
+}
+
+int CmdWords(const Flags& flags) {
+  const std::string path = flags.GetString("text", "");
+  if (path.empty()) return Fail(Status::InvalidArgument("--text is required"));
+  auto params = SketchParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+  auto k = flags.GetInt("k", 10);
+  if (!k.ok()) return Fail(k.status());
+  auto min_length = flags.GetInt("min-length", 1);
+  if (!min_length.ok()) return Fail(min_length.status());
+
+  auto topk = StringTopK::Make(*params, static_cast<size_t>(2 * *k));
+  if (!topk.ok()) return Fail(topk.status());
+
+  TextReaderOptions options;
+  options.min_token_length = static_cast<size_t>(*min_length);
+  auto tokens = ForEachToken(path, options, [&](const std::string& token) {
+    topk->Add(token);
+  });
+  if (!tokens.ok()) return Fail(tokens.status());
+
+  std::cout << "processed " << *tokens << " tokens from " << path << "\n";
+  TablePrinter table({"rank", "word", "estimate"});
+  int rank = 0;
+  for (const KeyCount& kc : topk->Candidates(static_cast<size_t>(*k))) {
+    table.AddRowValues(++rank, kc.key, kc.count);
+  }
+  table.Print(std::cout);
+  std::cout << "summary memory: " << topk->SpaceBytes() / 1024 << " KiB\n";
+  return 0;
+}
+
+int CmdHeavyHitters(const Flags& flags) {
+  auto stream = LoadTrace(flags, "trace");
+  if (!stream.ok()) return Fail(stream.status());
+  auto phi = flags.GetDouble("phi", 0.01);
+  if (!phi.ok()) return Fail(phi.status());
+
+  auto hh = PhiHeavyHitters::Make(*phi);
+  if (!hh.ok()) return Fail(hh.status());
+  for (ItemId q : *stream) hh->Add(q);
+
+  TablePrinter table({"item", "count upper", "count lower", "status"});
+  for (const PhiHeavyHitter& r : hh->Report()) {
+    table.AddRowValues(r.item, r.count_upper, r.count_lower,
+                       r.guaranteed ? "guaranteed" : "possible");
+  }
+  table.Print(std::cout);
+  std::cout << "phi=" << *phi << " n=" << hh->StreamLength()
+            << " threshold=" << *phi * static_cast<double>(hh->StreamLength())
+            << " space=" << hh->SpaceBytes() / 1024 << "KiB\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) return Fail(flags.status());
+  if (flags->positional().empty()) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string& command = flags->positional()[0];
+  if (command == "generate") return CmdGenerate(*flags);
+  if (command == "topk") return CmdTopK(*flags);
+  if (command == "suite") return CmdSuite(*flags);
+  if (command == "maxchange") return CmdMaxChange(*flags);
+  if (command == "sketch") return CmdSketch(*flags);
+  if (command == "inspect") return CmdInspect(*flags);
+  if (command == "estimate") return CmdEstimate(*flags);
+  if (command == "words") return CmdWords(*flags);
+  if (command == "hh") return CmdHeavyHitters(*flags);
+  PrintUsage();
+  return Fail(Status::InvalidArgument("unknown command: " + command));
+}
+
+}  // namespace
+}  // namespace streamfreq
+
+int main(int argc, char** argv) { return streamfreq::Main(argc, argv); }
