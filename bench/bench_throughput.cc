@@ -2,13 +2,29 @@
 //
 // Streams a pregenerated Zipf(1) trace through each algorithm at a common
 // ~64 KiB budget and reports items/second; also measures Count-Sketch
-// point-query latency vs depth.
+// point-query latency vs depth, the BatchAdd fast path, and parallel
+// sharded ingestion (src/concurrent/) across thread counts.
 //
 // Expected shape: counter algorithms (Misra-Gries amortized O(1),
 // Space-Saving O(log c)) and plain sampling lead; sketches pay t hashed
-// counter touches per update; Count-Sketch queries pay an extra median.
+// counter touches per update; Count-Sketch queries pay an extra median;
+// parallel ingestion scales with cores (per-thread sketches, merge at end).
+//
+// Extra flags (parsed before google-benchmark's own):
+//   --threads=1,2,4,8   thread counts for the BM_ParallelIngest family
+//   --batch=8192        items per batch for BatchAdd/parallel benchmarks
+// Items/sec per thread count lands in the JSON report via
+// --benchmark_format=json (each BM_ParallelIngest/threads:N row carries
+// items_per_second).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "concurrent/parallel_ingestor.h"
 #include "core/count_sketch.h"
 #include "eval/suite.h"
 #include "eval/workload.h"
@@ -127,7 +143,108 @@ void BM_CountSketchMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_CountSketchMerge)->Arg(1024)->Arg(16384)->Arg(262144);
 
+// The BatchAdd fast path vs item-at-a-time Add at several batch sizes.
+void BM_CountSketchBatchAdd(benchmark::State& state) {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 4096;
+  p.seed = 3;
+  auto sketch = CountSketch::Make(p);
+  SFQ_CHECK_OK(sketch.status());
+  const Workload& w = SharedWorkload();
+  const size_t batch = static_cast<size_t>(state.range(0));
+  size_t offset = 0;
+  for (auto _ : state) {
+    const size_t take = std::min(batch, w.stream.size() - offset);
+    sketch->BatchAdd(std::span<const ItemId>(w.stream.data() + offset, take));
+    offset = offset + take == w.stream.size() ? 0 : offset + take;
+  }
+  benchmark::DoNotOptimize(*sketch);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_CountSketchBatchAdd)->Arg(256)->Arg(4096)->Arg(65536);
+
+// Parallel sharded ingestion end-to-end: shard the trace across N workers
+// (thread-local sketches, final merge) and measure whole-stream wall time.
+void BM_ParallelIngest(benchmark::State& state, size_t threads, size_t batch) {
+  const Workload& w = SharedWorkload();
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 4096;
+  p.seed = 3;
+  for (auto _ : state) {
+    auto ingestor = ParallelIngestor<CountSketch>::Make(
+        MakeSharedParamsFactory<CountSketch>(p),
+        IngestOptions{.threads = threads, .batch_items = batch});
+    SFQ_CHECK_OK(ingestor.status());
+    SFQ_CHECK_OK((*ingestor)->Ingest(std::span<const ItemId>(w.stream)));
+    auto merged = (*ingestor)->Finish();
+    SFQ_CHECK_OK(merged.status());
+    benchmark::DoNotOptimize(*merged);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.stream.size()));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+// Parses "--threads=1,2,8" / "--batch=8192" out of argv (removing them so
+// benchmark::Initialize only sees its own flags).
+struct IngestFlags {
+  std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  size_t batch = 8192;
+};
+
+IngestFlags ParseIngestFlags(int* argc, char** argv) {
+  IngestFlags flags;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      flags.thread_counts.clear();
+      std::string list = arg.substr(10);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        const long v = std::strtol(tok.c_str(), nullptr, 10);
+        if (v > 0) flags.thread_counts.push_back(static_cast<size_t>(v));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (flags.thread_counts.empty()) flags.thread_counts = {1};
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 8, nullptr, 10);
+      if (v > 0) flags.batch = static_cast<size_t>(v);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return flags;
+}
+
 }  // namespace
 }  // namespace streamfreq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const streamfreq::IngestFlags flags =
+      streamfreq::ParseIngestFlags(&argc, argv);
+  for (const size_t t : flags.thread_counts) {
+    benchmark::RegisterBenchmark(
+        ("BM_ParallelIngest/threads:" + std::to_string(t) +
+         "/batch:" + std::to_string(flags.batch))
+            .c_str(),
+        [t, &flags](benchmark::State& state) {
+          streamfreq::BM_ParallelIngest(state, t, flags.batch);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full verification sweep: configure, build, test, run every experiment.
+# Full verification sweep: configure, build, test, run every experiment,
+# then re-check the concurrent subsystem under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
@@ -7,3 +8,15 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do "$b"; done
 for e in build/examples/*; do "$e"; done
+
+# Race check: src/concurrent/ and the batch paths must stay TSan-clean.
+# Separate build tree (TSan is ABI-incompatible with the normal build);
+# benchmarks/examples are skipped — only the concurrent-labelled tests run.
+cmake -B build-tsan -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTREAMFREQ_BUILD_BENCHMARKS=OFF \
+  -DSTREAMFREQ_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS=-fsanitize=thread \
+  -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread
+cmake --build build-tsan --target parallel_ingestor_test batch_add_test
+ctest --test-dir build-tsan -L concurrent --output-on-failure

@@ -1,0 +1,259 @@
+// ParallelIngestor<SketchT>: sharded multi-threaded stream ingestion over
+// mergeable summaries.
+//
+// The paper's additivity observation ("sketches for two streams can be
+// directly added") is the whole parallelization strategy: N worker threads
+// each own a private sketch built from the same parameters and seed, the
+// producer shards the stream into batches over a bounded queue, and worker
+// results are folded by Merge. No counter is ever touched by two threads.
+//
+//   producers --Ingest(span)--> BatchQueue --> worker 0: local sketch
+//                                          --> worker 1: local sketch
+//                                          ...
+//              periodic + final folds (merge mutex) --> accumulated sketch
+//                             publication --> SnapshotCell (epoch, lock-free
+//                                             readers)
+//
+// Linear sketches (CountSketch, CountMin) produce a merged result that is
+// bit-identical to single-threaded ingestion of the same multiset — the
+// counters are a linear function of the input, so the partition is
+// invisible. Counter summaries (SpaceSaving, MisraGries) produce a
+// guarantee-preserving merge instead (see their Merge contracts and
+// docs/PARALLELISM.md); for those, prefer publish_every_batches = 0, since
+// every intermediate fold adds a little merge slack.
+//
+// Reads never block: Snapshot() returns a borrowed pointer to the latest
+// published merged sketch (epoch-published, RCU-style with reclamation
+// deferred to the ingestor's destruction), so queries run concurrently
+// with ingestion at any thread count.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "concurrent/batch_queue.h"
+#include "concurrent/snapshot.h"
+#include "stream/types.h"
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Tuning knobs for ParallelIngestor.
+struct IngestOptions {
+  /// Worker threads (>= 1). Each owns a full private sketch, so memory is
+  /// threads x SpaceBytes().
+  size_t threads = 4;
+  /// Items per queued batch: the granularity of sharding and of the
+  /// BatchAdd fast path. Larger batches amortize queue locking further but
+  /// add latency before work reaches idle workers.
+  size_t batch_items = 8192;
+  /// Bound on in-flight batches (backpressure for producers).
+  size_t queue_batches = 64;
+  /// When > 0, a worker folds its private sketch into the shared
+  /// accumulated sketch and publishes a fresh snapshot after ingesting this
+  /// many batches. 0 publishes only at Finish — the right setting for
+  /// counter summaries, whose merges accrue slack.
+  size_t publish_every_batches = 0;
+};
+
+/// Shards a stream across worker threads that each ingest into a private
+/// SketchT, folding results into a concurrently readable merged snapshot.
+///
+/// SketchT must be copyable and provide BatchAdd(span<const ItemId>) and
+/// Status Merge(const SketchT&); all sketches in src/core/ that the
+/// ingestor is used with satisfy this.
+template <typename SketchT>
+class ParallelIngestor {
+ public:
+  /// Builds one compatible sketch per use site (workers, deltas, the
+  /// accumulator). Capture shared params + seed so the results merge.
+  using Factory = std::function<Result<SketchT>()>;
+
+  /// Validates options, builds the accumulator and every worker's private
+  /// sketch up front (so factory errors surface here, not mid-stream),
+  /// publishes an empty epoch-0 snapshot, and starts the workers.
+  static Result<std::unique_ptr<ParallelIngestor>> Make(Factory factory,
+                                                        IngestOptions options) {
+    if (options.threads == 0) {
+      return Status::InvalidArgument("ParallelIngestor: threads must be >= 1");
+    }
+    if (options.batch_items == 0) {
+      return Status::InvalidArgument(
+          "ParallelIngestor: batch_items must be >= 1");
+    }
+    if (!factory) {
+      return Status::InvalidArgument("ParallelIngestor: factory is empty");
+    }
+    STREAMFREQ_ASSIGN_OR_RETURN(SketchT accumulated, factory());
+    std::vector<SketchT> locals;
+    locals.reserve(options.threads);
+    for (size_t i = 0; i < options.threads; ++i) {
+      STREAMFREQ_ASSIGN_OR_RETURN(SketchT local, factory());
+      locals.push_back(std::move(local));
+    }
+    return std::unique_ptr<ParallelIngestor>(
+        new ParallelIngestor(std::move(factory), options, std::move(accumulated),
+                             std::move(locals)));
+  }
+
+  ~ParallelIngestor() { Shutdown(); }
+
+  ParallelIngestor(const ParallelIngestor&) = delete;
+  ParallelIngestor& operator=(const ParallelIngestor&) = delete;
+
+  /// Copies `items` into batches of batch_items and hands them to the
+  /// workers, blocking while the queue is full. Safe to call from multiple
+  /// producer threads. Fails once Finish has been called.
+  Status Ingest(std::span<const ItemId> items) {
+    while (!items.empty()) {
+      const size_t take = std::min(items.size(), options_.batch_items);
+      std::vector<ItemId> batch(items.begin(), items.begin() + take);
+      if (!queue_.Push(std::move(batch))) {
+        return Status::InvalidArgument(
+            "ParallelIngestor::Ingest: already finished");
+      }
+      items = items.subspan(take);
+    }
+    return Status::OK();
+  }
+
+  /// Drains the queue, joins the workers, folds every worker's remaining
+  /// delta, publishes the final snapshot, and returns a copy of the merged
+  /// sketch. Idempotent; the first internal error (if any) wins.
+  Result<SketchT> Finish() {
+    Shutdown();
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    if (!first_error_.ok()) return first_error_;
+    return accumulated_;
+  }
+
+  /// The latest published merged sketch. Never null: an empty sketch is
+  /// published at construction. Wait-free for readers; the returned
+  /// pointer stays valid until the ingestor is destroyed (each published
+  /// snapshot is retained for the ingestor's lifetime).
+  const SketchT* Snapshot() const { return snapshot_.Read(); }
+
+  /// Publication count: 1 after construction, +1 per periodic or final
+  /// fold. A reader that remembers the epoch can poll for freshness.
+  uint64_t SnapshotEpoch() const { return snapshot_.Epoch(); }
+
+  /// Items ingested by workers so far (relaxed; exact after Finish).
+  uint64_t ItemsIngested() const {
+    return items_ingested_.load(std::memory_order_relaxed);
+  }
+
+  size_t threads() const { return options_.threads; }
+
+ private:
+  ParallelIngestor(Factory factory, const IngestOptions& options,
+                   SketchT accumulated, std::vector<SketchT> locals)
+      : options_(options),
+        factory_(std::move(factory)),
+        queue_(options.queue_batches),
+        accumulated_(std::move(accumulated)),
+        locals_(std::move(locals)) {
+    snapshot_.Publish(std::make_unique<const SketchT>(accumulated_));
+    workers_.reserve(options_.threads);
+    for (size_t w = 0; w < options_.threads; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  /// Pops batches into this worker's private sketch; folds periodically
+  /// when configured and always once at end-of-stream.
+  void WorkerLoop(size_t w) {
+    SketchT* local = &locals_[w];  // single-writer: only this thread
+    size_t batches_since_fold = 0;
+    while (auto batch = queue_.Pop()) {
+      local->BatchAdd(std::span<const ItemId>(*batch));
+      items_ingested_.fetch_add(batch->size(), std::memory_order_relaxed);
+      if (options_.publish_every_batches > 0 &&
+          ++batches_since_fold >= options_.publish_every_batches) {
+        batches_since_fold = 0;
+        // Swap the delta out for a fresh empty sketch so the fold never
+        // reads state a worker is still writing.
+        Result<SketchT> fresh = factory_();
+        if (!fresh.ok()) {
+          RecordError(fresh.status());
+          continue;  // keep accumulating; the final fold picks it up
+        }
+        SketchT delta = std::exchange(*local, std::move(*fresh));
+        FoldAndPublish(delta);
+      }
+    }
+    FoldAndPublish(*local);
+  }
+
+  /// Merges a worker delta into the accumulator and publishes a copy.
+  /// Serialized by merge_mu_; the publication itself never blocks readers.
+  void FoldAndPublish(const SketchT& delta) {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    const Status s = accumulated_.Merge(delta);
+    if (!s.ok()) {
+      if (first_error_.ok()) first_error_ = s;
+      return;
+    }
+    snapshot_.Publish(std::make_unique<const SketchT>(accumulated_));
+  }
+
+  void RecordError(const Status& s) {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    if (first_error_.ok()) first_error_ = s;
+  }
+
+  void Shutdown() {
+    queue_.Close();
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  const IngestOptions options_;
+  const Factory factory_;
+  BatchQueue queue_;
+  SnapshotCell<SketchT> snapshot_;
+  std::atomic<uint64_t> items_ingested_{0};
+
+  std::mutex merge_mu_;
+  SketchT accumulated_;  // guarded by merge_mu_
+  Status first_error_;   // guarded by merge_mu_
+
+  std::vector<SketchT> locals_;  // slot w written only by worker w
+  std::vector<std::thread> workers_;
+};
+
+/// Wraps shared construction parameters into a Factory: every sketch the
+/// ingestor builds shares params (and therefore seed and hash functions),
+/// which is exactly the Merge compatibility requirement. Works for any
+/// SketchT with a static Make(ParamsT) — CountSketch(CountSketchParams),
+/// CountMin(CountMinParams), SpaceSaving/MisraGries(capacity).
+template <typename SketchT, typename ParamsT>
+typename ParallelIngestor<SketchT>::Factory MakeSharedParamsFactory(
+    ParamsT params) {
+  return [params]() -> Result<SketchT> { return SketchT::Make(params); };
+}
+
+/// One-shot convenience: shards `stream` across options.threads workers and
+/// returns the merged sketch. For linear sketches the result is identical
+/// to sequential ingestion of `stream` at every thread count.
+template <typename SketchT>
+Result<SketchT> ParallelIngest(std::span<const ItemId> stream,
+                               typename ParallelIngestor<SketchT>::Factory factory,
+                               const IngestOptions& options) {
+  STREAMFREQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<ParallelIngestor<SketchT>> ingestor,
+      ParallelIngestor<SketchT>::Make(std::move(factory), options));
+  STREAMFREQ_RETURN_NOT_OK(ingestor->Ingest(stream));
+  return ingestor->Finish();
+}
+
+}  // namespace streamfreq

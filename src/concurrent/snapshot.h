@@ -1,0 +1,61 @@
+// Epoch-published snapshots: single-site installation, wait-free readers.
+//
+// The publisher builds a fresh immutable T off to the side, hands ownership
+// to the cell, and installs the raw pointer with a release store; readers
+// acquire-load the current pointer and keep using it for as long as the
+// cell is alive. Reclamation is deferred to cell destruction (RCU-style
+// grace period of "the whole run"): a superseded snapshot is retained, not
+// freed, so a reader holding yesterday's pointer never observes a torn or
+// recycled value — the classic seqlock hazard this design avoids — and the
+// read path is a single atomic load with no lock, retry loop, or reference
+// count. The epoch counter advances on every publication so readers can
+// detect staleness without comparing pointers.
+//
+// The memory cost is one retained T per publication, released when the
+// cell is destroyed. Publications are expected to be coarse (the ingestor
+// folds every publish_every_batches batches, or only at Finish).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace streamfreq {
+
+/// A concurrently readable cell holding the latest published T.
+template <typename T>
+class SnapshotCell {
+ public:
+  /// Installs `next` as the current snapshot and advances the epoch. The
+  /// cell takes ownership and keeps every published snapshot alive until
+  /// it is destroyed, which is what makes Read a plain pointer load.
+  /// Publications may come from any thread; readers never block on one.
+  void Publish(std::unique_ptr<const T> next) {
+    const T* raw = next.get();
+    {
+      std::lock_guard<std::mutex> lock(retained_mu_);
+      retained_.push_back(std::move(next));
+    }
+    current_.store(raw, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// The latest published snapshot; nullptr before the first Publish.
+  /// Wait-free. The pointer stays valid until the cell is destroyed.
+  const T* Read() const { return current_.load(std::memory_order_acquire); }
+
+  /// Number of publications so far.
+  uint64_t Epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<const T*> current_{nullptr};
+  std::atomic<uint64_t> epoch_{0};
+
+  std::mutex retained_mu_;  // publisher-side only; readers never touch it
+  std::vector<std::unique_ptr<const T>> retained_;
+};
+
+}  // namespace streamfreq

@@ -45,6 +45,19 @@ void CountMin::Add(ItemId item, Count weight) noexcept {
   }
 }
 
+void CountMin::BatchAdd(std::span<const ItemId> items, Count weight) noexcept {
+  SFQ_DCHECK_GE(weight, 0);
+  if (params_.conservative) {
+    for (const ItemId q : items) Add(q, weight);
+    return;
+  }
+  for (size_t i = 0; i < depth_; ++i) {
+    const CarterWegmanHash& h = hashes_[i];
+    int64_t* row = counters_.data() + i * width_;
+    for (const ItemId q : items) row[h.Bucket(q, width_)] += weight;
+  }
+}
+
 Count CountMin::Estimate(ItemId item) const noexcept {
   Count best = counters_[hashes_[0].Bucket(item, width_)];
   for (size_t i = 1; i < depth_; ++i) {

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/frequent.h"
@@ -40,6 +41,13 @@ class CountMin {
   /// min-estimator's guarantee does not survive deletions (checked in
   /// debug builds only — hot path).
   void Add(ItemId item, Count weight = 1) noexcept;
+
+  /// Batch Add: `weight` occurrences of every item in `items`. For the
+  /// plain sketch the update is row-major (hash constants and one counter
+  /// stripe at a time) and the final state is exactly the item-at-a-time
+  /// state; the conservative-update variant is order-dependent and falls
+  /// back to per-item Add in stream order.
+  void BatchAdd(std::span<const ItemId> items, Count weight = 1) noexcept;
 
   /// min over rows of the item's counter: an overestimate of the count.
   Count Estimate(ItemId item) const noexcept;

@@ -78,6 +78,36 @@ void CountSketch::Add(ItemId item, Count weight) noexcept {
   }
 }
 
+template <typename HashT>
+void CountSketch::BatchAddRows(const std::vector<HashT>& bucket,
+                               const std::vector<HashT>& sign,
+                               std::span<const ItemId> items,
+                               Count weight) noexcept {
+  for (size_t i = 0; i < depth_; ++i) {
+    const HashT& hb = bucket[i];
+    const HashT& hs = sign[i];
+    int64_t* row = counters_.data() + i * width_;
+    for (const ItemId q : items) {
+      row[hb.Bucket(q, width_)] += weight * hs.Sign(q);
+    }
+  }
+}
+
+void CountSketch::BatchAdd(std::span<const ItemId> items,
+                           Count weight) noexcept {
+  switch (params_.family) {
+    case HashFamily::kCarterWegman:
+      BatchAddRows(cw_bucket_, cw_sign_, items, weight);
+      break;
+    case HashFamily::kMultiplyShift:
+      BatchAddRows(ms_bucket_, ms_sign_, items, weight);
+      break;
+    case HashFamily::kTabulation:
+      BatchAddRows(tab_bucket_, tab_sign_, items, weight);
+      break;
+  }
+}
+
 std::vector<Count> CountSketch::RowEstimates(ItemId item) const {
   std::vector<Count> est(depth_);
   for (size_t i = 0; i < depth_; ++i) {

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,6 +67,14 @@ class CountSketch {
   /// ADD(C, q): processes `weight` occurrences of `item` (weight may be
   /// negative — turnstile model).
   void Add(ItemId item, Count weight = 1) noexcept;
+
+  /// Batch ADD: processes `weight` occurrences of every item in `items`,
+  /// with the final state exactly equal to item-at-a-time Add calls (the
+  /// counters are a linear function of the multiset). Iterates row-major —
+  /// one hash function and one counter row at a time — so the hash
+  /// parameters stay in registers and each pass touches a single
+  /// width_-sized stripe; the parallel ingestion fast path.
+  void BatchAdd(std::span<const ItemId> items, Count weight = 1) noexcept;
 
   /// ESTIMATE(C, q): the median (or mean) over rows of C[i][h_i(q)]*s_i(q).
   /// Mean estimates round toward zero.
@@ -131,6 +140,12 @@ class CountSketch {
     int64_t sign;
   };
   BucketSign Locate(size_t row, ItemId item) const noexcept;
+
+  /// Row-major batch update over one hash family's function vectors.
+  template <typename HashT>
+  void BatchAddRows(const std::vector<HashT>& bucket,
+                    const std::vector<HashT>& sign,
+                    std::span<const ItemId> items, Count weight) noexcept;
 
   CountSketchParams params_;
   size_t depth_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,15 @@ class StreamSummary {
   /// Processes an entire materialized stream, one occurrence at a time.
   void AddAll(const Stream& stream) {
     for (ItemId q : stream) Add(q, 1);
+  }
+
+  /// Processes a batch of unit-weight arrivals. The default is equivalent
+  /// to Add-ing each item in stream order; implementations whose guarantee
+  /// is order-independent may override to aggregate duplicates and apply
+  /// weighted updates (same guarantees, possibly different summary state —
+  /// see each override). The parallel ingestion fast path.
+  virtual void BatchAdd(std::span<const ItemId> items) {
+    for (ItemId q : items) Add(q, 1);
   }
 
   /// Estimated count of `item`. Semantics vary by algorithm (Count-Sketch:

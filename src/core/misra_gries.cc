@@ -60,6 +60,13 @@ void MisraGries::Add(ItemId item, Count weight) {
   }
 }
 
+void MisraGries::BatchAdd(std::span<const ItemId> items) {
+  std::unordered_map<ItemId, Count> aggregated;
+  aggregated.reserve(std::min(items.size(), size_t{4} * capacity_));
+  for (const ItemId q : items) ++aggregated[q];
+  for (const auto& [item, weight] : aggregated) Add(item, weight);
+}
+
 Status MisraGries::Merge(const MisraGries& other) {
   if (capacity_ != other.capacity_) {
     return Status::InvalidArgument(

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,12 @@ class MisraGries final : public StreamSummary {
   /// O(1) expected time.
   void Add(ItemId item, Count weight) override;
   using StreamSummary::Add;
+
+  /// Batch arrival: aggregates duplicates, then applies one weighted Add
+  /// per distinct item. Equivalent to a reordered ingest of the batch; the
+  /// n/(c+1) guarantee is order-independent so it is preserved, but the
+  /// summary state may differ from item-at-a-time ingestion.
+  void BatchAdd(std::span<const ItemId> items) override;
 
   /// Lower-bound estimate: the counter when monitored, else 0.
   Count Estimate(ItemId item) const override;

@@ -73,6 +73,13 @@ void SpaceSaving::Add(ItemId item, Count weight) {
   SiftDown(0);
 }
 
+void SpaceSaving::BatchAdd(std::span<const ItemId> items) {
+  std::unordered_map<ItemId, Count> aggregated;
+  aggregated.reserve(std::min(items.size(), size_t{4} * capacity_));
+  for (const ItemId q : items) ++aggregated[q];
+  for (const auto& [item, weight] : aggregated) Add(item, weight);
+}
+
 Count SpaceSaving::Estimate(ItemId item) const {
   auto it = position_.find(item);
   if (it != position_.end()) return heap_[it->second].count;

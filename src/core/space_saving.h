@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,14 @@ class SpaceSaving final : public StreamSummary {
   /// Weighted arrival; weight must be >= 1. O(log capacity).
   void Add(ItemId item, Count weight) override;
   using StreamSummary::Add;
+
+  /// Batch arrival: aggregates duplicate items locally, then applies one
+  /// weighted Add per distinct item. On skewed batches this collapses most
+  /// heap operations into a handful of weighted updates. Equivalent to a
+  /// reordered ingest of the batch, so all Space-Saving guarantees hold
+  /// (they are order-independent), but the summary state may differ from
+  /// item-at-a-time ingestion.
+  void BatchAdd(std::span<const ItemId> items) override;
 
   /// Upper-bound estimate: the count when monitored, else the minimum count
   /// (the tightest upper bound Space-Saving can certify for any item).

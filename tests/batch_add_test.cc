@@ -1,0 +1,185 @@
+// BatchAdd contracts: linear sketches must be bit-identical to
+// item-at-a-time ingestion; counter summaries must keep their guarantees
+// under the aggregate-then-weighted-add reordering.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "core/count_min.h"
+#include "core/count_sketch.h"
+#include "core/lossy_counting.h"
+#include "core/misra_gries.h"
+#include "core/space_saving.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+Stream MakeZipfStream(size_t n, uint64_t seed) {
+  auto gen = ZipfGenerator::Make(5000, 1.1, seed);
+  EXPECT_TRUE(gen.ok());
+  return gen->Take(n);
+}
+
+TEST(BatchAddTest, CountSketchMatchesItemAtATimeForEveryFamily) {
+  const Stream stream = MakeZipfStream(30000, 7);
+  for (HashFamily family : {HashFamily::kCarterWegman,
+                            HashFamily::kMultiplyShift,
+                            HashFamily::kTabulation}) {
+    CountSketchParams p;
+    p.depth = 5;
+    p.width = 512;
+    p.seed = 99;
+    p.family = family;
+    auto batched = CountSketch::Make(p);
+    auto sequential = CountSketch::Make(p);
+    ASSERT_TRUE(batched.ok());
+    ASSERT_TRUE(sequential.ok());
+
+    batched->BatchAdd(std::span<const ItemId>(stream));
+    for (ItemId q : stream) sequential->Add(q);
+
+    for (size_t row = 0; row < p.depth; ++row) {
+      for (size_t col = 0; col < p.width; ++col) {
+        ASSERT_EQ(batched->CounterAt(row, col), sequential->CounterAt(row, col))
+            << "family " << static_cast<int>(family) << " row " << row
+            << " col " << col;
+      }
+    }
+  }
+}
+
+TEST(BatchAddTest, CountSketchWeightedAndChunkedBatches) {
+  const Stream stream = MakeZipfStream(10000, 8);
+  CountSketchParams p;
+  p.depth = 4;
+  p.width = 256;
+  p.seed = 5;
+  auto batched = CountSketch::Make(p);
+  auto sequential = CountSketch::Make(p);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_TRUE(sequential.ok());
+
+  // Ingest in uneven chunks with weight 3; compare against Add(q, 3).
+  std::span<const ItemId> rest(stream);
+  size_t chunk = 1;
+  while (!rest.empty()) {
+    const size_t take = std::min(chunk, rest.size());
+    batched->BatchAdd(rest.first(take), 3);
+    rest = rest.subspan(take);
+    chunk = chunk * 2 + 1;
+  }
+  for (ItemId q : stream) sequential->Add(q, 3);
+
+  for (size_t row = 0; row < p.depth; ++row) {
+    for (size_t col = 0; col < p.width; ++col) {
+      ASSERT_EQ(batched->CounterAt(row, col), sequential->CounterAt(row, col));
+    }
+  }
+}
+
+TEST(BatchAddTest, CountMinMatchesItemAtATime) {
+  const Stream stream = MakeZipfStream(30000, 9);
+  for (bool conservative : {false, true}) {
+    CountMinParams p;
+    p.depth = 4;
+    p.width = 512;
+    p.seed = 3;
+    p.conservative = conservative;
+    auto batched = CountMin::Make(p);
+    auto sequential = CountMin::Make(p);
+    ASSERT_TRUE(batched.ok());
+    ASSERT_TRUE(sequential.ok());
+
+    batched->BatchAdd(std::span<const ItemId>(stream));
+    for (ItemId q : stream) sequential->Add(q);
+
+    // Estimates must agree everywhere (plain: identical counters by
+    // linearity; conservative: identical because the fallback preserves
+    // stream order).
+    ExactCounter oracle;
+    oracle.AddAll(stream);
+    for (const ItemCount& ic : oracle.TopK(200)) {
+      ASSERT_EQ(batched->Estimate(ic.item), sequential->Estimate(ic.item))
+          << "conservative=" << conservative;
+    }
+  }
+}
+
+TEST(BatchAddTest, SpaceSavingKeepsGuarantees) {
+  const Stream stream = MakeZipfStream(50000, 11);
+  constexpr size_t kCapacity = 200;
+  auto ss = SpaceSaving::Make(kCapacity);
+  ASSERT_TRUE(ss.ok());
+
+  std::span<const ItemId> rest(stream);
+  while (!rest.empty()) {
+    const size_t take = std::min<size_t>(4096, rest.size());
+    ss->BatchAdd(rest.first(take));
+    rest = rest.subspan(take);
+  }
+
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  const Count n = static_cast<Count>(stream.size());
+  // Upper-bound estimates, min-count bound, and coverage of heavy items.
+  EXPECT_LE(ss->MinCount(), n / static_cast<Count>(kCapacity));
+  for (const ItemCount& ic : oracle.TopK(50)) {
+    EXPECT_GE(ss->Estimate(ic.item), ic.count) << "item " << ic.item;
+    if (ic.count > n / static_cast<Count>(kCapacity)) {
+      EXPECT_GT(ss->ErrorOf(ic.item) + ss->Estimate(ic.item), 0);
+      EXPECT_GE(ss->Estimate(ic.item) - ss->ErrorOf(ic.item), 0);
+    }
+  }
+}
+
+TEST(BatchAddTest, MisraGriesKeepsGuarantees) {
+  const Stream stream = MakeZipfStream(50000, 13);
+  constexpr size_t kCapacity = 200;
+  auto mg = MisraGries::Make(kCapacity);
+  ASSERT_TRUE(mg.ok());
+
+  std::span<const ItemId> rest(stream);
+  while (!rest.empty()) {
+    const size_t take = std::min<size_t>(4096, rest.size());
+    mg->BatchAdd(rest.first(take));
+    rest = rest.subspan(take);
+  }
+
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  const Count n = static_cast<Count>(stream.size());
+  const Count slack = n / static_cast<Count>(kCapacity + 1);
+  EXPECT_LE(mg->MaxError(), slack);
+  for (const ItemCount& ic : oracle.TopK(50)) {
+    // Lower-bound estimates with undercount at most n/(c+1).
+    EXPECT_LE(mg->Estimate(ic.item), ic.count);
+    EXPECT_GE(mg->Estimate(ic.item), ic.count - slack);
+  }
+}
+
+TEST(BatchAddTest, DefaultBatchAddEqualsAddLoop) {
+  // LossyCounting does not override BatchAdd: the base default must be
+  // exactly the in-order Add loop.
+  const Stream stream = MakeZipfStream(20000, 17);
+  auto batched = LossyCounting::Make(0.001);
+  auto sequential = LossyCounting::Make(0.001);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_TRUE(sequential.ok());
+
+  batched->BatchAdd(std::span<const ItemId>(stream));
+  sequential->AddAll(stream);
+
+  const auto a = batched->Candidates(100);
+  const auto b = sequential->Candidates(100);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].item, b[i].item);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
+}
+
+}  // namespace
+}  // namespace streamfreq

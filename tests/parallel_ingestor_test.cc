@@ -1,0 +1,276 @@
+// ParallelIngestor contracts: merged parallel ingestion is bit-identical to
+// sequential ingestion for linear sketches at every thread count, and
+// guarantee-preserving for counter summaries; snapshots are readable while
+// workers are writing (the test ThreadSanitizer exercises).
+#include "concurrent/parallel_ingestor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/count_min.h"
+#include "core/count_sketch.h"
+#include "core/misra_gries.h"
+#include "core/space_saving.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf.h"
+
+namespace streamfreq {
+namespace {
+
+CountSketchParams SketchParams() {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 1024;
+  p.seed = 77;
+  return p;
+}
+
+Stream MakeZipfStream(size_t n, uint64_t seed) {
+  auto gen = ZipfGenerator::Make(8000, 1.0, seed);
+  EXPECT_TRUE(gen.ok());
+  return gen->Take(n);
+}
+
+// ThreadSanitizer slows everything ~10x; shrink the streams there so the
+// concurrent suite stays fast under scripts/check.sh's race sweep.
+#if defined(__SANITIZE_THREAD__)
+constexpr size_t kStreamItems = 60000;
+#else
+constexpr size_t kStreamItems = 200000;
+#endif
+
+TEST(ParallelIngestorTest, RejectsBadOptions) {
+  IngestOptions opts;
+  opts.threads = 0;
+  EXPECT_TRUE(ParallelIngestor<CountSketch>::Make(
+                  MakeSharedParamsFactory<CountSketch>(SketchParams()), opts)
+                  .status()
+                  .IsInvalidArgument());
+  opts.threads = 2;
+  opts.batch_items = 0;
+  EXPECT_TRUE(ParallelIngestor<CountSketch>::Make(
+                  MakeSharedParamsFactory<CountSketch>(SketchParams()), opts)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParallelIngestor<CountSketch>::Make({}, IngestOptions{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParallelIngestorTest, CountSketchDeterministicAcrossThreadCounts) {
+  const Stream stream = MakeZipfStream(kStreamItems, 21);
+  auto sequential = CountSketch::Make(SketchParams());
+  ASSERT_TRUE(sequential.ok());
+  sequential->BatchAdd(std::span<const ItemId>(stream));
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    IngestOptions opts;
+    opts.threads = threads;
+    opts.batch_items = 4096;
+    opts.publish_every_batches = 4;  // periodic folds must not change the sum
+    auto merged = ParallelIngest<CountSketch>(
+        std::span<const ItemId>(stream),
+        MakeSharedParamsFactory<CountSketch>(SketchParams()), opts);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+    // Same seed => same hash functions => bit-identical counters, so every
+    // estimate matches sequential ingestion exactly, at every thread count.
+    for (size_t row = 0; row < sequential->depth(); ++row) {
+      for (size_t col = 0; col < sequential->width(); ++col) {
+        ASSERT_EQ(merged->CounterAt(row, col), sequential->CounterAt(row, col))
+            << "threads=" << threads << " row=" << row << " col=" << col;
+      }
+    }
+  }
+}
+
+TEST(ParallelIngestorTest, CountMinParallelMatchesSequential) {
+  const Stream stream = MakeZipfStream(kStreamItems, 22);
+  CountMinParams p;
+  p.depth = 4;
+  p.width = 1024;
+  p.seed = 5;
+  auto sequential = CountMin::Make(p);
+  ASSERT_TRUE(sequential.ok());
+  sequential->BatchAdd(std::span<const ItemId>(stream));
+
+  IngestOptions opts;
+  opts.threads = 4;
+  opts.batch_items = 2048;
+  opts.publish_every_batches = 8;
+  auto merged = ParallelIngest<CountMin>(
+      std::span<const ItemId>(stream),
+      MakeSharedParamsFactory<CountMin>(p), opts);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  for (const ItemCount& ic : oracle.TopK(200)) {
+    EXPECT_EQ(merged->Estimate(ic.item), sequential->Estimate(ic.item));
+  }
+}
+
+TEST(ParallelIngestorTest, SpaceSavingParallelKeepsGuarantees) {
+  const Stream stream = MakeZipfStream(kStreamItems, 23);
+  constexpr size_t kCapacity = 512;
+  IngestOptions opts;
+  opts.threads = 4;
+  opts.batch_items = 4096;  // publish_every_batches stays 0: final fold only
+  auto merged = ParallelIngest<SpaceSaving>(
+      std::span<const ItemId>(stream),
+      MakeSharedParamsFactory<SpaceSaving>(kCapacity), opts);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  // Merged counts stay upper bounds on union counts (the Merge contract),
+  // and the heavy head of a Zipf(1) stream must be monitored.
+  std::set<ItemId> monitored;
+  for (const ItemCount& ic : merged->Candidates(kCapacity)) {
+    monitored.insert(ic.item);
+  }
+  for (const ItemCount& ic : oracle.TopK(20)) {
+    EXPECT_GE(merged->Estimate(ic.item), ic.count) << "item " << ic.item;
+    EXPECT_TRUE(monitored.count(ic.item)) << "item " << ic.item;
+  }
+}
+
+TEST(ParallelIngestorTest, MisraGriesParallelKeepsGuarantees) {
+  const Stream stream = MakeZipfStream(kStreamItems, 24);
+  constexpr size_t kCapacity = 512;
+  IngestOptions opts;
+  opts.threads = 4;
+  opts.batch_items = 4096;
+  auto merged = ParallelIngest<MisraGries>(
+      std::span<const ItemId>(stream),
+      MakeSharedParamsFactory<MisraGries>(kCapacity), opts);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  const Count n = static_cast<Count>(stream.size());
+  // The merged summary keeps the (n1 + ... + nP) / (c+1) error guarantee
+  // over the union stream.
+  const Count slack = n / static_cast<Count>(kCapacity + 1);
+  for (const ItemCount& ic : oracle.TopK(20)) {
+    EXPECT_LE(merged->Estimate(ic.item), ic.count);
+    EXPECT_GE(merged->Estimate(ic.item), ic.count - slack)
+        << "item " << ic.item;
+  }
+}
+
+TEST(ParallelIngestorTest, SnapshotsReadableDuringIngestion) {
+  const Stream stream = MakeZipfStream(kStreamItems, 25);
+  // Ground-truth hottest item for sanity-checking concurrent reads.
+  ExactCounter oracle;
+  oracle.AddAll(stream);
+  const ItemId hot = oracle.TopK(1)[0].item;
+
+  IngestOptions opts;
+  opts.threads = 4;
+  opts.batch_items = 1024;
+  opts.publish_every_batches = 2;
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      MakeSharedParamsFactory<CountSketch>(SketchParams()), opts);
+  ASSERT_TRUE(ingestor.ok());
+
+  // Never null, even before any data arrives.
+  ASSERT_NE((*ingestor)->Snapshot(), nullptr);
+  EXPECT_GE((*ingestor)->SnapshotEpoch(), 1u);
+
+  // Readers hammer the snapshot while the producer feeds the stream.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const CountSketch* snap = (*ingestor)->Snapshot();
+        // Estimates on a consistent snapshot are well-defined values; the
+        // hot item's estimate can never exceed the whole stream length.
+        const Count est = snap->Estimate(hot);
+        ASSERT_LE(std::abs(est), static_cast<Count>(stream.size()));
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  ASSERT_TRUE((*ingestor)->Ingest(std::span<const ItemId>(stream)).ok());
+  auto merged = (*ingestor)->Finish();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ((*ingestor)->ItemsIngested(), stream.size());
+
+  // The final snapshot is the merged result.
+  const CountSketch* final_snap = (*ingestor)->Snapshot();
+  ASSERT_NE(final_snap, nullptr);
+  for (size_t row = 0; row < merged->depth(); ++row) {
+    for (size_t col = 0; col < merged->width(); col += 7) {
+      ASSERT_EQ(final_snap->CounterAt(row, col), merged->CounterAt(row, col));
+    }
+  }
+  // Periodic folds published intermediate epochs beyond the initial one.
+  EXPECT_GT((*ingestor)->SnapshotEpoch(), 1u);
+}
+
+TEST(ParallelIngestorTest, IngestAfterFinishFails) {
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      MakeSharedParamsFactory<CountSketch>(SketchParams()), IngestOptions{});
+  ASSERT_TRUE(ingestor.ok());
+  const Stream stream = MakeZipfStream(1000, 26);
+  ASSERT_TRUE((*ingestor)->Ingest(std::span<const ItemId>(stream)).ok());
+  auto merged = (*ingestor)->Finish();
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE((*ingestor)
+                  ->Ingest(std::span<const ItemId>(stream))
+                  .IsInvalidArgument());
+  // Finish is idempotent.
+  EXPECT_TRUE((*ingestor)->Finish().ok());
+}
+
+TEST(ParallelIngestorTest, MultipleProducers) {
+  const Stream stream = MakeZipfStream(kStreamItems, 27);
+  auto sequential = CountSketch::Make(SketchParams());
+  ASSERT_TRUE(sequential.ok());
+  sequential->BatchAdd(std::span<const ItemId>(stream));
+
+  IngestOptions opts;
+  opts.threads = 2;
+  opts.batch_items = 1024;
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      MakeSharedParamsFactory<CountSketch>(SketchParams()), opts);
+  ASSERT_TRUE(ingestor.ok());
+
+  // Four producer threads submit disjoint quarters concurrently.
+  std::vector<std::thread> producers;
+  const size_t quarter = stream.size() / 4;
+  for (size_t p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      const size_t begin = p * quarter;
+      const size_t end = p == 3 ? stream.size() : begin + quarter;
+      std::span<const ItemId> part(stream.data() + begin, end - begin);
+      ASSERT_TRUE((*ingestor)->Ingest(part).ok());
+    });
+  }
+  for (auto& t : producers) t.join();
+  auto merged = (*ingestor)->Finish();
+  ASSERT_TRUE(merged.ok());
+
+  for (size_t row = 0; row < sequential->depth(); ++row) {
+    for (size_t col = 0; col < sequential->width(); ++col) {
+      ASSERT_EQ(merged->CounterAt(row, col), sequential->CounterAt(row, col));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -5,7 +5,9 @@
 //   topk       run the Count-Sketch top-k algorithm over a trace
 //   suite      run the full algorithm suite over a trace and score it
 //   maxchange  find the largest frequency changes between two traces
-//   sketch     build a Count-Sketch from a trace and save it (checksummed)
+//   sketch     build a Count-Sketch from a trace and save it (checksummed);
+//              --threads N ingests the trace through the parallel sharded
+//              pipeline (src/concurrent/), identical output by linearity
 //   inspect    print the parameters of a saved sketch file
 //   estimate   point-query a saved sketch file
 //
@@ -15,8 +17,10 @@
 //   sfq maxchange --before day1.trace --after day2.trace --k 20
 //   sfq sketch --trace q.trace --out q.skf && sfq inspect --sketch q.skf
 #include <iostream>
+#include <span>
 #include <string>
 
+#include "concurrent/parallel_ingestor.h"
 #include "core/count_sketch.h"
 #include "core/max_change.h"
 #include "core/sketch_io.h"
@@ -55,6 +59,7 @@ void PrintUsage() {
       "  maxchange --before FILE --after FILE [--k K] [--depth T]\n"
       "            [--width B] [--tracked L]\n"
       "  sketch    --trace FILE --out FILE [--depth T] [--width B] [--seed S]\n"
+      "            [--threads N] [--batch ITEMS]   (parallel ingestion)\n"
       "  inspect   --sketch FILE\n"
       "  estimate  --sketch FILE --item ID\n"
       "  words     --text FILE [--k K] [--depth T] [--width B]\n"
@@ -228,15 +233,35 @@ int CmdSketch(const Flags& flags) {
   if (out.empty()) return Fail(Status::InvalidArgument("--out is required"));
   auto params = SketchParamsFromFlags(flags);
   if (!params.ok()) return Fail(params.status());
+  auto threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) return Fail(threads.status());
+  auto batch = flags.GetInt("batch", 8192);
+  if (!batch.ok()) return Fail(batch.status());
+  if (*threads <= 0 || *batch <= 0) {
+    return Fail(Status::InvalidArgument("--threads and --batch must be positive"));
+  }
 
-  auto sketch = CountSketch::Make(*params);
+  Result<CountSketch> sketch = Status::Internal("unset");
+  if (*threads > 1) {
+    // Parallel sharded ingestion: per-thread sketches from the same params
+    // and seed, folded at the end — identical counters by linearity.
+    IngestOptions opts;
+    opts.threads = static_cast<size_t>(*threads);
+    opts.batch_items = static_cast<size_t>(*batch);
+    sketch = ParallelIngest<CountSketch>(
+        std::span<const ItemId>(*stream),
+        MakeSharedParamsFactory<CountSketch>(*params), opts);
+  } else {
+    sketch = CountSketch::Make(*params);
+    if (sketch.ok()) sketch->BatchAdd(std::span<const ItemId>(*stream));
+  }
   if (!sketch.ok()) return Fail(sketch.status());
-  for (ItemId q : *stream) sketch->Add(q);
   const Status s = WriteSketchFile(out, *sketch);
   if (!s.ok()) return Fail(s);
   std::cout << "wrote " << out << " (t=" << sketch->depth()
             << ", b=" << sketch->width() << ", "
-            << sketch->SpaceBytes() / 1024 << " KiB of counters)\n";
+            << sketch->SpaceBytes() / 1024 << " KiB of counters, ingested with "
+            << *threads << " thread" << (*threads == 1 ? "" : "s") << ")\n";
   return 0;
 }
 
