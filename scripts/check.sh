@@ -1,13 +1,29 @@
 #!/usr/bin/env bash
-# Full verification sweep: configure, build, test, run every experiment,
-# then re-check the concurrent subsystem under ThreadSanitizer.
+# Verification sweep.
+#
+#   scripts/check.sh --quick    build + ctest + TSan concurrent re-check
+#   scripts/check.sh            the above, plus benchmarks, examples, an
+#                               ASan/UBSan build running the full suite,
+#                               and a nightly-scale `sfq verify` fuzz
+#                               campaign against the statistical oracles
+#
+# Environment:
+#   SFQ_FUZZ_SEED   master seed for the nightly fuzz campaign (default 42)
+#   SFQ_FUZZ_ITERS  nightly fuzz iterations (default 2000; CI smoke is 200)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
-for b in build/bench/*; do "$b"; done
-for e in build/examples/*; do "$e"; done
 
 # Race check: src/concurrent/ and the batch paths must stay TSan-clean.
 # Separate build tree (TSan is ABI-incompatible with the normal build);
@@ -20,3 +36,30 @@ cmake -B build-tsan -G Ninja \
   -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread
 cmake --build build-tsan --target parallel_ingestor_test batch_add_test
 ctest --test-dir build-tsan -L concurrent --output-on-failure
+
+if [[ "$QUICK" -eq 1 ]]; then
+  echo "check.sh --quick: OK"
+  exit 0
+fi
+
+for b in build/bench/*; do "$b"; done
+for e in build/examples/*; do "$e"; done
+
+# Memory/UB check: the full test suite — including the fuzz and metamorphic
+# tests — must stay clean under AddressSanitizer + UndefinedBehaviorSanitizer.
+cmake -B build-asan -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSTREAMFREQ_BUILD_BENCHMARKS=OFF \
+  -DSTREAMFREQ_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
+# Nightly-scale differential fuzz campaign: every guarantee checker over
+# seeded workloads at the paper's Lemma 5 sizing. Zero violations expected;
+# a failure prints a shrunk `sfq verify --program "..."` reproducer.
+build/tools/sfq verify --seed="${SFQ_FUZZ_SEED:-42}" \
+  --iters="${SFQ_FUZZ_ITERS:-2000}"
+
+echo "check.sh: OK"

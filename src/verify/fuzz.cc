@@ -1,0 +1,132 @@
+#include "verify/fuzz.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/macros.h"
+#include "verify/checkers.h"
+#include "verify/oracle.h"
+
+namespace streamfreq {
+
+Result<ProgramResult> FuzzDriver::RunProgram(const FuzzProgram& program) const {
+  STREAMFREQ_ASSIGN_OR_RETURN(Stream stream, MaterializeStream(program));
+  const Oracle oracle(stream);
+  const VerifySetup setup = MakeVerifySetup(
+      program.k, program.epsilon, program.width_scale, program.seed, oracle);
+  ProgramResult result;
+  for (const auto& checker : DefaultCheckers()) {
+    if (!options_.algorithm_filter.empty() &&
+        options_.algorithm_filter != checker->Name()) {
+      continue;
+    }
+    if (!checker->Supports(program.mutation)) continue;
+    STREAMFREQ_ASSIGN_OR_RETURN(BuildOutcome built,
+                                checker->Build(stream, setup,
+                                               program.mutation));
+    ++result.checks;
+    ++result.checks_by_algorithm[checker->Name()];
+    for (Violation& v : built.equivalence_violations) {
+      result.violations.push_back(std::move(v));
+    }
+    std::vector<Violation> found =
+        checker->Check(*built.summary, oracle, setup, built.context);
+    for (Violation& v : found) result.violations.push_back(std::move(v));
+  }
+  return result;
+}
+
+FuzzProgram FuzzDriver::Shrink(const FuzzProgram& failing) const {
+  // A candidate counts against the budget whether or not it keeps failing;
+  // a shrink that can't make progress terminates quickly.
+  FuzzProgram current = failing;
+  size_t budget = options_.shrink_budget;
+  const auto still_fails = [&](const FuzzProgram& candidate) {
+    if (budget == 0) return false;
+    --budget;
+    Result<ProgramResult> r = RunProgram(candidate);
+    return r.ok() && !r.ValueOrDie().violations.empty();
+  };
+  bool progressed = true;
+  while (progressed && budget > 0) {
+    progressed = false;
+    if (current.mutation != Mutation::kSequential) {
+      FuzzProgram candidate = current;
+      candidate.mutation = Mutation::kSequential;
+      if (still_fails(candidate)) {
+        current = candidate;
+        progressed = true;
+        continue;
+      }
+    }
+    if (current.n > 1000) {
+      FuzzProgram candidate = current;
+      candidate.n = std::max<uint64_t>(1000, candidate.n / 2);
+      if (still_fails(candidate)) {
+        current = candidate;
+        progressed = true;
+        continue;
+      }
+    }
+    if (current.universe > 128) {
+      FuzzProgram candidate = current;
+      candidate.universe = std::max<uint64_t>(128, candidate.universe / 2);
+      if (still_fails(candidate)) {
+        current = candidate;
+        progressed = true;
+        continue;
+      }
+    }
+    if (current.k > 2) {
+      FuzzProgram candidate = current;
+      candidate.k = std::max<size_t>(2, candidate.k / 2);
+      if (still_fails(candidate)) {
+        current = candidate;
+        progressed = true;
+        continue;
+      }
+    }
+  }
+  return current;
+}
+
+Result<FuzzReport> FuzzDriver::Run() const {
+  FuzzReport report;
+  for (size_t i = 0; i < options_.iterations; ++i) {
+    FuzzProgram program = ProgramFromSeed(options_.seed, i);
+    program.width_scale = options_.width_scale;
+    STREAMFREQ_ASSIGN_OR_RETURN(ProgramResult result, RunProgram(program));
+    ++report.programs;
+    report.checks += result.checks;
+    for (const auto& [name, count] : result.checks_by_algorithm) {
+      report.checks_by_algorithm[name] += count;
+    }
+    report.violations += result.violations.size();
+    for (const Violation& v : result.violations) {
+      ++report.violations_by_algorithm[v.algorithm];
+    }
+    if (!result.violations.empty()) {
+      FuzzFailure failure;
+      failure.program = program;
+      failure.minimal = options_.shrink ? Shrink(program) : program;
+      if (failure.minimal.n != program.n ||
+          failure.minimal.universe != program.universe ||
+          failure.minimal.k != program.k ||
+          failure.minimal.mutation != program.mutation) {
+        Result<ProgramResult> minimal_result = RunProgram(failure.minimal);
+        if (minimal_result.ok()) {
+          failure.violations =
+              std::move(minimal_result.ValueOrDie().violations);
+        }
+      }
+      if (failure.violations.empty()) {
+        failure.violations = std::move(result.violations);
+      }
+      report.failures.push_back(std::move(failure));
+      if (report.failures.size() >= options_.max_failures) break;
+    }
+  }
+  return report;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,88 @@
+// Seeded fuzz driver: generates workload programs, runs every guarantee
+// checker, aggregates violations, and shrinks failures to minimal
+// replayable reproducers.
+//
+// Determinism contract: Run() with the same FuzzOptions always executes the
+// same programs against the same sketches and returns the same report, so a
+// CI failure replays locally with `sfq verify --seed=<seed>` and any single
+// failing program replays with `sfq verify --program "<line>"`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "verify/program.h"
+#include "verify/violation.h"
+
+namespace streamfreq {
+
+/// Knobs of one fuzz campaign.
+struct FuzzOptions {
+  uint64_t seed = 42;
+  size_t iterations = 200;
+  /// When non-empty, only the checker with this exact name runs.
+  std::string algorithm_filter;
+  /// Width multiplier applied to every program (1.0 = Lemma 5 sizing;
+  /// below 1.0 deliberately undersizes to demonstrate oracle firing).
+  double width_scale = 1.0;
+  /// Shrink failing programs to minimal reproducers.
+  bool shrink = true;
+  /// Maximum re-runs spent shrinking one failure.
+  size_t shrink_budget = 48;
+  /// Stop the campaign after this many distinct failing programs.
+  size_t max_failures = 8;
+};
+
+/// Outcome of one program run across the (filtered) checker registry.
+struct ProgramResult {
+  std::vector<Violation> violations;
+  size_t checks = 0;  ///< checkers that actually ran
+  std::map<std::string, size_t> checks_by_algorithm;
+};
+
+/// One failing program, before and after shrinking.
+struct FuzzFailure {
+  FuzzProgram program;   ///< as generated
+  FuzzProgram minimal;   ///< after shrinking (== program when disabled)
+  std::vector<Violation> violations;  ///< violations of the minimal program
+};
+
+/// Aggregate of a whole campaign.
+struct FuzzReport {
+  size_t programs = 0;
+  size_t checks = 0;
+  size_t violations = 0;
+  std::map<std::string, size_t> checks_by_algorithm;
+  std::map<std::string, size_t> violations_by_algorithm;
+  std::vector<FuzzFailure> failures;
+
+  bool Pass() const { return violations == 0; }
+};
+
+/// Runs seeded fuzz campaigns over the DefaultCheckers() registry.
+class FuzzDriver {
+ public:
+  explicit FuzzDriver(FuzzOptions options) : options_(std::move(options)) {}
+
+  /// Materializes one program's stream and runs every supporting checker.
+  Result<ProgramResult> RunProgram(const FuzzProgram& program) const;
+
+  /// Greedy shrink: repeatedly tries simplifications (mutation -> seq,
+  /// halve n / universe / k) that keep the program failing, bounded by
+  /// shrink_budget re-runs. Returns the smallest still-failing program.
+  FuzzProgram Shrink(const FuzzProgram& failing) const;
+
+  /// The full campaign: `iterations` programs derived from `seed`.
+  Result<FuzzReport> Run() const;
+
+  const FuzzOptions& options() const { return options_; }
+
+ private:
+  FuzzOptions options_;
+};
+
+}  // namespace streamfreq

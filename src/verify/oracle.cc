@@ -1,0 +1,40 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+
+#include "hash/random.h"
+
+namespace streamfreq {
+
+Oracle::Oracle(const Stream& stream) {
+  counter_.AddAll(stream);
+  n_ = counter_.TotalCount();
+}
+
+std::vector<ItemId> Oracle::ProbeItems(size_t k, size_t sample, size_t absent,
+                                       uint64_t seed) const {
+  std::vector<ItemId> probes;
+  const std::vector<ItemCount> sorted = counter_.SortedByCount();
+  const size_t head = std::min(sorted.size(), 2 * std::max<size_t>(1, k));
+  probes.reserve(head + sample + absent);
+  for (size_t i = 0; i < head; ++i) probes.push_back(sorted[i].item);
+  if (sorted.size() > head && sample > 0) {
+    const size_t step = std::max<size_t>(1, (sorted.size() - head) / sample);
+    size_t taken = 0;
+    for (size_t i = head; i < sorted.size() && taken < sample; i += step) {
+      probes.push_back(sorted[i].item);
+      ++taken;
+    }
+  }
+  SplitMix64 sm(seed ^ 0xAB5E17ULL);
+  for (size_t added = 0; added < absent;) {
+    const ItemId q = sm.Next() | 1;  // id 0 is reserved
+    if (counter_.CountOf(q) == 0) {
+      probes.push_back(q);
+      ++added;
+    }
+  }
+  return probes;
+}
+
+}  // namespace streamfreq

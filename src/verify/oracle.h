@@ -1,0 +1,52 @@
+// Ground-truth oracle for differential verification.
+//
+// Wraps the exact counter (the memory-intensive referee the paper rules out
+// at stream scale) and derives everything the guarantee checkers need: the
+// true top-k, n_k, the residual second moment behind gamma, and a
+// deterministic probe set — the items whose estimates get compared against
+// their exact counts on every fuzz iteration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/exact_counter.h"
+#include "stream/types.h"
+
+namespace streamfreq {
+
+/// Exact ground truth over one materialized stream.
+class Oracle {
+ public:
+  /// Counts every item of `stream` exactly.
+  explicit Oracle(const Stream& stream);
+
+  /// The underlying exact counter (n_q, TopK, NthCount, ResidualF2, ...).
+  const ExactCounter& counts() const { return counter_; }
+
+  /// Total stream length n (cached).
+  Count n() const { return n_; }
+
+  /// Distinct items seen.
+  size_t Distinct() const { return counter_.Distinct(); }
+
+  /// Exact count of `item`; 0 when never seen.
+  Count CountOf(ItemId item) const { return counter_.CountOf(item); }
+
+  /// The true top-k (deterministic tie-break by ascending id).
+  std::vector<ItemCount> TopK(size_t k) const { return counter_.TopK(k); }
+
+  /// Deterministic probe set: the true top-2k (where the guarantees bite),
+  /// an even-strided sample of up to `sample` of the remaining distinct
+  /// items (the tail, where sketch noise lives), and `absent` ids never
+  /// seen in the stream (estimates of absent items are pure collision
+  /// noise). Stable for a fixed (k, sample, absent, seed).
+  std::vector<ItemId> ProbeItems(size_t k, size_t sample, size_t absent,
+                                 uint64_t seed) const;
+
+ private:
+  ExactCounter counter_;
+  Count n_ = 0;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,215 @@
+#include "verify/program.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "hash/random.h"
+#include "stream/adversarial.h"
+#include "stream/flow_traffic.h"
+#include "stream/zipf.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace streamfreq {
+namespace {
+
+constexpr std::array<const char*, 4> kKindNames = {"zipf", "uniform", "flows",
+                                                  "adversarial"};
+constexpr std::array<const char*, kMutationCount> kMutationNames = {
+    "seq", "permute", "batch", "split-merge", "serialize-mid", "parallel"};
+
+// Doubles are printed at round-trip precision so that a shrunk program line
+// replays the exact failing run.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+Status ParseUint(std::string_view key, const std::string& text,
+                 uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("program: bad integer for '" +
+                                   std::string(key) + "': " + text);
+  }
+  *out = static_cast<uint64_t>(v);
+  return Status::OK();
+}
+
+Status ParseDouble(std::string_view key, const std::string& text,
+                   double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("program: bad number for '" +
+                                   std::string(key) + "': " + text);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  return kKindNames[static_cast<size_t>(kind)];
+}
+
+const char* MutationName(Mutation m) {
+  return kMutationNames[static_cast<size_t>(m)];
+}
+
+std::string FormatProgram(const FuzzProgram& p) {
+  std::ostringstream os;
+  os << "kind=" << WorkloadKindName(p.kind) << " n=" << p.n
+     << " m=" << p.universe << " z=" << FormatDouble(p.z)
+     << " alpha=" << FormatDouble(p.alpha) << " k=" << p.k
+     << " eps=" << FormatDouble(p.epsilon)
+     << " wscale=" << FormatDouble(p.width_scale)
+     << " mut=" << MutationName(p.mutation) << " seed=" << p.seed;
+  return os.str();
+}
+
+Result<FuzzProgram> ParseProgram(const std::string& text) {
+  FuzzProgram p;
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("program: token without '=': " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "kind") {
+      const auto* it =
+          std::find_if(kKindNames.begin(), kKindNames.end(),
+                       [&](const char* name) { return value == name; });
+      if (it == kKindNames.end()) {
+        return Status::InvalidArgument("program: unknown kind: " + value);
+      }
+      p.kind = static_cast<WorkloadKind>(it - kKindNames.begin());
+    } else if (key == "mut") {
+      const auto* it =
+          std::find_if(kMutationNames.begin(), kMutationNames.end(),
+                       [&](const char* name) { return value == name; });
+      if (it == kMutationNames.end()) {
+        return Status::InvalidArgument("program: unknown mutation: " + value);
+      }
+      p.mutation = static_cast<Mutation>(it - kMutationNames.begin());
+    } else if (key == "n") {
+      STREAMFREQ_RETURN_NOT_OK(ParseUint(key, value, &p.n));
+    } else if (key == "m") {
+      STREAMFREQ_RETURN_NOT_OK(ParseUint(key, value, &p.universe));
+    } else if (key == "k") {
+      uint64_t k = 0;
+      STREAMFREQ_RETURN_NOT_OK(ParseUint(key, value, &k));
+      p.k = static_cast<size_t>(k);
+    } else if (key == "seed") {
+      STREAMFREQ_RETURN_NOT_OK(ParseUint(key, value, &p.seed));
+    } else if (key == "z") {
+      STREAMFREQ_RETURN_NOT_OK(ParseDouble(key, value, &p.z));
+    } else if (key == "alpha") {
+      STREAMFREQ_RETURN_NOT_OK(ParseDouble(key, value, &p.alpha));
+    } else if (key == "eps") {
+      STREAMFREQ_RETURN_NOT_OK(ParseDouble(key, value, &p.epsilon));
+    } else if (key == "wscale") {
+      STREAMFREQ_RETURN_NOT_OK(ParseDouble(key, value, &p.width_scale));
+    } else {
+      return Status::InvalidArgument("program: unknown key: " + key);
+    }
+  }
+  if (p.n == 0) return Status::InvalidArgument("program: n must be > 0");
+  if (p.k == 0) return Status::InvalidArgument("program: k must be > 0");
+  if (p.universe == 0) {
+    return Status::InvalidArgument("program: m must be > 0");
+  }
+  if (!(p.epsilon > 0.0 && p.epsilon < 1.0)) {
+    return Status::InvalidArgument("program: eps must be in (0, 1)");
+  }
+  if (!(p.width_scale > 0.0)) {
+    return Status::InvalidArgument("program: wscale must be > 0");
+  }
+  if (p.z < 0.0) return Status::InvalidArgument("program: z must be >= 0");
+  if (p.alpha <= 1.0) {
+    return Status::InvalidArgument("program: alpha must be > 1");
+  }
+  return p;
+}
+
+Result<Stream> MaterializeStream(const FuzzProgram& p) {
+  switch (p.kind) {
+    case WorkloadKind::kZipf: {
+      STREAMFREQ_ASSIGN_OR_RETURN(ZipfGenerator gen,
+                                  ZipfGenerator::Make(p.universe, p.z, p.seed));
+      return gen.Take(p.n);
+    }
+    case WorkloadKind::kUniform: {
+      STREAMFREQ_ASSIGN_OR_RETURN(UniformGenerator gen,
+                                  UniformGenerator::Make(p.universe, p.seed));
+      return gen.Take(p.n);
+    }
+    case WorkloadKind::kFlows: {
+      FlowTrafficSpec spec;
+      spec.pareto_alpha = p.alpha;
+      spec.concurrent_flows = std::max<uint64_t>(8, p.universe / 16);
+      spec.max_flow_packets = std::max<uint64_t>(16, p.n / 4);
+      spec.seed = p.seed;
+      STREAMFREQ_ASSIGN_OR_RETURN(FlowTrafficGenerator gen,
+                                  FlowTrafficGenerator::Make(spec));
+      return gen.Take(p.n);
+    }
+    case WorkloadKind::kAdversarial: {
+      // A boundary-case instance sized to roughly n items total: k head
+      // items plus 2k shadows one occurrence behind, over a thin tail.
+      AdversarialSpec spec;
+      spec.k = p.k;
+      spec.shadows = 2 * p.k;
+      spec.head_count =
+          std::max<uint64_t>(8, p.n / (8 * std::max<uint64_t>(1, p.k)));
+      spec.gap = 1;
+      spec.tail_count = 3;
+      const uint64_t head_total = (spec.k + spec.shadows) * spec.head_count;
+      const uint64_t remaining = p.n > head_total ? p.n - head_total : 0;
+      spec.tail_items = std::max<uint64_t>(1, remaining / spec.tail_count);
+      spec.seed = p.seed;
+      return MakeAdversarialStream(spec);
+    }
+  }
+  return Status::InvalidArgument("program: unknown workload kind");
+}
+
+FuzzProgram ProgramFromSeed(uint64_t master_seed, uint64_t index) {
+  SplitMix64 sm(master_seed ^ SplitMix64(index * 0x9E3779B97F4A7C15ULL + 1)
+                                  .Next());
+  FuzzProgram p;
+  const uint64_t kind_roll = sm.Next() % 10;
+  if (kind_roll < 4) {
+    p.kind = WorkloadKind::kZipf;
+  } else if (kind_roll < 6) {
+    p.kind = WorkloadKind::kUniform;
+  } else if (kind_roll < 8) {
+    p.kind = WorkloadKind::kFlows;
+  } else {
+    p.kind = WorkloadKind::kAdversarial;
+  }
+  p.n = 2000ULL << (sm.Next() % 5);       // 2k .. 32k items
+  p.universe = 256ULL << (sm.Next() % 7);  // 256 .. 16k distinct
+  p.z = 0.4 + 0.1 * static_cast<double>(sm.Next() % 12);      // 0.4 .. 1.5
+  p.alpha = 1.05 + 0.05 * static_cast<double>(sm.Next() % 18);  // 1.05 .. 1.9
+  constexpr std::array<size_t, 3> kChoicesK = {5, 10, 20};
+  p.k = kChoicesK[sm.Next() % kChoicesK.size()];
+  constexpr std::array<double, 3> kChoicesEps = {0.1, 0.2, 0.3};
+  p.epsilon = kChoicesEps[sm.Next() % kChoicesEps.size()];
+  p.width_scale = 1.0;
+  p.mutation = static_cast<Mutation>(sm.Next() % kMutationCount);
+  p.seed = sm.Next() | 1;
+  return p;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,40 @@
+#include "verify/violation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace streamfreq {
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream os;
+  os << v.algorithm << "/" << v.guarantee << ": " << v.detail
+     << " (observed=" << v.observed << ", bound=" << v.bound;
+  if (v.item != 0) os << ", item=" << v.item;
+  os << ")";
+  return os.str();
+}
+
+double MedianFailureProbability(size_t depth, double row_failure_p) {
+  if (depth == 0) return 1.0;
+  const double p = std::clamp(row_failure_p, 0.0, 1.0);
+  const size_t need = (depth + 1) / 2;  // rows that must fail to move the median
+  double total = 0.0;
+  for (size_t j = need; j <= depth; ++j) {
+    double binom = 1.0;  // C(depth, j), built incrementally to stay finite
+    for (size_t i = 0; i < j; ++i) {
+      binom *= static_cast<double>(depth - i) / static_cast<double>(i + 1);
+    }
+    total += binom * std::pow(p, static_cast<double>(j)) *
+             std::pow(1.0 - p, static_cast<double>(depth - j));
+  }
+  return std::min(1.0, total);
+}
+
+size_t AllowedViolations(size_t probes, double per_item_p) {
+  const double p = std::clamp(per_item_p, 0.0, 1.0);
+  const double mean = static_cast<double>(probes) * p;
+  return static_cast<size_t>(std::ceil(mean + 4.0 * std::sqrt(mean) + 4.0));
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,53 @@
+// Structured guarantee-violation reports for the verification harness.
+//
+// Every checker in src/verify/checkers.h turns one of the paper's theorems
+// into executable code; when a summary breaks its contract the checker
+// returns Violations instead of asserting, so the fuzz driver can count,
+// aggregate, shrink, and replay them (and `sfq verify` can export them as a
+// JSON trajectory).
+//
+// Deterministic guarantees (Misra-Gries n/(c+1), Space-Saving brackets,
+// Lossy Counting eps*n, Count-Min's one-sided overestimate) are checked
+// with zero tolerance. Probabilistic guarantees (Count-Sketch's 8*gamma
+// per-item error) hold per item only with high probability, so those
+// checkers bound the *number* of offending probe items by a Chernoff-style
+// allowance derived from the theorem's per-item failure probability —
+// AllowedViolations below.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "stream/types.h"
+
+namespace streamfreq {
+
+/// One broken contract, attributable to an algorithm and replayable via the
+/// fuzz program that produced it (the driver attaches the program line).
+struct Violation {
+  std::string algorithm;  ///< checker name, e.g. "count-sketch"
+  std::string guarantee;  ///< short contract id, e.g. "one-sided-overestimate"
+  std::string detail;     ///< human-readable explanation with numbers
+  ItemId item = 0;        ///< first offending item, when item-attributable
+  double observed = 0.0;  ///< measured quantity (error, violation count, ...)
+  double bound = 0.0;     ///< what the theorem allowed
+};
+
+/// "algorithm/guarantee: detail (observed=..., bound=..., item=...)".
+std::string FormatViolation(const Violation& v);
+
+/// Probability that a median over `depth` independent row estimates fails
+/// when each row individually fails with probability `row_failure_p`: the
+/// binomial upper tail P[#bad rows >= ceil(depth/2)]. This is the exact
+/// Chernoff-style quantity behind the paper's t = Theta(log(n/delta)) depth
+/// choice (Lemmas 1-4).
+double MedianFailureProbability(size_t depth, double row_failure_p);
+
+/// How many of `probes` checked items may violate a per-item bound that
+/// fails with probability at most `per_item_p` before the checker reports a
+/// Violation: mean + 4*sqrt(mean) + 4. The slack keeps seeded CI fuzz runs
+/// deterministic-in-practice while still catching systematically mis-sized
+/// sketches, whose violation counts exceed any constant-sigma band.
+size_t AllowedViolations(size_t probes, double per_item_p);
+
+}  // namespace streamfreq

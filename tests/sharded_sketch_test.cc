@@ -7,6 +7,7 @@
 
 #include "stream/exact_counter.h"
 #include "stream/zipf.h"
+#include "verify/program.h"
 
 namespace streamfreq {
 namespace {
@@ -82,6 +83,39 @@ TEST(ShardedSketchTest, ConcurrentIngestMatchesGroundTruth) {
         static_cast<double>(combined->Estimate(ic.item) - ic.count));
     EXPECT_LT(err, 0.05 * static_cast<double>(ic.count) + 50.0)
         << "item " << ic.item;
+  }
+}
+
+// Metamorphic relation under the verify fuzz grammar: round-robin sharded
+// ingest followed by Combine() must be counter-exact against a single
+// sequential sketch, on every fuzz workload family (zipf / uniform / flows
+// / adversarial), not just the hand-picked Zipf stream above.
+TEST(ShardedSketchTest, CombineMatchesSequentialOnFuzzWorkloads) {
+  for (uint64_t index = 0; index < 6; ++index) {
+    const FuzzProgram program = ProgramFromSeed(777, index);
+    auto stream = MaterializeStream(program);
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+
+    auto sharded = ShardedCountSketch::Make(DefaultParams(), 3);
+    ASSERT_TRUE(sharded.ok());
+    for (size_t i = 0; i < stream->size(); ++i) {
+      sharded->shard(i % 3).Add((*stream)[i]);
+    }
+    auto combined = sharded->Combine();
+    ASSERT_TRUE(combined.ok());
+
+    auto sequential = CountSketch::Make(DefaultParams());
+    ASSERT_TRUE(sequential.ok());
+    for (ItemId q : *stream) sequential->Add(q);
+
+    for (size_t row = 0; row < sequential->depth(); ++row) {
+      for (size_t col = 0; col < sequential->width(); ++col) {
+        ASSERT_EQ(combined->CounterAt(row, col),
+                  sequential->CounterAt(row, col))
+            << "program " << index << " (" << WorkloadKindName(program.kind)
+            << ") row " << row << " col " << col;
+      }
+    }
   }
 }
 

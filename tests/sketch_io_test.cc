@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "verify/program.h"
+
 namespace streamfreq {
 namespace {
 
@@ -79,6 +81,45 @@ TEST(SketchIoTest, BadMagicIsCorruption) {
       << std::string(64, 'x');  // 64 junk bytes
   EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
   std::remove(path.c_str());
+}
+
+// Metamorphic relation from the verify fuzz grammar: serializing the sketch
+// mid-stream and continuing on the deserialized copy must be invisible —
+// exact counter equality against an uninterrupted ingest, across every
+// fuzz workload family.
+TEST(SketchIoTest, SerializeMidStreamIsInvisible) {
+  for (uint64_t index = 0; index < 4; ++index) {
+    const FuzzProgram program = ProgramFromSeed(2026, index);
+    auto stream = MaterializeStream(program);
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+
+    CountSketchParams p;
+    p.depth = 5;
+    p.width = 512;
+    p.seed = 31;
+    auto uninterrupted = CountSketch::Make(p);
+    ASSERT_TRUE(uninterrupted.ok());
+    for (ItemId q : *stream) uninterrupted->Add(q);
+
+    auto first_half = CountSketch::Make(p);
+    ASSERT_TRUE(first_half.ok());
+    const size_t cut = stream->size() / 2;
+    for (size_t i = 0; i < cut; ++i) first_half->Add((*stream)[i]);
+    const std::string path = TempPath("sfq_sketch_midstream.skf");
+    ASSERT_TRUE(WriteSketchFile(path, *first_half).ok());
+    auto resumed = ReadSketchFile(path);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    std::remove(path.c_str());
+    for (size_t i = cut; i < stream->size(); ++i) resumed->Add((*stream)[i]);
+
+    for (size_t row = 0; row < uninterrupted->depth(); ++row) {
+      for (size_t col = 0; col < uninterrupted->width(); ++col) {
+        ASSERT_EQ(resumed->CounterAt(row, col),
+                  uninterrupted->CounterAt(row, col))
+            << "program " << index << " row " << row << " col " << col;
+      }
+    }
+  }
 }
 
 TEST(SketchIoTest, SavedSketchStaysMergeable) {

@@ -1,0 +1,348 @@
+// Tests for the verification oracle and the guarantee-checker registry.
+//
+// The central property: every checker FIRES on a summary that breaks its
+// contract. A checker that stays silent on garbage verifies nothing, so
+// each guarantee gets a deliberately broken fake StreamSummary driven
+// through the same Check path the fuzz driver uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "verify/checkers.h"
+#include "verify/fuzz.h"
+#include "verify/oracle.h"
+#include "verify/program.h"
+#include "verify/violation.h"
+
+namespace streamfreq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixtures.
+// ---------------------------------------------------------------------------
+
+FuzzProgram BaseProgram() {
+  FuzzProgram p;
+  p.kind = WorkloadKind::kZipf;
+  p.n = 20000;
+  p.universe = 4096;
+  p.z = 1.1;
+  p.k = 10;
+  p.epsilon = 0.2;
+  p.seed = 99;
+  return p;
+}
+
+const GuaranteeChecker* FindChecker(const std::string& name) {
+  for (const auto& checker : DefaultCheckers()) {
+    if (checker->Name() == name) return checker.get();
+  }
+  return nullptr;
+}
+
+/// A StreamSummary whose estimates and candidates are whatever the test
+/// says — the "broken implementation" every checker must catch.
+class FakeSummary final : public StreamSummary {
+ public:
+  FakeSummary(std::function<Count(ItemId)> estimate,
+              std::vector<ItemCount> candidates)
+      : estimate_(std::move(estimate)), candidates_(std::move(candidates)) {}
+
+  std::string Name() const override { return "FakeSummary"; }
+  void Add(ItemId, Count) override {}
+  using StreamSummary::Add;
+  Count Estimate(ItemId item) const override { return estimate_(item); }
+  std::vector<ItemCount> Candidates(size_t k) const override {
+    std::vector<ItemCount> out = candidates_;
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+  size_t SpaceBytes() const override { return 0; }
+
+ private:
+  std::function<Count(ItemId)> estimate_;
+  std::vector<ItemCount> candidates_;
+};
+
+struct FiringHarness {
+  FiringHarness() : stream(*MaterializeStream(BaseProgram())), oracle(stream) {
+    setup = MakeVerifySetup(10, 0.2, 1.0, 99, oracle);
+    context.sketch_depth = 5;
+    context.sketch_width = 256;
+    context.lemma_width = 1;  // premise met: width >= lemma bound
+    context.counter_capacity = 20;
+    context.lossy_epsilon = 0.001;
+  }
+
+  std::vector<Violation> Run(const std::string& checker_name,
+                             const FakeSummary& fake) const {
+    const GuaranteeChecker* checker = FindChecker(checker_name);
+    EXPECT_NE(checker, nullptr) << checker_name;
+    return checker->Check(fake, oracle, setup, context);
+  }
+
+  Stream stream;
+  Oracle oracle;
+  VerifySetup setup;
+  CheckContext context;
+};
+
+bool HasGuarantee(const std::vector<Violation>& violations,
+                  const std::string& guarantee) {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.guarantee == guarantee; });
+}
+
+// ---------------------------------------------------------------------------
+// Registry and clean runs.
+// ---------------------------------------------------------------------------
+
+TEST(CheckerRegistryTest, ContainsAllAlgorithms) {
+  std::set<std::string> names;
+  for (const auto& checker : DefaultCheckers()) names.insert(checker->Name());
+  const std::set<std::string> expected = {
+      "count-sketch", "approx-top",   "count-min",     "count-min-cu",
+      "misra-gries",  "space-saving", "lossy-counting"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(CheckerRegistryTest, EveryCheckerSupportsSequential) {
+  for (const auto& checker : DefaultCheckers()) {
+    EXPECT_TRUE(checker->Supports(Mutation::kSequential)) << checker->Name();
+  }
+}
+
+TEST(CheckerRegistryTest, RealImplementationsPassTheirOwnChecks) {
+  const FuzzProgram program = BaseProgram();
+  const Stream stream = *MaterializeStream(program);
+  const Oracle oracle(stream);
+  const VerifySetup setup =
+      MakeVerifySetup(program.k, program.epsilon, 1.0, program.seed, oracle);
+  for (const auto& checker : DefaultCheckers()) {
+    auto built = checker->Build(stream, setup, Mutation::kSequential);
+    ASSERT_TRUE(built.ok()) << checker->Name() << ": "
+                            << built.status().ToString();
+    EXPECT_TRUE(built->equivalence_violations.empty()) << checker->Name();
+    const std::vector<Violation> violations =
+        checker->Check(*built->summary, oracle, setup, built->context);
+    for (const Violation& v : violations) {
+      ADD_FAILURE() << checker->Name() << ": " << FormatViolation(v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Each guarantee fires on a broken implementation.
+// ---------------------------------------------------------------------------
+
+TEST(CheckerFiringTest, CountSketchCatchesLargeErrors) {
+  const FiringHarness h;
+  const FakeSummary off_by_a_mile(
+      [&](ItemId q) { return h.oracle.CountOf(q) + 1000000; }, {});
+  EXPECT_TRUE(HasGuarantee(h.Run("count-sketch", off_by_a_mile),
+                           "per-item-error-8gamma"));
+}
+
+TEST(CheckerFiringTest, CountSketchToleratesExactEstimates) {
+  const FiringHarness h;
+  const FakeSummary exact([&](ItemId q) { return h.oracle.CountOf(q); }, {});
+  EXPECT_TRUE(h.Run("count-sketch", exact).empty());
+}
+
+TEST(CheckerFiringTest, ApproxTopCatchesLightCandidatesAndMissingHeavies) {
+  const FiringHarness h;
+  // One absent item as the entire candidate list: it is below the
+  // (1-eps)*n_k floor, and every true heavy item is missing.
+  const FakeSummary junk_candidates(
+      [&](ItemId q) { return h.oracle.CountOf(q); },
+      {ItemCount{9999999999ULL, 1}});
+  const std::vector<Violation> violations =
+      h.Run("approx-top", junk_candidates);
+  EXPECT_TRUE(HasGuarantee(violations, "candidate-below-floor"));
+  EXPECT_TRUE(HasGuarantee(violations, "heavy-item-missing"));
+}
+
+TEST(CheckerFiringTest, ApproxTopStandsDownWhenPremiseUnmet) {
+  FiringHarness h;
+  h.context.lemma_width = 1000000;  // clamped far below the Lemma 5 width
+  const FakeSummary junk_candidates(
+      [&](ItemId q) { return h.oracle.CountOf(q); },
+      {ItemCount{9999999999ULL, 1}});
+  EXPECT_TRUE(h.Run("approx-top", junk_candidates).empty());
+}
+
+TEST(CheckerFiringTest, CountMinCatchesUnderestimates) {
+  const FiringHarness h;
+  const FakeSummary undercounts(
+      [&](ItemId q) { return h.oracle.CountOf(q) - 1; }, {});
+  EXPECT_TRUE(HasGuarantee(h.Run("count-min", undercounts),
+                           "one-sided-overestimate"));
+  EXPECT_TRUE(HasGuarantee(h.Run("count-min-cu", undercounts),
+                           "one-sided-overestimate"));
+}
+
+TEST(CheckerFiringTest, CountMinCatchesSystematicOverestimates) {
+  const FiringHarness h;
+  const FakeSummary inflated(
+      [&](ItemId q) { return h.oracle.CountOf(q) + 10000000; }, {});
+  EXPECT_TRUE(
+      HasGuarantee(h.Run("count-min", inflated), "overestimate-bound"));
+}
+
+TEST(CheckerFiringTest, MisraGriesCatchesOverestimates) {
+  const FiringHarness h;
+  const FakeSummary inflated(
+      [&](ItemId q) { return h.oracle.CountOf(q) + 1; }, {});
+  EXPECT_TRUE(
+      HasGuarantee(h.Run("misra-gries", inflated), "underestimate-only"));
+}
+
+TEST(CheckerFiringTest, MisraGriesCatchesExcessiveUndercount) {
+  const FiringHarness h;
+  // Claims zero for everything: the top item's undercount far exceeds
+  // n/(c+1) with c = 20.
+  const FakeSummary silent([](ItemId) { return 0; }, {});
+  EXPECT_TRUE(
+      HasGuarantee(h.Run("misra-gries", silent), "undercount-bound"));
+}
+
+TEST(CheckerFiringTest, SpaceSavingCatchesUnderestimates) {
+  const FiringHarness h;
+  const FakeSummary undercounts(
+      [&](ItemId q) { return h.oracle.CountOf(q) - 1; }, {});
+  EXPECT_TRUE(
+      HasGuarantee(h.Run("space-saving", undercounts), "overestimate-only"));
+}
+
+TEST(CheckerFiringTest, LossyCountingCatchesOverAndUndercount) {
+  const FiringHarness h;
+  const FakeSummary inflated(
+      [&](ItemId q) { return h.oracle.CountOf(q) + 1; }, {});
+  EXPECT_TRUE(
+      HasGuarantee(h.Run("lossy-counting", inflated), "underestimate-only"));
+  // eps_lc = 0.001 makes the allowed undercount ~21 occurrences; claiming
+  // zero for the heavy items blows far past it.
+  const FakeSummary silent([](ItemId) { return 0; }, {});
+  EXPECT_TRUE(HasGuarantee(h.Run("lossy-counting", silent), "eps-deficiency"));
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(ToleranceTest, MedianFailureProbabilityBasics) {
+  EXPECT_DOUBLE_EQ(MedianFailureProbability(5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(MedianFailureProbability(0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(MedianFailureProbability(5, 1.0), 1.0);
+  // Deeper sketches drive the median failure probability down (the paper's
+  // t = Theta(log(n/delta)) choice).
+  const double shallow = MedianFailureProbability(4, 0.1);
+  const double deep = MedianFailureProbability(16, 0.1);
+  EXPECT_LT(deep, shallow);
+  EXPECT_GT(shallow, 0.0);
+}
+
+TEST(ToleranceTest, AllowedViolationsScalesWithMean) {
+  EXPECT_EQ(AllowedViolations(100, 0.0), 4u);  // floor keeps CI deterministic
+  EXPECT_GE(AllowedViolations(1000, 0.5), 500u);
+  EXPECT_LT(AllowedViolations(100, 0.01), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// Program grammar.
+// ---------------------------------------------------------------------------
+
+TEST(ProgramTest, FormatParseRoundTrip) {
+  FuzzProgram p = BaseProgram();
+  p.kind = WorkloadKind::kFlows;
+  p.mutation = Mutation::kSerializeMidStream;
+  p.width_scale = 0.001;
+  p.alpha = 1.35;
+  const std::string line = FormatProgram(p);
+  auto parsed = ParseProgram(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(FormatProgram(*parsed), line);
+  EXPECT_EQ(parsed->kind, p.kind);
+  EXPECT_EQ(parsed->mutation, p.mutation);
+  EXPECT_EQ(parsed->n, p.n);
+  EXPECT_EQ(parsed->seed, p.seed);
+  EXPECT_DOUBLE_EQ(parsed->width_scale, p.width_scale);
+}
+
+TEST(ProgramTest, ParseRejectsMalformedInput) {
+  EXPECT_TRUE(ParseProgram("kind=bogus").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("mut=bogus").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("notakey=1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("n=abc").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("n=0").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("eps=1.5").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("wscale=0").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("bare-token").status().IsInvalidArgument());
+}
+
+TEST(ProgramTest, MaterializeIsDeterministic) {
+  for (WorkloadKind kind :
+       {WorkloadKind::kZipf, WorkloadKind::kUniform, WorkloadKind::kFlows,
+        WorkloadKind::kAdversarial}) {
+    FuzzProgram p = BaseProgram();
+    p.kind = kind;
+    p.n = 5000;
+    auto a = MaterializeStream(p);
+    auto b = MaterializeStream(p);
+    ASSERT_TRUE(a.ok()) << WorkloadKindName(kind);
+    ASSERT_TRUE(b.ok()) << WorkloadKindName(kind);
+    EXPECT_EQ(*a, *b) << WorkloadKindName(kind);
+    // The adversarial generator's head/gap block structure may round the
+    // length slightly below n; the others hit it exactly.
+    EXPECT_GT(a->size(), 4500u) << WorkloadKindName(kind);
+    EXPECT_LE(a->size(), 5000u) << WorkloadKindName(kind);
+  }
+}
+
+TEST(ProgramTest, SeededSequenceIsDeterministicAndDiverse) {
+  std::set<std::string> kinds;
+  std::set<std::string> mutations;
+  for (uint64_t i = 0; i < 64; ++i) {
+    const FuzzProgram a = ProgramFromSeed(42, i);
+    const FuzzProgram b = ProgramFromSeed(42, i);
+    EXPECT_EQ(FormatProgram(a), FormatProgram(b));
+    kinds.insert(WorkloadKindName(a.kind));
+    mutations.insert(MutationName(a.mutation));
+  }
+  EXPECT_EQ(kinds.size(), 4u);      // every workload family appears
+  EXPECT_EQ(mutations.size(), 6u);  // every metamorphic mutation appears
+  // Different master seeds diverge.
+  EXPECT_NE(FormatProgram(ProgramFromSeed(42, 0)),
+            FormatProgram(ProgramFromSeed(43, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Oracle probe set.
+// ---------------------------------------------------------------------------
+
+TEST(OracleTest, ProbeItemsDeterministicAndCoversHeadTailAbsent) {
+  const Stream stream = *MaterializeStream(BaseProgram());
+  const Oracle oracle(stream);
+  const std::vector<ItemId> probes = oracle.ProbeItems(10, 64, 8, 7);
+  EXPECT_EQ(probes, oracle.ProbeItems(10, 64, 8, 7));
+  // The true top-2k head is always probed.
+  for (const ItemCount& ic : oracle.TopK(20)) {
+    EXPECT_NE(std::find(probes.begin(), probes.end(), ic.item), probes.end());
+  }
+  // The absent ids really are absent.
+  size_t absent = 0;
+  for (ItemId q : probes) {
+    if (oracle.CountOf(q) == 0) ++absent;
+  }
+  EXPECT_EQ(absent, 8u);
+  EXPECT_EQ(oracle.n(), static_cast<Count>(stream.size()));
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -10,6 +10,9 @@
 //              pipeline (src/concurrent/), identical output by linearity
 //   inspect    print the parameters of a saved sketch file
 //   estimate   point-query a saved sketch file
+//   verify     seeded differential fuzzing of every algorithm's guarantees
+//              against the exact oracle (src/verify/); failing programs are
+//              shrunk and printed as replayable --program lines
 //
 // Examples:
 //   sfq generate --kind zipf --z 1.1 --m 100000 --n 1000000 --out q.trace
@@ -35,8 +38,12 @@
 #include "stream/text_io.h"
 #include "stream/trace.h"
 #include "stream/zipf.h"
+#include "eval/report.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
+#include "verify/fuzz.h"
+#include "verify/program.h"
+#include "verify/violation.h"
 
 namespace streamfreq {
 namespace {
@@ -64,7 +71,10 @@ void PrintUsage() {
       "  estimate  --sketch FILE --item ID\n"
       "  words     --text FILE [--k K] [--depth T] [--width B]\n"
       "            [--min-length L]\n"
-      "  hh        --trace FILE [--phi F]   (phi-heavy-hitters report)\n";
+      "  hh        --trace FILE [--phi F]   (phi-heavy-hitters report)\n"
+      "  verify    [--seed S] [--iters N] [--algo NAME] [--width-scale W]\n"
+      "            [--shrink BOOL] [--json FILE] [--program \"LINE\"]\n"
+      "            (differential guarantee fuzzing; see docs/VERIFICATION.md)\n";
 }
 
 Result<CountSketchParams> SketchParamsFromFlags(const Flags& flags) {
@@ -346,6 +356,101 @@ int CmdHeavyHitters(const Flags& flags) {
   return 0;
 }
 
+int CmdVerify(const Flags& flags) {
+  auto seed = flags.GetInt("seed", 42);
+  auto iters = flags.GetInt("iters", 200);
+  auto width_scale = flags.GetDouble("width-scale", 1.0);
+  auto shrink = flags.GetBool("shrink", true);
+  for (const Status& s :
+       {seed.status(), iters.status(), width_scale.status(),
+        shrink.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+  if (*iters <= 0) {
+    return Fail(Status::InvalidArgument("--iters must be positive"));
+  }
+  if (!(*width_scale > 0.0)) {
+    return Fail(Status::InvalidArgument("--width-scale must be positive"));
+  }
+
+  FuzzOptions options;
+  options.seed = static_cast<uint64_t>(*seed);
+  options.iterations = static_cast<size_t>(*iters);
+  options.algorithm_filter = flags.GetString("algo", "");
+  options.width_scale = *width_scale;
+  options.shrink = *shrink;
+  const FuzzDriver driver(options);
+
+  // Replay mode: one program line, full violation detail, no fuzzing.
+  const std::string program_line = flags.GetString("program", "");
+  if (!program_line.empty()) {
+    auto program = ParseProgram(program_line);
+    if (!program.ok()) return Fail(program.status());
+    auto result = driver.RunProgram(*program);
+    if (!result.ok()) return Fail(result.status());
+    std::cout << "program: " << FormatProgram(*program) << "\n"
+              << "checks run: " << result->checks << "\n";
+    for (const Violation& v : result->violations) {
+      std::cout << "VIOLATION " << FormatViolation(v) << "\n";
+    }
+    if (result->violations.empty()) {
+      std::cout << "all guarantees hold\n";
+      return 0;
+    }
+    return 1;
+  }
+
+  auto report = driver.Run();
+  if (!report.ok()) return Fail(report.status());
+
+  TablePrinter table({"algorithm", "checks", "violations"});
+  for (const auto& [name, checks] : report->checks_by_algorithm) {
+    const auto it = report->violations_by_algorithm.find(name);
+    const size_t violations =
+        it == report->violations_by_algorithm.end() ? 0 : it->second;
+    table.AddRowValues(name, checks, violations);
+  }
+  EmitTable(table, "verify", std::cout);
+  std::cout << "programs=" << report->programs << " checks=" << report->checks
+            << " violations=" << report->violations << " seed=" << *seed
+            << " width-scale=" << *width_scale << "\n";
+  for (const FuzzFailure& failure : report->failures) {
+    std::cout << "FAIL (" << failure.violations.size() << " violation"
+              << (failure.violations.size() == 1 ? "" : "s") << "):\n";
+    for (size_t i = 0; i < failure.violations.size() && i < 4; ++i) {
+      std::cout << "  " << FormatViolation(failure.violations[i]) << "\n";
+    }
+    std::cout << "  replay: sfq verify --program \""
+              << FormatProgram(failure.minimal) << "\"\n";
+  }
+
+  std::vector<JsonField> fields;
+  fields.push_back(JsonField::Integer("seed", *seed));
+  fields.push_back(
+      JsonField::Integer("programs", static_cast<int64_t>(report->programs)));
+  fields.push_back(
+      JsonField::Integer("checks", static_cast<int64_t>(report->checks)));
+  fields.push_back(JsonField::Integer(
+      "violations", static_cast<int64_t>(report->violations)));
+  fields.push_back(JsonField::Number("width_scale", *width_scale));
+  for (const auto& [name, checks] : report->checks_by_algorithm) {
+    fields.push_back(JsonField::Integer("checks." + name,
+                                        static_cast<int64_t>(checks)));
+  }
+  for (const auto& [name, violations] : report->violations_by_algorithm) {
+    fields.push_back(JsonField::Integer("violations." + name,
+                                        static_cast<int64_t>(violations)));
+  }
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    const Status s = WriteJsonReport(json_path, "verify", fields);
+    if (!s.ok()) return Fail(s);
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  EmitJsonReport("verify", fields, std::cout);
+  return report->Pass() ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) return Fail(flags.status());
@@ -363,6 +468,7 @@ int Main(int argc, char** argv) {
   if (command == "estimate") return CmdEstimate(*flags);
   if (command == "words") return CmdWords(*flags);
   if (command == "hh") return CmdHeavyHitters(*flags);
+  if (command == "verify") return CmdVerify(*flags);
   PrintUsage();
   return Fail(Status::InvalidArgument("unknown command: " + command));
 }
