@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Verification sweep.
 #
-#   scripts/check.sh --quick    build + ctest + TSan concurrent re-check
+#   scripts/check.sh --quick    lint + build + ctest + TSan concurrent re-check
 #   scripts/check.sh            the above, plus benchmarks, examples, an
 #                               ASan/UBSan build running the full suite,
 #                               and a nightly-scale `sfq verify` fuzz
@@ -21,14 +21,30 @@ for arg in "$@"; do
   esac
 done
 
-cmake -B build -G Ninja
+# Prefer Ninja for speed, but fall back to the platform default generator
+# when it is not installed.
+GEN=()
+if command -v ninja >/dev/null 2>&1; then
+  GEN=(-G Ninja)
+fi
+
+# Static analysis first: the cheapest signal, and sfq-lint needs no build.
+# (clang-tidy inside lint.sh reuses build/compile_commands.json when a
+# clang toolchain exists; see docs/STATIC_ANALYSIS.md.)
+if [[ "$QUICK" -eq 1 ]]; then
+  scripts/lint.sh --quick
+else
+  scripts/lint.sh
+fi
+
+cmake -B build "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release
 cmake --build build
 ctest --test-dir build --output-on-failure
 
 # Race check: src/concurrent/ and the batch paths must stay TSan-clean.
 # Separate build tree (TSan is ABI-incompatible with the normal build);
 # benchmarks/examples are skipped — only the concurrent-labelled tests run.
-cmake -B build-tsan -G Ninja \
+cmake -B build-tsan "${GEN[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSTREAMFREQ_BUILD_BENCHMARKS=OFF \
   -DSTREAMFREQ_BUILD_EXAMPLES=OFF \
@@ -47,7 +63,7 @@ for e in build/examples/*; do "$e"; done
 
 # Memory/UB check: the full test suite — including the fuzz and metamorphic
 # tests — must stay clean under AddressSanitizer + UndefinedBehaviorSanitizer.
-cmake -B build-asan -G Ninja \
+cmake -B build-asan "${GEN[@]}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSTREAMFREQ_BUILD_BENCHMARKS=OFF \
   -DSTREAMFREQ_BUILD_EXAMPLES=OFF \

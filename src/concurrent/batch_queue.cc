@@ -9,38 +9,40 @@ BatchQueue::BatchQueue(size_t max_batches)
     : max_batches_(std::max<size_t>(1, max_batches)) {}
 
 bool BatchQueue::Push(std::vector<ItemId> batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || batches_.size() < max_batches_; });
-  if (closed_) return false;
-  batches_.push_back(std::move(batch));
-  lock.unlock();
-  not_empty_.notify_one();
+  {
+    MutexLock lock(mu_);
+    while (!closed_ && batches_.size() >= max_batches_) not_full_.Wait(mu_);
+    if (closed_) return false;
+    batches_.push_back(std::move(batch));
+  }
+  not_empty_.NotifyOne();
   return true;
 }
 
 std::optional<std::vector<ItemId>> BatchQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return closed_ || !batches_.empty(); });
-  if (batches_.empty()) return std::nullopt;  // closed and drained
-  std::vector<ItemId> batch = std::move(batches_.front());
-  batches_.pop_front();
-  lock.unlock();
-  not_full_.notify_one();
+  std::vector<ItemId> batch;
+  {
+    MutexLock lock(mu_);
+    while (!closed_ && batches_.empty()) not_empty_.Wait(mu_);
+    if (batches_.empty()) return std::nullopt;  // closed and drained
+    batch = std::move(batches_.front());
+    batches_.pop_front();
+  }
+  not_full_.NotifyOne();
   return batch;
 }
 
 void BatchQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 size_t BatchQueue::Depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return batches_.size();
 }
 

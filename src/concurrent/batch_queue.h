@@ -9,14 +9,14 @@
 // remaining batches and then observe end-of-stream.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "stream/types.h"
+#include "util/macros.h"
+#include "util/mutex.h"
 
 namespace streamfreq {
 
@@ -32,11 +32,11 @@ class BatchQueue {
 
   /// Enqueues a batch, blocking while the queue is full. Returns false iff
   /// the queue was closed (the batch is dropped).
-  bool Push(std::vector<ItemId> batch);
+  [[nodiscard]] bool Push(std::vector<ItemId> batch);
 
   /// Dequeues the oldest batch, blocking while the queue is empty. Returns
   /// nullopt once the queue is closed and drained.
-  std::optional<std::vector<ItemId>> Pop();
+  [[nodiscard]] std::optional<std::vector<ItemId>> Pop();
 
   /// Begins shutdown: wakes every waiter; subsequent Push calls fail and
   /// Pop drains what remains.
@@ -47,11 +47,11 @@ class BatchQueue {
 
  private:
   const size_t max_batches_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<std::vector<ItemId>> batches_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<std::vector<ItemId>> batches_ SFQ_GUARDED_BY(mu_);
+  bool closed_ SFQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace streamfreq

@@ -34,7 +34,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
@@ -43,6 +42,7 @@
 #include "concurrent/batch_queue.h"
 #include "concurrent/snapshot.h"
 #include "stream/types.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace streamfreq {
@@ -131,7 +131,7 @@ class ParallelIngestor {
   /// sketch. Idempotent; the first internal error (if any) wins.
   Result<SketchT> Finish() {
     Shutdown();
-    std::lock_guard<std::mutex> lock(merge_mu_);
+    MutexLock lock(merge_mu_);
     if (!first_error_.ok()) return first_error_;
     return accumulated_;
   }
@@ -195,8 +195,8 @@ class ParallelIngestor {
 
   /// Merges a worker delta into the accumulator and publishes a copy.
   /// Serialized by merge_mu_; the publication itself never blocks readers.
-  void FoldAndPublish(const SketchT& delta) {
-    std::lock_guard<std::mutex> lock(merge_mu_);
+  void FoldAndPublish(const SketchT& delta) SFQ_EXCLUDES(merge_mu_) {
+    MutexLock lock(merge_mu_);
     const Status s = accumulated_.Merge(delta);
     if (!s.ok()) {
       if (first_error_.ok()) first_error_ = s;
@@ -205,8 +205,8 @@ class ParallelIngestor {
     snapshot_.Publish(std::make_unique<const SketchT>(accumulated_));
   }
 
-  void RecordError(const Status& s) {
-    std::lock_guard<std::mutex> lock(merge_mu_);
+  void RecordError(const Status& s) SFQ_EXCLUDES(merge_mu_) {
+    MutexLock lock(merge_mu_);
     if (first_error_.ok()) first_error_ = s;
   }
 
@@ -223,11 +223,14 @@ class ParallelIngestor {
   SnapshotCell<SketchT> snapshot_;
   std::atomic<uint64_t> items_ingested_{0};
 
-  std::mutex merge_mu_;
-  SketchT accumulated_;  // guarded by merge_mu_
-  Status first_error_;   // guarded by merge_mu_
+  Mutex merge_mu_;
+  SketchT accumulated_ SFQ_GUARDED_BY(merge_mu_);
+  Status first_error_ SFQ_GUARDED_BY(merge_mu_);
 
-  std::vector<SketchT> locals_;  // slot w written only by worker w
+  // Not lock-protected by design: slot w is written only by worker w, and
+  // the final read happens after the workers are joined.
+  // NOLINTNEXTLINE(sfq-unguarded-member): single-writer-per-slot, joined before read
+  std::vector<SketchT> locals_;
   std::vector<std::thread> workers_;
 };
 

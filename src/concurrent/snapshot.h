@@ -19,9 +19,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/macros.h"
+#include "util/mutex.h"
 
 namespace streamfreq {
 
@@ -36,7 +38,7 @@ class SnapshotCell {
   void Publish(std::unique_ptr<const T> next) {
     const T* raw = next.get();
     {
-      std::lock_guard<std::mutex> lock(retained_mu_);
+      MutexLock lock(retained_mu_);
       retained_.push_back(std::move(next));
     }
     current_.store(raw, std::memory_order_release);
@@ -54,8 +56,8 @@ class SnapshotCell {
   std::atomic<const T*> current_{nullptr};
   std::atomic<uint64_t> epoch_{0};
 
-  std::mutex retained_mu_;  // publisher-side only; readers never touch it
-  std::vector<std::unique_ptr<const T>> retained_;
+  Mutex retained_mu_;  // publisher-side only; readers never touch it
+  std::vector<std::unique_ptr<const T>> retained_ SFQ_GUARDED_BY(retained_mu_);
 };
 
 }  // namespace streamfreq

@@ -25,6 +25,50 @@
 #define STREAMFREQ_CONCAT_IMPL(x, y) x##y
 #define STREAMFREQ_CONCAT(x, y) STREAMFREQ_CONCAT_IMPL(x, y)
 
+// ---------------------------------------------------------------------------
+// Clang thread-safety analysis annotations (no-ops elsewhere).
+//
+// These drive `-Werror=thread-safety` in the clang analysis configuration
+// (see STREAMFREQ_THREAD_SAFETY in CMakeLists.txt and scripts/lint.sh):
+// a member declared SFQ_GUARDED_BY(mu_) may only be touched while mu_ is
+// held, and the compiler proves it at every call site. Apply them through
+// the annotated wrappers in util/mutex.h — raw std::mutex is invisible to
+// the analysis (and flagged by sfq-lint's raw-mutex rule).
+// ---------------------------------------------------------------------------
+#if defined(__clang__) && defined(__has_attribute)
+#define SFQ_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define SFQ_THREAD_ANNOTATION_IMPL(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define SFQ_CAPABILITY(x) SFQ_THREAD_ANNOTATION_IMPL(capability(x))
+/// Declares an RAII type whose lifetime holds a capability.
+#define SFQ_SCOPED_CAPABILITY SFQ_THREAD_ANNOTATION_IMPL(scoped_lockable)
+/// The annotated member may only be accessed while `x` is held.
+#define SFQ_GUARDED_BY(x) SFQ_THREAD_ANNOTATION_IMPL(guarded_by(x))
+/// The pointee of the annotated pointer is protected by `x`.
+#define SFQ_PT_GUARDED_BY(x) SFQ_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+/// The annotated function must be called with the capability held.
+#define SFQ_REQUIRES(...) \
+  SFQ_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+/// The annotated function acquires the capability and holds it on return.
+#define SFQ_ACQUIRE(...) \
+  SFQ_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+/// The annotated function releases the capability.
+#define SFQ_RELEASE(...) \
+  SFQ_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+/// The annotated function acquires the capability iff it returns `b`.
+#define SFQ_TRY_ACQUIRE(b, ...) \
+  SFQ_THREAD_ANNOTATION_IMPL(try_acquire_capability(b, __VA_ARGS__))
+/// The annotated function must NOT be called with the capability held.
+#define SFQ_EXCLUDES(...) SFQ_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+/// The annotated function returns a reference to the named capability.
+#define SFQ_RETURN_CAPABILITY(x) SFQ_THREAD_ANNOTATION_IMPL(lock_returned(x))
+/// Opts a function out of the analysis (document why at each use).
+#define SFQ_NO_THREAD_SAFETY_ANALYSIS \
+  SFQ_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
 // Assigns the value of a Result<T> expression to `lhs`, or propagates its
 // error Status.
 #define STREAMFREQ_ASSIGN_OR_RETURN(lhs, rexpr)                        \

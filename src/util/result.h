@@ -11,8 +11,11 @@ namespace streamfreq {
 
 /// Holds either a successfully-computed T or the Status explaining why it
 /// could not be computed. Never holds an OK status without a value.
+///
+/// [[nodiscard]] at class level: discarding a Result discards both the value
+/// and the error, so it is a compile error under -Werror (see status.h).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, enables `return value;`).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

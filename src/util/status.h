@@ -30,7 +30,12 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. Cheap to pass around: the OK state is a null
 /// pointer, errors allocate a small state block.
-class Status {
+///
+/// The class-level [[nodiscard]] makes every function returning a Status by
+/// value unignorable: a dropped error is a compile error under -Werror (and
+/// sfq-lint's nodiscard-decl rule keeps the attribute from regressing).
+/// Intentional discards must spell out `(void)` plus a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;

@@ -1,0 +1,18 @@
+// Broken on purpose: discards the Status from Merge, so an incompatible-
+// sketch error (different seed or geometry) vanishes and the caller keeps
+// querying a half-merged sketch. In compiled code the class-level
+// [[nodiscard]] on Status makes this a build error; the lint rule covers
+// snippets the compiler never sees.
+//
+// sfq-lint-path: src/eval/broken_merge.cc
+// sfq-lint-expect: dropped-status
+
+#include "core/count_sketch.h"
+
+namespace streamfreq {
+
+void BrokenMerge(CountSketch& into, const CountSketch& from) {
+  into.Merge(from);
+}
+
+}  // namespace streamfreq

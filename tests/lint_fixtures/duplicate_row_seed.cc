@@ -1,0 +1,22 @@
+// Broken on purpose: constructs a fresh SplitMix64 from the same seed for
+// every row, so all depth_ rows draw identical (a, b) hash parameters --
+// the rows are copies, not independent trials, and the Lemma 5 median
+// argument collapses. The blessed idiom builds ONE seeder before the loop.
+//
+// sfq-lint-path: src/core/broken_sketch.cc
+// sfq-lint-expect: row-seed
+
+#include "core/count_sketch.h"
+#include "hash/random.h"
+
+namespace streamfreq {
+
+void BrokenSketch::InitRows(uint64_t seed) {
+  hashes_.reserve(depth_);
+  for (size_t i = 0; i < depth_; ++i) {
+    SplitMix64 seeder(seed);  // same seed every iteration!
+    hashes_.emplace_back(seeder);
+  }
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,7 @@
+// Uses the concurrent subsystem but (per the CMakeLists next door) is not
+// labelled `concurrent` -- the bug this fixture exists to demonstrate.
+#include "concurrent/parallel_ingestor.h"
+
+#include <gtest/gtest.h>
+
+TEST(BrokenIngest, Placeholder) { SUCCEED(); }

@@ -1,0 +1,4 @@
+// Control case: no concurrent/ usage, so no label requirement.
+#include <gtest/gtest.h>
+
+TEST(PlainMath, Placeholder) { EXPECT_EQ(2 + 2, 4); }

@@ -1,0 +1,20 @@
+// Broken on purpose: seeds a generator from std::random_device inside a
+// deterministic-replay path. A fuzz failure found with this code would
+// print a reproducer that never reproduces.
+//
+// sfq-lint-path: src/verify/broken_workload.cc
+// sfq-lint-expect: nondet-random
+
+#include <random>
+
+#include "stream/types.h"
+
+namespace streamfreq {
+
+ItemId BrokenPick() {
+  std::random_device rd;
+  std::mt19937_64 gen(rd());
+  return static_cast<ItemId>(gen());
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,25 @@
+// Broken on purpose: locks with std::mutex / std::lock_guard directly.
+// These carry no capability annotations, so clang's -Werror=thread-safety
+// proves nothing about any member this lock protects. util/mutex.h has the
+// annotated equivalents.
+//
+// sfq-lint-path: src/concurrent/broken_cell.cc
+// sfq-lint-expect: raw-mutex
+
+#include <mutex>
+
+namespace streamfreq {
+
+class BrokenCell {
+ public:
+  void Set(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,19 @@
+// Broken on purpose: hard-codes the sketch width instead of deriving it
+// from the Lemma 5 sizing rules in sketch_params.h, so nothing ties the
+// geometry to the stream statistics it is supposed to bound.
+//
+// sfq-lint-path: src/eval/broken_setup.cc
+// sfq-lint-expect: raw-geometry
+
+#include "core/count_sketch.h"
+
+namespace streamfreq {
+
+CountSketchParams BrokenSetup() {
+  CountSketchParams p;
+  p.depth = 5;
+  p.width = 16384;
+  return p;
+}
+
+}  // namespace streamfreq

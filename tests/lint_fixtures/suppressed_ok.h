@@ -1,0 +1,29 @@
+// NOT broken: shows the sanctioned suppression form. The member below is
+// thread-confined (written by one owner thread, read only after join), and
+// the NOLINTNEXTLINE carries the mandatory justification -- so sfq-lint
+// must stay silent on this file. A reason-less suppression would itself be
+// a finding.
+//
+// sfq-lint-path: src/concurrent/suppressed_counter.h
+#pragma once
+
+#include "util/macros.h"
+#include "util/mutex.h"
+
+namespace streamfreq {
+
+class SuppressedCounter {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++guarded_count_;
+  }
+
+ private:
+  Mutex mu_;
+  long guarded_count_ SFQ_GUARDED_BY(mu_) = 0;
+  // NOLINTNEXTLINE(sfq-unguarded-member): owner-thread only, read after join
+  long scratch_count_ = 0;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,26 @@
+// Broken on purpose: a class that owns a Mutex but leaves a mutable member
+// without SFQ_GUARDED_BY, so the thread-safety analysis has no idea the
+// two are related and unlocked access compiles clean.
+//
+// sfq-lint-path: src/concurrent/broken_counter.h
+// sfq-lint-expect: unguarded-member
+#pragma once
+
+#include "util/macros.h"
+#include "util/mutex.h"
+
+namespace streamfreq {
+
+class BrokenCounter {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  long count_ = 0;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,132 @@
+// Self-check for the sfq-lint static checker (tools/sfq_lint.py).
+//
+// Proves the two properties scripts/lint.sh depends on:
+//   1. the real tree is clean (lint exits 0), and
+//   2. the linter is *sensitive*: each deliberately broken fixture in
+//      tests/lint_fixtures/, linted as if it lived at its pretend src/
+//      path, makes lint exit non-zero with the expected rule id -- i.e.
+//      flipping any fixture into the tree would fail the lint gate.
+// The suppression fixture additionally proves that a justified
+// NOLINT(sfq-*) silences a rule without disabling it globally.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char kRoot[] = SFQ_SOURCE_DIR;
+
+struct RunResult {
+  int exit_code;
+  std::string output;
+};
+
+// Runs a command, capturing combined stdout+stderr and the exit code.
+RunResult Exec(const std::string& cmd) {
+  RunResult result{-1, {}};
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string LintCmd(const std::string& args) {
+  return std::string("python3 '") + kRoot + "/tools/sfq_lint.py' --root '" +
+         kRoot + "' " + args;
+}
+
+// Parses the `sfq-lint-path:` / `sfq-lint-expect:` header comments.
+struct Fixture {
+  fs::path file;
+  std::string pretend_path;
+  std::vector<std::string> expected_rules;
+};
+
+std::vector<Fixture> LoadFixtures() {
+  std::vector<Fixture> fixtures;
+  const fs::path dir = fs::path(kRoot) / "tests" / "lint_fixtures";
+  const std::regex path_re(R"(sfq-lint-path:\s*(\S+))");
+  const std::regex expect_re(R"(sfq-lint-expect:\s*([\w-]+))");
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".cc" && ext != ".h") continue;
+    std::ifstream in(entry.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    Fixture f;
+    f.file = entry.path();
+    std::smatch m;
+    if (std::regex_search(text, m, path_re)) f.pretend_path = m[1];
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), expect_re);
+         it != std::sregex_iterator(); ++it) {
+      f.expected_rules.push_back((*it)[1]);
+    }
+    fixtures.push_back(std::move(f));
+  }
+  return fixtures;
+}
+
+TEST(LintSelfcheck, RealTreeIsClean) {
+  const RunResult r = Exec(LintCmd(""));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("sfq-lint: OK"), std::string::npos) << r.output;
+}
+
+TEST(LintSelfcheck, FixtureExpectationsAllHold) {
+  // --fixtures asserts, inside the linter, that every fixture fires exactly
+  // its declared rules (including the silent suppression fixture).
+  const RunResult r =
+      Exec(LintCmd("--fixtures '" + std::string(kRoot) + "/tests/lint_fixtures'"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("fixture FAIL"), std::string::npos) << r.output;
+}
+
+TEST(LintSelfcheck, EachBrokenFixtureFailsAsTreeSource) {
+  const std::vector<Fixture> fixtures = LoadFixtures();
+  ASSERT_GE(fixtures.size(), 7u);  // 6 broken + 1 suppressed control
+  int broken = 0;
+  for (const Fixture& f : fixtures) {
+    ASSERT_FALSE(f.pretend_path.empty()) << f.file;
+    const RunResult r = Exec(LintCmd("--check-file '" + f.file.string() +
+                                    "' --as " + f.pretend_path));
+    if (f.expected_rules.empty()) {
+      // The suppression control: must stay silent even as tree source.
+      EXPECT_EQ(r.exit_code, 0) << f.file << "\n" << r.output;
+      continue;
+    }
+    ++broken;
+    EXPECT_NE(r.exit_code, 0)
+        << f.file << " should fail lint as " << f.pretend_path;
+    for (const std::string& rule : f.expected_rules) {
+      EXPECT_NE(r.output.find("[sfq-" + rule + "]"), std::string::npos)
+          << f.file << " expected rule " << rule << "\n"
+          << r.output;
+    }
+  }
+  EXPECT_GE(broken, 6);
+}
+
+TEST(LintSelfcheck, ListRulesMatchesDocumentedSet) {
+  const RunResult r = Exec(LintCmd("--list-rules"));
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"sfq-row-seed", "sfq-raw-geometry", "sfq-nondet-random",
+        "sfq-dropped-status", "sfq-raw-mutex", "sfq-unguarded-member",
+        "sfq-concurrent-label", "sfq-nodiscard-decl"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compile-time proof that Status/Result cannot be silently discarded.
+
+Registered as the `nodiscard_probe_test` ctest. Runs the project compiler
+(passed by CMake) in syntax-only mode over two probes:
+
+  * nodiscard_probes/drop_status.cc discards a Status and a Result and must
+    FAIL to compile, with the diagnostic naming the nodiscard attribute;
+  * nodiscard_probes/use_status.cc consumes them (and shows the sanctioned
+    `(void)` escape hatch) and must compile clean,
+
+so a regression that strips the class-level [[nodiscard]] from status.h or
+result.h -- or a toolchain that stops enforcing it -- fails this test rather
+than silently re-legalizing dropped errors.
+"""
+
+import subprocess
+import sys
+
+
+def compile_probe(compiler, source_dir, probe):
+    return subprocess.run(
+        [
+            compiler,
+            "-std=c++20",
+            "-fsyntax-only",
+            "-Werror=unused-result",
+            "-I",
+            source_dir + "/src",
+            source_dir + "/tests/nodiscard_probes/" + probe,
+        ],
+        capture_output=True,
+        text=True,
+    )
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: nodiscard_probe_test.py <compiler> <source-dir>")
+        return 2
+    compiler, source_dir = sys.argv[1], sys.argv[2]
+
+    drop = compile_probe(compiler, source_dir, "drop_status.cc")
+    if drop.returncode == 0:
+        print("FAIL: drop_status.cc compiled -- discarding a Status/Result "
+              "is supposed to be a build error")
+        return 1
+    if "nodiscard" not in drop.stderr and "unused result" not in drop.stderr:
+        print("FAIL: drop_status.cc failed for the wrong reason:\n"
+              + drop.stderr)
+        return 1
+
+    use = compile_probe(compiler, source_dir, "use_status.cc")
+    if use.returncode != 0:
+        print("FAIL: control probe use_status.cc did not compile -- the "
+              "drop_status failure is not attributable to [[nodiscard]]:\n"
+              + use.stderr)
+        return 1
+
+    print("PASS: dropped Status/Result is a compile error; consumed values "
+          "compile clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// Compile-FAILURE probe: both statements below discard a [[nodiscard]]
+// type, so this file must NOT compile under -Werror=unused-result. The
+// nodiscard_probe_test driver asserts the failure (and that the sibling
+// use_status.cc still compiles, proving the error is the attribute and not
+// a broken include path). Syntax-only: the functions are never defined.
+#include "util/result.h"
+#include "util/status.h"
+
+namespace streamfreq {
+
+Status MakeStatus();
+Result<int> MakeResult();
+
+void DropBoth() {
+  MakeStatus();  // NOLINT(sfq-dropped-status): the probe's entire point
+  MakeResult();
+}
+
+}  // namespace streamfreq

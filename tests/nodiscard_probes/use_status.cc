@@ -1,0 +1,20 @@
+// Compile-SUCCESS control for drop_status.cc: consuming the Status and the
+// Result must compile clean with the same flags, so the probe's failure is
+// attributable to [[nodiscard]] alone.
+#include "util/result.h"
+#include "util/status.h"
+
+namespace streamfreq {
+
+Status MakeStatus();
+Result<int> MakeResult();
+
+int UseBoth() {
+  const Status s = MakeStatus();
+  const Result<int> r = MakeResult();
+  if (!s.ok() || !r.ok()) return 1;
+  (void)MakeStatus();  // explicit discard is the sanctioned escape hatch
+  return 0;
+}
+
+}  // namespace streamfreq
