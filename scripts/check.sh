@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Verification sweep.
 #
-#   scripts/check.sh --quick    lint + build + ctest + TSan concurrent re-check
+#   scripts/check.sh --quick    lint + build + ctest + TSan concurrent
+#                               re-check + 200-iteration chaos profile
 #   scripts/check.sh            the above, plus benchmarks, examples, an
 #                               ASan/UBSan build running the full suite,
-#                               and a nightly-scale `sfq verify` fuzz
-#                               campaign against the statistical oracles
+#                               a failpoints-compiled-out sanity build,
+#                               and nightly-scale `sfq verify` + `sfq chaos`
+#                               campaigns
 #
 # Environment:
-#   SFQ_FUZZ_SEED   master seed for the nightly fuzz campaign (default 42)
-#   SFQ_FUZZ_ITERS  nightly fuzz iterations (default 2000; CI smoke is 200)
+#   SFQ_FUZZ_SEED    master seed for the nightly fuzz campaign (default 42)
+#   SFQ_FUZZ_ITERS   nightly fuzz iterations (default 2000; CI smoke is 200)
+#   SFQ_CHAOS_SEED   master seed for the chaos campaigns (default 42)
+#   SFQ_CHAOS_ITERS  nightly chaos iterations (default 2000; quick is 200)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,8 +54,15 @@ cmake -B build-tsan "${GEN[@]}" \
   -DSTREAMFREQ_BUILD_EXAMPLES=OFF \
   -DCMAKE_CXX_FLAGS=-fsanitize=thread \
   -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread
-cmake --build build-tsan --target parallel_ingestor_test batch_add_test
+cmake --build build-tsan --target parallel_ingestor_test batch_add_test \
+  batch_queue_test failpoint_test chaos_test
 ctest --test-dir build-tsan -L concurrent --output-on-failure
+
+# Chaos quick profile: seeded fuzz programs replayed under randomized
+# failpoint schedules (docs/ROBUSTNESS.md). Every iteration must end in a
+# clean error Status or a sketch passing its guarantee checker over the
+# effective stream; a failure prints a replayable seed/schedule/program.
+build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 200
 
 if [[ "$QUICK" -eq 1 ]]; then
   echo "check.sh --quick: OK"
@@ -72,10 +83,25 @@ cmake -B build-asan "${GEN[@]}" \
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure
 
+# Zero-overhead sanity: the whole tree must still compile with every
+# SFQ_FAILPOINT site compiled out, and the overhead bench from that tree
+# is the measurement backing the "free when disabled" claim. No ctest
+# here — injection-dependent tests are meaningless without failpoints.
+cmake -B build-nofp "${GEN[@]}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSTREAMFREQ_FAILPOINTS=OFF \
+  -DSTREAMFREQ_BUILD_EXAMPLES=OFF
+cmake --build build-nofp
+build-nofp/bench/bench_failpoint_overhead
+
 # Nightly-scale differential fuzz campaign: every guarantee checker over
 # seeded workloads at the paper's Lemma 5 sizing. Zero violations expected;
 # a failure prints a shrunk `sfq verify --program "..."` reproducer.
 build/tools/sfq verify --seed="${SFQ_FUZZ_SEED:-42}" \
   --iters="${SFQ_FUZZ_ITERS:-2000}"
+
+# Nightly chaos campaign: same contract as the quick profile, at scale.
+build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
+  --iters "${SFQ_CHAOS_ITERS:-2000}"
 
 echo "check.sh: OK"

@@ -1,14 +1,42 @@
 #include "concurrent/batch_queue.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace streamfreq {
+
+namespace {
+
+// All producer entry points share one injection site: `error` makes the
+// queue look closed to this producer, `stall` delays the hand-off.
+bool ApplyPushFailpoint() {
+  const FailDecision fp = SFQ_FAILPOINT("batch_queue.push");
+  if (fp.action == FailAction::kStall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fp.param));
+  }
+  return fp.action == FailAction::kError;
+}
+
+// Consumer-side site: `stall` simulates a wedged worker between hand-off
+// and processing. Other actions are ignored here (dropping a pop would
+// silently lose a batch, which no real fault mode corresponds to).
+void ApplyPopFailpoint() {
+  const FailDecision fp = SFQ_FAILPOINT("batch_queue.pop");
+  if (fp.action == FailAction::kStall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fp.param));
+  }
+}
+
+}  // namespace
 
 BatchQueue::BatchQueue(size_t max_batches)
     : max_batches_(std::max<size_t>(1, max_batches)) {}
 
 bool BatchQueue::Push(std::vector<ItemId> batch) {
+  if (ApplyPushFailpoint()) return false;
   {
     MutexLock lock(mu_);
     while (!closed_ && batches_.size() >= max_batches_) not_full_.Wait(mu_);
@@ -19,7 +47,54 @@ bool BatchQueue::Push(std::vector<ItemId> batch) {
   return true;
 }
 
+QueuePushResult BatchQueue::TryPush(std::vector<ItemId>* batch) {
+  if (ApplyPushFailpoint()) return QueuePushResult::kClosed;
+  {
+    MutexLock lock(mu_);
+    if (closed_) return QueuePushResult::kClosed;
+    if (batches_.size() >= max_batches_) return QueuePushResult::kTimedOut;
+    batches_.push_back(std::move(*batch));
+  }
+  not_empty_.NotifyOne();
+  return QueuePushResult::kOk;
+}
+
+QueuePushResult BatchQueue::PushWithTimeout(std::vector<ItemId>* batch,
+                                            std::chrono::milliseconds timeout) {
+  if (ApplyPushFailpoint()) return QueuePushResult::kClosed;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  {
+    MutexLock lock(mu_);
+    while (!closed_ && batches_.size() >= max_batches_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return QueuePushResult::kTimedOut;
+      // WaitFor may wake spuriously or early; the deadline governs, not the
+      // per-wait budget, so the loop re-derives the remaining time.
+      (void)not_full_.WaitFor(
+          mu_, std::chrono::duration_cast<std::chrono::milliseconds>(
+                   deadline - now) +
+                   std::chrono::milliseconds(1));
+    }
+    if (closed_) return QueuePushResult::kClosed;
+    batches_.push_back(std::move(*batch));
+  }
+  not_empty_.NotifyOne();
+  return QueuePushResult::kOk;
+}
+
+void BatchQueue::Requeue(std::vector<ItemId> batch) {
+  {
+    MutexLock lock(mu_);
+    // Deliberately exceeds max_batches_ and ignores closed_: the batch was
+    // already admitted once, and recovery must not deadlock against a full
+    // queue or lose mass during shutdown drain.
+    batches_.push_front(std::move(batch));
+  }
+  not_empty_.NotifyOne();
+}
+
 std::optional<std::vector<ItemId>> BatchQueue::Pop() {
+  ApplyPopFailpoint();
   std::vector<ItemId> batch;
   {
     MutexLock lock(mu_);

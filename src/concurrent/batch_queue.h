@@ -7,8 +7,16 @@
 // queue is full (backpressure, bounded memory); consumers block while it is
 // empty. Close() starts shutdown: producers fail fast, consumers drain the
 // remaining batches and then observe end-of-stream.
+//
+// Overload handling: plain Push blocks indefinitely, which is the right
+// default for bounded in-process pipelines but wedges the producer if a
+// consumer stalls. TryPush and PushWithTimeout give producers a deadline so
+// ParallelIngestor can implement shed/sample overflow policies (see
+// docs/ROBUSTNESS.md); both keep ownership of the batch on failure so the
+// caller decides whether to drop, downsample, or retry it.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <optional>
@@ -19,6 +27,13 @@
 #include "util/mutex.h"
 
 namespace streamfreq {
+
+/// Outcome of a non-blocking or deadline-bounded enqueue.
+enum class QueuePushResult : uint8_t {
+  kOk,        ///< batch enqueued
+  kTimedOut,  ///< queue stayed full past the deadline; caller keeps batch
+  kClosed,    ///< queue is shut down; caller keeps batch
+};
 
 /// A bounded queue of ItemId batches.
 class BatchQueue {
@@ -33,6 +48,23 @@ class BatchQueue {
   /// Enqueues a batch, blocking while the queue is full. Returns false iff
   /// the queue was closed (the batch is dropped).
   [[nodiscard]] bool Push(std::vector<ItemId> batch);
+
+  /// Enqueues `*batch` only if there is room right now. On kOk the batch
+  /// has been moved out; on kTimedOut/kClosed `*batch` is untouched.
+  [[nodiscard]] QueuePushResult TryPush(std::vector<ItemId>* batch);
+
+  /// Enqueues `*batch`, waiting up to `timeout` for room. Returns
+  /// kTimedOut (batch retained) if the queue is still full at the
+  /// deadline — the fix for the stalled-consumer livelock: a producer is
+  /// never parked past its deadline even if no consumer ever wakes it.
+  [[nodiscard]] QueuePushResult PushWithTimeout(
+      std::vector<ItemId>* batch, std::chrono::milliseconds timeout);
+
+  /// Puts a batch back at the *front* of the queue, ignoring the capacity
+  /// bound and closed state. Reserved for crash recovery: a respawning
+  /// worker returns its in-flight batch so no mass is lost and FIFO order
+  /// is disturbed as little as possible. Never blocks.
+  void Requeue(std::vector<ItemId> batch);
 
   /// Dequeues the oldest batch, blocking while the queue is empty. Returns
   /// nullopt once the queue is closed and drained.

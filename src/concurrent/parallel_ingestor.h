@@ -26,10 +26,21 @@
 // published merged sketch (epoch-published, RCU-style with reclamation
 // deferred to the ingestor's destruction), so queries run concurrently
 // with ingestion at any thread count.
+//
+// Degraded modes (docs/ROBUSTNESS.md): producers can bound their push wait
+// (push_timeout_ms) and pick an OverflowPolicy for what happens when the
+// deadline passes — fail the Ingest call, shed the batch, or downsample it.
+// Workers detect simulated crashes (SFQ_FAILPOINT "ingestor.worker_batch"),
+// requeue the in-flight batch, and respawn; Finish can bound the shutdown
+// drain (drain_timeout_ms), abandoning the backlog instead of hanging.
+// Every dropped item is counted in IngestStats — and optionally recorded
+// (record_shed) — so accuracy accounting can widen error bounds by exactly
+// the shed mass.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -42,10 +53,47 @@
 #include "concurrent/batch_queue.h"
 #include "concurrent/snapshot.h"
 #include "stream/types.h"
+#include "util/failpoint.h"
 #include "util/mutex.h"
 #include "util/result.h"
 
 namespace streamfreq {
+
+/// What a producer does with a batch the queue would not accept within its
+/// deadline (only consulted when push_timeout_ms > 0).
+enum class OverflowPolicy : uint8_t {
+  /// Fail the Ingest call with IoError. The default: overload is loud.
+  kBlock,
+  /// Drop the whole batch, count it (shed_batches/shed_items), continue.
+  kShed,
+  /// Keep every sample_keep_one_in-th item of the batch and enqueue the
+  /// remainder with a blocking push; count the rest as
+  /// sampled_items_dropped. Trades a bounded accuracy hit for liveness.
+  kSample,
+};
+
+/// Degradation counters, all zero on a fault-free run. The conservation
+/// invariant (checked by tests and the chaos harness) is
+///   items offered == items_ingested + shed_items + sampled_items_dropped
+///                    + abandoned_items.
+struct IngestStats {
+  uint64_t items_ingested = 0;
+  uint64_t deadline_misses = 0;   ///< push deadlines that expired
+  uint64_t shed_batches = 0;      ///< kShed: whole batches dropped
+  uint64_t shed_items = 0;
+  uint64_t sampled_batches = 0;   ///< kSample: batches downsampled
+  uint64_t sampled_items_dropped = 0;
+  uint64_t worker_respawns = 0;   ///< crashed workers brought back
+  uint64_t abandoned_batches = 0; ///< drain timeout: backlog discarded
+  uint64_t abandoned_items = 0;
+  uint64_t publish_failures = 0;  ///< snapshot publications skipped
+
+  /// Total stream mass that never reached a sketch. Accuracy checkers must
+  /// widen additive bounds by exactly this much (see docs/ROBUSTNESS.md).
+  uint64_t DroppedItems() const {
+    return shed_items + sampled_items_dropped + abandoned_items;
+  }
+};
 
 /// Tuning knobs for ParallelIngestor.
 struct IngestOptions {
@@ -63,6 +111,20 @@ struct IngestOptions {
   /// many batches. 0 publishes only at Finish — the right setting for
   /// counter summaries, whose merges accrue slack.
   size_t publish_every_batches = 0;
+  /// Producer push deadline in milliseconds. 0 = block indefinitely
+  /// (classic backpressure); > 0 = a miss triggers overflow_policy.
+  uint64_t push_timeout_ms = 0;
+  /// What to do when the push deadline expires.
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  /// kSample keeps one item in this many (clamped to >= 2).
+  size_t sample_keep_one_in = 8;
+  /// Bound on the Finish-time backlog drain in milliseconds. 0 = drain
+  /// everything; > 0 = batches still queued at the deadline are discarded
+  /// and counted as abandoned.
+  uint64_t drain_timeout_ms = 0;
+  /// Record every dropped item so callers (the chaos harness) can compute
+  /// the exact effective stream. Off by default: it buffers shed mass.
+  bool record_shed = false;
 };
 
 /// Shards a stream across worker threads that each ingest into a private
@@ -93,6 +155,7 @@ class ParallelIngestor {
     if (!factory) {
       return Status::InvalidArgument("ParallelIngestor: factory is empty");
     }
+    options.sample_keep_one_in = std::max<size_t>(2, options.sample_keep_one_in);
     STREAMFREQ_ASSIGN_OR_RETURN(SketchT accumulated, factory());
     std::vector<SketchT> locals;
     locals.reserve(options.threads);
@@ -111,16 +174,14 @@ class ParallelIngestor {
   ParallelIngestor& operator=(const ParallelIngestor&) = delete;
 
   /// Copies `items` into batches of batch_items and hands them to the
-  /// workers, blocking while the queue is full. Safe to call from multiple
+  /// workers, blocking while the queue is full (up to push_timeout_ms when
+  /// set, then applying overflow_policy). Safe to call from multiple
   /// producer threads. Fails once Finish has been called.
   Status Ingest(std::span<const ItemId> items) {
     while (!items.empty()) {
       const size_t take = std::min(items.size(), options_.batch_items);
       std::vector<ItemId> batch(items.begin(), items.begin() + take);
-      if (!queue_.Push(std::move(batch))) {
-        return Status::InvalidArgument(
-            "ParallelIngestor::Ingest: already finished");
-      }
+      STREAMFREQ_RETURN_NOT_OK(PushOne(std::move(batch)));
       items = items.subspan(take);
     }
     return Status::OK();
@@ -151,6 +212,31 @@ class ParallelIngestor {
     return items_ingested_.load(std::memory_order_relaxed);
   }
 
+  /// Degradation counters (relaxed reads; exact after Finish).
+  IngestStats Stats() const {
+    IngestStats stats;
+    stats.items_ingested = items_ingested_.load(std::memory_order_relaxed);
+    stats.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+    stats.shed_batches = shed_batches_.load(std::memory_order_relaxed);
+    stats.shed_items = shed_items_.load(std::memory_order_relaxed);
+    stats.sampled_batches = sampled_batches_.load(std::memory_order_relaxed);
+    stats.sampled_items_dropped =
+        sampled_items_dropped_.load(std::memory_order_relaxed);
+    stats.worker_respawns = worker_respawns_.load(std::memory_order_relaxed);
+    stats.abandoned_batches =
+        abandoned_batches_.load(std::memory_order_relaxed);
+    stats.abandoned_items = abandoned_items_.load(std::memory_order_relaxed);
+    stats.publish_failures = publish_failures_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  /// Every item dropped so far, in drop order (requires record_shed; empty
+  /// otherwise). Call after Finish for the complete spill.
+  std::vector<ItemId> SpilledItems() const {
+    MutexLock lock(spill_mu_);
+    return spill_;
+  }
+
   size_t threads() const { return options_.threads; }
 
  private:
@@ -163,17 +249,116 @@ class ParallelIngestor {
         locals_(std::move(locals)) {
     snapshot_.Publish(std::make_unique<const SketchT>(accumulated_));
     workers_.reserve(options_.threads);
+    {
+      MutexLock lock(drain_mu_);
+      active_workers_ = options_.threads;
+    }
     for (size_t w = 0; w < options_.threads; ++w) {
-      workers_.emplace_back([this, w] { WorkerLoop(w); });
+      workers_.emplace_back([this, w] { RunWorker(w); });
     }
   }
 
+  /// Applies the configured overflow behavior to one batch.
+  Status PushOne(std::vector<ItemId> batch) SFQ_EXCLUDES(spill_mu_) {
+    if (options_.push_timeout_ms == 0) {
+      if (!queue_.Push(std::move(batch))) {
+        return Status::InvalidArgument(
+            "ParallelIngestor::Ingest: already finished");
+      }
+      return Status::OK();
+    }
+    QueuePushResult result = queue_.PushWithTimeout(
+        &batch, std::chrono::milliseconds(options_.push_timeout_ms));
+    if (result == QueuePushResult::kClosed) {
+      return Status::InvalidArgument(
+          "ParallelIngestor::Ingest: already finished");
+    }
+    if (result == QueuePushResult::kOk) return Status::OK();
+
+    deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    switch (options_.overflow_policy) {
+      case OverflowPolicy::kBlock:
+        return Status::IoError(
+            "ParallelIngestor::Ingest: push deadline exceeded "
+            "(queue full; consumer stalled?)");
+      case OverflowPolicy::kShed:
+        shed_batches_.fetch_add(1, std::memory_order_relaxed);
+        shed_items_.fetch_add(batch.size(), std::memory_order_relaxed);
+        RecordSpill(batch);
+        return Status::OK();
+      case OverflowPolicy::kSample: {
+        // Deterministic 1-in-k decimation: keep indices 0, k, 2k, ...
+        sampled_batches_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<ItemId> kept;
+        std::vector<ItemId> dropped;
+        kept.reserve(batch.size() / options_.sample_keep_one_in + 1);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (i % options_.sample_keep_one_in == 0) {
+            kept.push_back(batch[i]);
+          } else {
+            dropped.push_back(batch[i]);
+          }
+        }
+        sampled_items_dropped_.fetch_add(dropped.size(),
+                                         std::memory_order_relaxed);
+        RecordSpill(dropped);
+        // The decimated batch goes in with classic backpressure: it is
+        // 1/k of the load, and dropping it too would be double shedding.
+        if (!queue_.Push(std::move(kept))) {
+          return Status::InvalidArgument(
+              "ParallelIngestor::Ingest: already finished");
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("ParallelIngestor: unreachable overflow policy");
+  }
+
+  void RecordSpill(const std::vector<ItemId>& items) SFQ_EXCLUDES(spill_mu_) {
+    if (!options_.record_shed || items.empty()) return;
+    MutexLock lock(spill_mu_);
+    spill_.insert(spill_.end(), items.begin(), items.end());
+  }
+
+  /// Worker thread body: respawn WorkerLoop after every simulated crash
+  /// (the crashed iteration has already requeued its in-flight batch, so
+  /// no mass is lost and linear-sketch results stay bit-identical).
+  void RunWorker(size_t w) SFQ_EXCLUDES(drain_mu_) {
+    while (!WorkerLoop(w)) {
+      worker_respawns_.fetch_add(1, std::memory_order_relaxed);
+    }
+    MutexLock lock(drain_mu_);
+    --active_workers_;
+    drain_cv_.NotifyAll();
+  }
+
   /// Pops batches into this worker's private sketch; folds periodically
-  /// when configured and always once at end-of-stream.
-  void WorkerLoop(size_t w) {
+  /// when configured and always once at end-of-stream. Returns false iff
+  /// the worker "crashed" (fault injection) and must be respawned.
+  bool WorkerLoop(size_t w) {
     SketchT* local = &locals_[w];  // single-writer: only this thread
     size_t batches_since_fold = 0;
     while (auto batch = queue_.Pop()) {
+      if (abort_drain_.load(std::memory_order_relaxed)) {
+        // Drain deadline passed: discard the backlog instead of hanging.
+        abandoned_batches_.fetch_add(1, std::memory_order_relaxed);
+        abandoned_items_.fetch_add(batch->size(), std::memory_order_relaxed);
+        RecordSpill(*batch);
+        continue;
+      }
+      if (const FailDecision fp = SFQ_FAILPOINT("ingestor.worker_batch"); fp) {
+        if (fp.action == FailAction::kStall) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(fp.param));
+        } else if (fp.action == FailAction::kCrash) {
+          // Die before touching the sketch; the batch goes back first so
+          // the respawned worker (or a peer) re-processes it exactly once.
+          queue_.Requeue(std::move(*batch));
+          return false;
+        } else if (fp.action == FailAction::kError) {
+          RecordError(Status::Internal(
+              "injected failure: ingestor.worker_batch"));
+        }
+      }
       local->BatchAdd(std::span<const ItemId>(*batch));
       items_ingested_.fetch_add(batch->size(), std::memory_order_relaxed);
       if (options_.publish_every_batches > 0 &&
@@ -191,6 +376,7 @@ class ParallelIngestor {
       }
     }
     FoldAndPublish(*local);
+    return true;
   }
 
   /// Merges a worker delta into the accumulator and publishes a copy.
@@ -202,6 +388,13 @@ class ParallelIngestor {
       if (first_error_.ok()) first_error_ = s;
       return;
     }
+    // A publish fault degrades freshness, never correctness: the merge
+    // above already happened, readers just keep the previous snapshot.
+    if (const FailDecision fp = SFQ_FAILPOINT("ingestor.publish");
+        fp.action == FailAction::kError) {
+      publish_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     snapshot_.Publish(std::make_unique<const SketchT>(accumulated_));
   }
 
@@ -210,8 +403,27 @@ class ParallelIngestor {
     if (first_error_.ok()) first_error_ = s;
   }
 
-  void Shutdown() {
+  void Shutdown() SFQ_EXCLUDES(drain_mu_) {
     queue_.Close();
+    if (options_.drain_timeout_ms > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.drain_timeout_ms);
+      MutexLock lock(drain_mu_);
+      while (active_workers_ > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+          // Tell workers to discard what remains; they exit promptly since
+          // Pop never blocks after Close.
+          abort_drain_.store(true, std::memory_order_relaxed);
+          break;
+        }
+        (void)drain_cv_.WaitFor(
+            drain_mu_, std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline - now) +
+                           std::chrono::milliseconds(1));
+      }
+    }
     for (std::thread& t : workers_) {
       if (t.joinable()) t.join();
     }
@@ -222,10 +434,27 @@ class ParallelIngestor {
   BatchQueue queue_;
   SnapshotCell<SketchT> snapshot_;
   std::atomic<uint64_t> items_ingested_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> shed_batches_{0};
+  std::atomic<uint64_t> shed_items_{0};
+  std::atomic<uint64_t> sampled_batches_{0};
+  std::atomic<uint64_t> sampled_items_dropped_{0};
+  std::atomic<uint64_t> worker_respawns_{0};
+  std::atomic<uint64_t> abandoned_batches_{0};
+  std::atomic<uint64_t> abandoned_items_{0};
+  std::atomic<uint64_t> publish_failures_{0};
+  std::atomic<bool> abort_drain_{false};
 
   Mutex merge_mu_;
   SketchT accumulated_ SFQ_GUARDED_BY(merge_mu_);
   Status first_error_ SFQ_GUARDED_BY(merge_mu_);
+
+  mutable Mutex spill_mu_;
+  std::vector<ItemId> spill_ SFQ_GUARDED_BY(spill_mu_);
+
+  Mutex drain_mu_;
+  CondVar drain_cv_;
+  size_t active_workers_ SFQ_GUARDED_BY(drain_mu_) = 0;
 
   // Not lock-protected by design: slot w is written only by worker w, and
   // the final read happens after the workers are joined.

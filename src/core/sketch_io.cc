@@ -1,43 +1,94 @@
 #include "core/sketch_io.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "util/bytes.h"
 #include "util/crc32.h"
+#include "util/failpoint.h"
 
 namespace streamfreq {
 
 namespace {
+
 constexpr uint64_t kFileMagic = 0x5346515346303153ULL;  // "SFQSKF01"-ish tag
-}  // namespace
+constexpr size_t kHeaderSize = 20;  // u64 magic + u64 length + u32 crc
 
-Status WriteSketchFile(const std::string& path, const CountSketch& sketch) {
-  std::string payload;
-  sketch.SerializeTo(&payload);
-
-  std::string header;
-  ByteWriter w(&header);
-  w.PutU64(kFileMagic);
-  w.PutU64(payload.size());
-  const uint32_t crc = crc32c::Mask(crc32c::Value(payload.data(), payload.size()));
-  w.PutBytes(&crc, sizeof(crc));
-
+// Writes `blob` (or its first `len` bytes) to `path`, checking every stage:
+// open, write, and the explicit flush — a buffered ofstream happily reports
+// success until close on a full disk.
+Status WriteBlob(const std::string& path, const std::string& blob,
+                 size_t len) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(blob.data(), static_cast<std::streamsize>(len));
+  out.flush();
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
 
+}  // namespace
+
+Status WriteSketchFile(const std::string& path, const CountSketch& sketch) {
+  std::string blob;
+  ByteWriter w(&blob);
+  w.PutU64(kFileMagic);
+  std::string payload;
+  sketch.SerializeTo(&payload);
+  w.PutU64(payload.size());
+  const uint32_t crc =
+      crc32c::Mask(crc32c::Value(payload.data(), payload.size()));
+  w.PutBytes(&crc, sizeof(crc));
+  blob += payload;
+
+  if (const FailDecision fp = SFQ_FAILPOINT("sketch_io.write"); fp) {
+    if (fp.action == FailAction::kTorn) {
+      // Simulate a crash mid-write of a non-atomic writer: a prefix of the
+      // blob lands at the *destination* path, bypassing the temp+rename
+      // protocol, so readers must catch it via truncation/CRC checks.
+      size_t keep = fp.param == 0 ? blob.size() / 2 : fp.param;
+      keep = keep < blob.size() ? keep : blob.size();
+      (void)WriteBlob(path, blob, keep);
+    }
+    return Status::IoError("injected failure: sketch_io.write: " + path);
+  }
+
+  // Crash consistency: land the bytes in a sibling temp file, then publish
+  // with rename — atomic within a directory on POSIX, so a reader sees
+  // either the old complete file or the new complete file, never a prefix.
+  const std::string tmp_path = path + ".tmp";
+  const Status write_status = WriteBlob(tmp_path, blob, blob.size());
+  if (!write_status.ok()) {
+    std::remove(tmp_path.c_str());
+    return write_status;
+  }
+  if (const FailDecision fp = SFQ_FAILPOINT("sketch_io.rename");
+      fp.action == FailAction::kError) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("injected failure: sketch_io.rename: " + path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("rename failed: " + tmp_path + " -> " + path);
+  }
+  return Status::OK();
+}
+
 Result<CountSketch> ReadSketchFile(const std::string& path) {
+  const FailDecision fp = SFQ_FAILPOINT("sketch_io.read");
+  if (fp.action == FailAction::kError) {
+    return Status::IoError("injected failure: sketch_io.read: " + path);
+  }
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
 
-  char header[20];
+  char header[kHeaderSize];
   in.read(header, sizeof(header));
-  if (!in) return Status::Corruption("truncated sketch file header: " + path);
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    return Status::Corruption("truncated sketch file header: " + path);
+  }
   uint64_t magic, payload_len;
   uint32_t stored_crc;
   std::memcpy(&magic, header, 8);
@@ -49,10 +100,38 @@ Result<CountSketch> ReadSketchFile(const std::string& path) {
   if (payload_len > (1ull << 40)) {
     return Status::Corruption("implausible sketch payload length: " + path);
   }
+  // Check the declared length against the actual file size BEFORE
+  // allocating: a corrupted length field must not trigger a giant
+  // allocation (a flipped high bit can claim terabytes).
+  const auto payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(payload_start);
+  const uint64_t available = static_cast<uint64_t>(file_end - payload_start);
+  if (payload_len > available) {
+    return Status::Corruption("truncated sketch payload: " + path);
+  }
+  if (payload_len < available) {
+    return Status::Corruption("trailing bytes after sketch payload: " + path);
+  }
 
   std::string payload(payload_len, '\0');
   in.read(payload.data(), static_cast<std::streamsize>(payload_len));
-  if (!in) return Status::Corruption("truncated sketch payload: " + path);
+  if (in.gcount() != static_cast<std::streamsize>(payload_len)) {
+    return Status::Corruption("truncated sketch payload: " + path);
+  }
+  // A complete file has nothing after the payload; trailing bytes mean the
+  // length field and the contents disagree.
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return Status::Corruption("trailing bytes after sketch payload: " + path);
+  }
+
+  if (fp.action == FailAction::kBitFlip && !payload.empty()) {
+    // Bit rot between write and read; the CRC below must catch it.
+    const uint64_t bit = fp.param % (payload.size() * 8);
+    payload[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(payload[bit / 8]) ^ (1u << (bit % 8)));
+  }
 
   const uint32_t actual = crc32c::Value(payload.data(), payload.size());
   if (crc32c::Unmask(stored_crc) != actual) {

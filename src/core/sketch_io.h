@@ -10,6 +10,14 @@
 // additionally validates structure. Use these for checkpointing long-lived
 // sketches or shipping them between nodes (the distributed-aggregation
 // pattern the paper's additivity enables).
+//
+// Crash consistency: WriteSketchFile lands the bytes in `path + ".tmp"` and
+// publishes them with rename — atomic within a directory on POSIX — so a
+// crash mid-save leaves the previous checkpoint intact, never a prefix.
+// ReadSketchFile treats every adversarial input as data, not UB: short
+// reads, wrong magic, implausible lengths, trailing bytes, and checksum
+// mismatches all come back as Corruption (see the corruption-matrix cases
+// in tests/sketch_io_test.cc, exercised under ASan/UBSan by check.sh).
 #pragma once
 
 #include <string>
@@ -19,8 +27,9 @@
 
 namespace streamfreq {
 
-/// Writes `sketch` to `path` atomically-ish (write then rename is left to
-/// callers with stronger needs; this truncates in place).
+/// Writes `sketch` to `path` atomically: bytes land in `path + ".tmp"` and
+/// are published by rename, so concurrent readers and crash recovery see
+/// either the old file or the new one in full.
 Status WriteSketchFile(const std::string& path, const CountSketch& sketch);
 
 /// Reads a sketch written by WriteSketchFile. Corruption (bad magic, bad

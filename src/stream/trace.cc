@@ -19,6 +19,9 @@ Status WriteTrace(const std::string& path, const Stream& stream) {
     out.write(reinterpret_cast<const char*>(stream.data()),
               static_cast<std::streamsize>(n * sizeof(ItemId)));
   }
+  // Flush before checking: a buffered ofstream can report success for every
+  // write and only surface ENOSPC at (unchecked) destruction.
+  out.flush();
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }

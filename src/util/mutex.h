@@ -17,6 +17,7 @@
 // instead of <mutex> primitives everywhere outside this header.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -70,6 +71,14 @@ class CondVar {
   /// Atomically releases `mu`, sleeps, and re-acquires `mu` before
   /// returning. Spurious wakeups happen; always wait in a predicate loop.
   void Wait(Mutex& mu) SFQ_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Like Wait but gives up after `timeout`. Returns false on timeout, true
+  /// on notify/spurious wakeup — callers still re-check their predicate and
+  /// track the deadline themselves (a deadline, not a per-wait budget).
+  bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout)
+      SFQ_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

@@ -1,0 +1,278 @@
+#include "verify/chaos.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "concurrent/parallel_ingestor.h"
+#include "core/count_sketch.h"
+#include "core/sketch_io.h"
+#include "hash/random.h"
+#include "stream/types.h"
+#include "util/failpoint.h"
+#include "util/macros.h"
+#include "verify/checkers.h"
+#include "verify/oracle.h"
+#include "verify/program.h"
+
+namespace streamfreq {
+
+namespace {
+
+constexpr uint64_t kProgramSalt = 0xC4A05C4A05ULL;
+constexpr uint64_t kScheduleSalt = 0x5C4EDC4EDULL;
+constexpr uint64_t kMix = 0x9E3779B97F4A7C15ULL;
+
+/// The input multiset minus the recorded spill, in input order. Order is
+/// irrelevant to the oracle (it counts), so any linearization works.
+Stream EffectiveStream(const Stream& stream, const std::vector<ItemId>& spill) {
+  if (spill.empty()) return stream;
+  std::map<ItemId, uint64_t> dropped;
+  for (const ItemId id : spill) ++dropped[id];
+  Stream effective;
+  effective.reserve(stream.size() - spill.size());
+  for (const ItemId id : stream) {
+    const auto it = dropped.find(id);
+    if (it != dropped.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    effective.push_back(id);
+  }
+  return effective;
+}
+
+struct IterationResult {
+  ChaosOutcome outcome = ChaosOutcome::kVerified;
+  std::string detail;
+  IngestStats stats;
+  uint64_t fires = 0;
+  bool io_attempted = false;
+  bool io_faulted = false;
+};
+
+Result<IterationResult> RunIteration(const ChaosOptions& options,
+                                     const std::string& io_dir,
+                                     uint64_t index) {
+  const FuzzProgram program =
+      ProgramFromSeed(options.seed ^ kProgramSalt, index);
+  STREAMFREQ_ASSIGN_OR_RETURN(Stream stream, MaterializeStream(program));
+
+  // Size the sketch for the full stream (what a production deployment
+  // would provision for); degraded runs are judged later against what
+  // actually arrived.
+  const Oracle full_oracle(stream);
+  const VerifySetup sizing = MakeVerifySetup(
+      program.k, program.epsilon, program.width_scale, program.seed,
+      full_oracle);
+  STREAMFREQ_ASSIGN_OR_RETURN(VerifySketchPlan plan,
+                              PlanVerifyCountSketch(sizing));
+
+  const std::string schedule =
+      options.failpoints.empty()
+          ? ChaosScheduleForIteration(options.seed, index)
+          : options.failpoints;
+  ScopedFailpoints failpoints(schedule,
+                              options.seed ^ ((index + 1) * kMix));
+  STREAMFREQ_RETURN_NOT_OK(failpoints.status());
+
+  Xoshiro256 rng(options.seed ^ ((index + 7) * kMix));
+  IngestOptions ingest;
+  ingest.threads = 2 + static_cast<size_t>(rng.UniformBelow(2));
+  ingest.batch_items = size_t{256} << rng.UniformBelow(3);
+  ingest.queue_batches = 4;
+  ingest.push_timeout_ms = 5;
+  ingest.overflow_policy = rng.UniformBelow(2) == 0 ? OverflowPolicy::kShed
+                                                    : OverflowPolicy::kSample;
+  ingest.sample_keep_one_in = 4;
+  ingest.record_shed = true;
+
+  IterationResult result;
+  auto finish_fires = [&result] {
+    result.fires = FailpointRegistry::Global().TotalFires();
+  };
+
+  const auto factory = [&plan]() { return CountSketch::Make(plan.params); };
+  auto ingestor =
+      ParallelIngestor<CountSketch>::Make(factory, ingest);
+  if (!ingestor.ok()) {
+    result.outcome = ChaosOutcome::kCleanError;
+    result.detail = ingestor.status().ToString();
+    finish_fires();
+    return result;
+  }
+  const Status ingest_status =
+      (*ingestor)->Ingest(std::span<const ItemId>(stream));
+  Result<CountSketch> merged = (*ingestor)->Finish();
+  result.stats = (*ingestor)->Stats();
+  const std::vector<ItemId> spill = (*ingestor)->SpilledItems();
+
+  if (!ingest_status.ok() || !merged.ok()) {
+    result.outcome = ChaosOutcome::kCleanError;
+    result.detail =
+        (!ingest_status.ok() ? ingest_status : merged.status()).ToString();
+    finish_fires();
+    return result;
+  }
+
+  // Conservation: every offered item is either in a sketch or accounted
+  // dropped, and the recorded spill is exactly the dropped mass.
+  if (result.stats.items_ingested + result.stats.DroppedItems() !=
+          stream.size() ||
+      spill.size() != result.stats.DroppedItems()) {
+    result.outcome = ChaosOutcome::kGuaranteeFailure;
+    result.detail = "mass accounting broken: offered " +
+                    std::to_string(stream.size()) + ", ingested " +
+                    std::to_string(result.stats.items_ingested) +
+                    ", dropped " +
+                    std::to_string(result.stats.DroppedItems()) +
+                    ", spill " + std::to_string(spill.size());
+    finish_fires();
+    return result;
+  }
+
+  // Guarantee check against the effective stream: the bounds widen by
+  // exactly the shed mass, nothing more.
+  const Stream effective = EffectiveStream(stream, spill);
+  if (!effective.empty()) {
+    const Oracle effective_oracle(effective);
+    const VerifySetup check_setup = MakeVerifySetup(
+        program.k, program.epsilon, program.width_scale, program.seed,
+        effective_oracle);
+    const std::vector<Violation> violations = CheckCountSketchAgainstOracle(
+        *merged, effective_oracle, check_setup, plan.lemma_width);
+    if (!violations.empty()) {
+      result.outcome = ChaosOutcome::kGuaranteeFailure;
+      result.detail = violations.front().guarantee + std::string(": ") +
+                      violations.front().detail;
+      finish_fires();
+      return result;
+    }
+  }
+
+  // Round-trip the surviving sketch through persistence with the
+  // sketch_io.* failpoints still armed: outcomes are a clean Status or a
+  // loaded sketch whose estimates match the in-memory one exactly.
+  if (options.exercise_io) {
+    result.io_attempted = true;
+    const std::string path =
+        io_dir + "/sfq_chaos_" + std::to_string(options.seed) + "_" +
+        std::to_string(index) + ".skf";
+    const Status write_status = WriteSketchFile(path, *merged);
+    if (!write_status.ok()) {
+      result.io_faulted = true;
+    } else {
+      Result<CountSketch> loaded = ReadSketchFile(path);
+      if (!loaded.ok()) {
+        result.io_faulted = true;
+      } else {
+        for (const ItemId q : sizing.probes) {
+          if (loaded->Estimate(q) != merged->Estimate(q)) {
+            result.outcome = ChaosOutcome::kGuaranteeFailure;
+            result.detail =
+                "persistence round trip changed the estimate of item " +
+                std::to_string(q);
+            break;
+          }
+        }
+      }
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+
+  finish_fires();
+  return result;
+}
+
+}  // namespace
+
+std::string ChaosScheduleForIteration(uint64_t seed, uint64_t index) {
+  Xoshiro256 rng(seed ^ kScheduleSalt ^ ((index + 1) * kMix));
+  const auto chance = [&rng](uint64_t percent) {
+    return rng.UniformBelow(100) < percent;
+  };
+  std::vector<std::string> clauses;
+  // Crash clauses ALWAYS carry a fire budget: an unbounded always-crash
+  // worker would requeue and respawn forever.
+  if (chance(35)) {
+    clauses.push_back("ingestor.worker_batch=crash*" +
+                      std::to_string(1 + rng.UniformBelow(3)));
+  } else if (chance(25)) {
+    clauses.push_back("ingestor.worker_batch=stall:1@0.02");
+  }
+  if (chance(20)) clauses.push_back("batch_queue.push=error@0.02");
+  if (chance(20)) clauses.push_back("batch_queue.pop=stall:1@0.02");
+  if (chance(25)) clauses.push_back("ingestor.publish=error@0.5");
+  if (chance(30)) {
+    clauses.push_back(std::string("sketch_io.write=") +
+                      (chance(50) ? "torn*1" : "error*1"));
+  }
+  if (chance(20)) clauses.push_back("sketch_io.rename=error*1");
+  if (chance(30)) {
+    clauses.push_back(std::string("sketch_io.read=") +
+                      (chance(50) ? "bitflip*1" : "error*1"));
+  }
+  if (clauses.empty()) clauses.push_back("ingestor.worker_batch=crash*1");
+
+  std::string spec;
+  for (const std::string& clause : clauses) {
+    if (!spec.empty()) spec += ';';
+    spec += clause;
+  }
+  return spec;
+}
+
+Result<ChaosReport> RunChaosCampaign(const ChaosOptions& options) {
+  if (options.iterations == 0) {
+    return Status::InvalidArgument("chaos: iterations must be >= 1");
+  }
+  std::string io_dir = options.io_dir;
+  if (io_dir.empty()) {
+    std::error_code ec;
+    const std::filesystem::path tmp =
+        std::filesystem::temp_directory_path(ec);
+    if (ec) return Status::IoError("chaos: no temp directory: " + ec.message());
+    io_dir = tmp.string();
+  }
+
+  ChaosReport report;
+  for (uint64_t index = 0; index < options.iterations; ++index) {
+    STREAMFREQ_ASSIGN_OR_RETURN(IterationResult iteration,
+                                RunIteration(options, io_dir, index));
+    ++report.iterations;
+    report.fault_fires += iteration.fires;
+    if (iteration.fires > 0) ++report.faulted_iterations;
+    report.worker_respawns += iteration.stats.worker_respawns;
+    report.dropped_items += iteration.stats.DroppedItems();
+    if (iteration.io_attempted) ++report.io_round_trips;
+    if (iteration.io_faulted) ++report.io_faults;
+    switch (iteration.outcome) {
+      case ChaosOutcome::kVerified:
+        ++report.verified;
+        break;
+      case ChaosOutcome::kCleanError:
+        ++report.clean_errors;
+        break;
+      case ChaosOutcome::kGuaranteeFailure: {
+        ++report.guarantee_failures;
+        ChaosFailure failure;
+        failure.index = index;
+        failure.program =
+            FormatProgram(ProgramFromSeed(options.seed ^ kProgramSalt, index));
+        failure.schedule = options.failpoints.empty()
+                               ? ChaosScheduleForIteration(options.seed, index)
+                               : options.failpoints;
+        failure.detail = iteration.detail;
+        report.failures.push_back(std::move(failure));
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,96 @@
+// Chaos harness: fuzz programs replayed under randomized fault injection.
+//
+// Each iteration takes one seeded FuzzProgram (the same grammar `sfq
+// verify` replays), arms a bounded failpoint schedule, and pushes the
+// stream through the degraded ParallelIngestor (shed/sample overflow
+// policies with the spill recorded). The invariant under test is the
+// robustness contract of the whole pipeline:
+//
+//   every iteration ends in a clean error Status, or in a sketch that
+//   passes its GuaranteeChecker against the *effective* stream — the
+//   items that actually reached a worker, i.e. the input multiset minus
+//   the recorded shed mass. Nothing crashes, nothing silently lies.
+//
+// Checking against the effective stream is what "widen the bounds by
+// exactly the shed mass" means operationally: the oracle, probes, and
+// residual-F2 term are recomputed from the surviving items, so a degraded
+// run is held to the same Lemma 4/5 bound as a clean one over the stream
+// it really saw. IngestStats conservation (offered == ingested + dropped)
+// is asserted on every iteration as well.
+//
+// Schedules are deterministic in (seed, iteration): crash clauses always
+// carry a *N budget — an unbounded always-crash schedule would respawn
+// forever — and stall parameters stay in the low milliseconds. A saved
+// sketch is also round-tripped through sketch_io under the I/O failpoints
+// when `exercise_io` is set.
+//
+// Entry points: `sfq chaos` (scripts/check.sh runs a 200-iteration quick
+// profile; the nightly campaign runs longer) and tests/chaos_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace streamfreq {
+
+/// Campaign configuration.
+struct ChaosOptions {
+  uint64_t seed = 1;          ///< master seed for programs + schedules
+  uint64_t iterations = 200;  ///< fuzz programs to replay under faults
+  /// Failpoint spec applied to every iteration. Empty = derive a fresh
+  /// bounded schedule from (seed, iteration). Beware unbounded crash
+  /// clauses here: `...=crash` with no *N budget respawns forever.
+  std::string failpoints;
+  /// Also save/load each surviving sketch through sketch_io (exercising
+  /// the sketch_io.* failpoints) in `io_dir`.
+  bool exercise_io = true;
+  /// Directory for round-trip files; empty = the system temp directory.
+  std::string io_dir;
+};
+
+/// What one iteration ended as.
+enum class ChaosOutcome : uint8_t {
+  kVerified,         ///< sketch passed its guarantee check
+  kCleanError,       ///< a Status surfaced (the acceptable failure mode)
+  kGuaranteeFailure, ///< sketch exists but violates its bounds — a bug
+};
+
+/// A failed iteration, kept for reproduction.
+struct ChaosFailure {
+  uint64_t index = 0;
+  std::string program;   ///< replay line for `sfq verify --program`
+  std::string schedule;  ///< the failpoint spec that was armed
+  std::string detail;    ///< first violation / accounting mismatch
+};
+
+/// Campaign totals. The campaign "passes" iff guarantee_failures == 0.
+struct ChaosReport {
+  uint64_t iterations = 0;
+  uint64_t verified = 0;
+  uint64_t clean_errors = 0;
+  uint64_t guarantee_failures = 0;
+  uint64_t fault_fires = 0;       ///< failpoint activations across the run
+  uint64_t faulted_iterations = 0;  ///< iterations where >= 1 fault fired
+  uint64_t worker_respawns = 0;
+  uint64_t dropped_items = 0;     ///< shed + sampled-away + abandoned mass
+  uint64_t io_round_trips = 0;    ///< sketch_io round trips attempted
+  uint64_t io_faults = 0;         ///< round trips that failed cleanly
+  std::vector<ChaosFailure> failures;  ///< guarantee failures only
+
+  bool Passed() const { return guarantee_failures == 0; }
+};
+
+/// The deterministic per-iteration failpoint schedule used when
+/// ChaosOptions::failpoints is empty. Exposed so tests can assert the
+/// schedules are bounded and reproducible.
+std::string ChaosScheduleForIteration(uint64_t seed, uint64_t index);
+
+/// Runs the campaign. Status errors here are harness-level problems
+/// (e.g. an unmaterializable program), not injected faults — those are
+/// tallied in the report.
+Result<ChaosReport> RunChaosCampaign(const ChaosOptions& options);
+
+}  // namespace streamfreq

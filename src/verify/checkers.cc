@@ -747,6 +747,27 @@ class LossyCountingChecker final : public GuaranteeChecker {
 
 }  // namespace
 
+Result<VerifySketchPlan> PlanVerifyCountSketch(const VerifySetup& setup) {
+  STREAMFREQ_ASSIGN_OR_RETURN(SketchPlan plan, PlanCountSketch(setup));
+  VerifySketchPlan out;
+  out.params = plan.params;
+  out.lemma_width = plan.lemma_width;
+  return out;
+}
+
+std::vector<Violation> CheckCountSketchAgainstOracle(const CountSketch& sketch,
+                                                     const Oracle& oracle,
+                                                     const VerifySetup& setup,
+                                                     size_t lemma_width) {
+  const CountSketchChecker checker;
+  CheckContext context;
+  context.sketch_depth = sketch.depth();
+  context.sketch_width = sketch.width();
+  context.lemma_width = lemma_width;
+  const RawSketchSummary<CountSketch> summary(sketch, "CountSketch(chaos)");
+  return checker.Check(summary, oracle, setup, context);
+}
+
 const std::vector<std::unique_ptr<GuaranteeChecker>>& DefaultCheckers() {
   static const std::vector<std::unique_ptr<GuaranteeChecker>>* kCheckers =
       [] {

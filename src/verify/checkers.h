@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/count_sketch.h"
 #include "core/frequent.h"
 #include "stream/types.h"
 #include "util/result.h"
@@ -111,5 +112,26 @@ class GuaranteeChecker {
 
 /// The registry of all checkers, one per algorithm, in a stable order.
 const std::vector<std::unique_ptr<GuaranteeChecker>>& DefaultCheckers();
+
+/// Lemma 5 sizing for `setup`, with the practical clamps the checkers
+/// compensate for (depth 4..16, width 8..65536). `lemma_width` preserves
+/// the unclamped theorem width. Exposed for builders outside the checker
+/// registry — the chaos harness sizes its sketches with this so degraded
+/// runs are judged against the same bounds as clean ones.
+struct VerifySketchPlan {
+  CountSketchParams params;
+  size_t lemma_width = 0;
+};
+Result<VerifySketchPlan> PlanVerifyCountSketch(const VerifySetup& setup);
+
+/// Runs the count-sketch guarantee check (Lemma 4/5 per-item error with the
+/// Chernoff allowance) against a sketch built elsewhere — the chaos
+/// harness's path for sketches that survived fault injection. `oracle` and
+/// `setup` must describe the *effective* stream (what actually reached the
+/// sketch), so shed mass widens the bounds by exactly the dropped amount.
+std::vector<Violation> CheckCountSketchAgainstOracle(const CountSketch& sketch,
+                                                     const Oracle& oracle,
+                                                     const VerifySetup& setup,
+                                                     size_t lemma_width);
 
 }  // namespace streamfreq

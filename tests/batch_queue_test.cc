@@ -1,0 +1,150 @@
+#include "concurrent/batch_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+
+namespace streamfreq {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+std::vector<ItemId> MakeBatch(ItemId tag) { return {tag, tag, tag}; }
+
+TEST(BatchQueueTest, PushPopRoundTrip) {
+  BatchQueue queue(4);
+  ASSERT_TRUE(queue.Push(MakeBatch(1)));
+  ASSERT_TRUE(queue.Push(MakeBatch(2)));
+  EXPECT_EQ(queue.Depth(), 2u);
+  const auto first = queue.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->front(), 1u);
+}
+
+// The satellite regression: with the consumer stalled and the queue full, a
+// deadline push returns kTimedOut within (roughly) its deadline instead of
+// parking forever, and the caller still owns the batch.
+TEST(BatchQueueTest, StalledConsumerPushReturnsWithinDeadline) {
+  BatchQueue queue(1);
+  ASSERT_TRUE(queue.Push(MakeBatch(1)));  // fill; nobody will ever pop
+
+  std::vector<ItemId> batch = MakeBatch(2);
+  const auto start = steady_clock::now();
+  const QueuePushResult result = queue.PushWithTimeout(&batch, milliseconds(50));
+  const auto elapsed = steady_clock::now() - start;
+
+  EXPECT_EQ(result, QueuePushResult::kTimedOut);
+  EXPECT_EQ(batch.size(), 3u) << "timed-out push must retain the batch";
+  EXPECT_GE(elapsed, milliseconds(45));
+  EXPECT_LT(elapsed, milliseconds(5000)) << "push must not block indefinitely";
+}
+
+TEST(BatchQueueTest, CloseFailsBlockedProducersFast) {
+  BatchQueue queue(1);
+  ASSERT_TRUE(queue.Push(MakeBatch(1)));
+
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(milliseconds(20));
+    queue.Close();
+  });
+  // A long-deadline push parked on a full queue must be woken by Close and
+  // fail well before its deadline.
+  std::vector<ItemId> batch = MakeBatch(2);
+  const auto start = steady_clock::now();
+  const QueuePushResult result =
+      queue.PushWithTimeout(&batch, milliseconds(10000));
+  const auto elapsed = steady_clock::now() - start;
+  closer.join();
+
+  EXPECT_EQ(result, QueuePushResult::kClosed);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_LT(elapsed, milliseconds(5000));
+  // And the plain blocking Push also fails fast once closed.
+  EXPECT_FALSE(queue.Push(MakeBatch(3)));
+}
+
+TEST(BatchQueueTest, TryPushNeverBlocks) {
+  BatchQueue queue(1);
+  std::vector<ItemId> a = MakeBatch(1);
+  std::vector<ItemId> b = MakeBatch(2);
+  EXPECT_EQ(queue.TryPush(&a), QueuePushResult::kOk);
+  EXPECT_EQ(queue.TryPush(&b), QueuePushResult::kTimedOut);
+  EXPECT_EQ(b.size(), 3u) << "rejected TryPush must retain the batch";
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(&b), QueuePushResult::kClosed);
+}
+
+TEST(BatchQueueTest, RequeueGoesToFrontAndIgnoresCapacity) {
+  BatchQueue queue(1);
+  ASSERT_TRUE(queue.Push(MakeBatch(1)));
+  queue.Requeue(MakeBatch(7));  // over capacity by design
+  EXPECT_EQ(queue.Depth(), 2u);
+  const auto first = queue.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->front(), 7u) << "requeued batch must be popped first";
+}
+
+TEST(BatchQueueTest, RequeueAfterCloseIsStillDrained) {
+  BatchQueue queue(2);
+  queue.Close();
+  queue.Requeue(MakeBatch(9));
+  const auto batch = queue.Pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->front(), 9u);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BatchQueueTest, PopDrainsAfterClose) {
+  BatchQueue queue(4);
+  ASSERT_TRUE(queue.Push(MakeBatch(1)));
+  ASSERT_TRUE(queue.Push(MakeBatch(2)));
+  queue.Close();
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BatchQueueTest, PushFailpointErrorLooksLikeClosed) {
+  ScopedFailpoints fp("batch_queue.push=error*1", 3);
+  ASSERT_TRUE(fp.status().ok());
+  BatchQueue queue(4);
+  EXPECT_FALSE(queue.Push(MakeBatch(1)));  // injected failure
+  EXPECT_TRUE(queue.Push(MakeBatch(2)));   // budget spent; next succeeds
+  EXPECT_EQ(queue.Depth(), 1u);
+}
+
+TEST(BatchQueueTest, MpmcStressDeliversEveryBatch) {
+  BatchQueue queue(4);
+  constexpr int kProducers = 2;
+  constexpr int kBatchesEach = 50;
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + 2);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kBatchesEach; ++i) {
+        ASSERT_TRUE(queue.Push(MakeBatch(static_cast<ItemId>(p * 1000 + i))));
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&queue, &popped] {
+      while (queue.Pop().has_value()) popped.fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  queue.Close();
+  threads[kProducers].join();
+  threads[kProducers + 1].join();
+  EXPECT_EQ(popped.load(), kProducers * kBatchesEach);
+}
+
+}  // namespace
+}  // namespace streamfreq

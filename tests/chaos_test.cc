@@ -1,0 +1,117 @@
+#include "verify/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/failpoint.h"
+
+namespace streamfreq {
+namespace {
+
+// ThreadSanitizer slows the ingestion pipeline ~10x; shrink the campaign
+// there so the concurrent suite stays fast under scripts/check.sh.
+#if defined(__SANITIZE_THREAD__)
+constexpr uint64_t kCampaignIterations = 40;
+#else
+constexpr uint64_t kCampaignIterations = 200;
+#endif
+
+TEST(ChaosTest, SchedulesAreDeterministicBoundedAndParseable) {
+  for (uint64_t index = 0; index < 64; ++index) {
+    const std::string a = ChaosScheduleForIteration(11, index);
+    const std::string b = ChaosScheduleForIteration(11, index);
+    EXPECT_EQ(a, b) << "schedule must be a pure function of (seed, index)";
+    EXPECT_FALSE(a.empty());
+    // Every crash clause must carry a fire budget, or the respawn loop
+    // would never terminate.
+    for (size_t pos = a.find("crash"); pos != std::string::npos;
+         pos = a.find("crash", pos + 1)) {
+      EXPECT_EQ(a[pos + 5], '*') << a;
+    }
+    // And every schedule must be a valid spec for the registry.
+    ScopedFailpoints fp(a, 1);
+    EXPECT_TRUE(fp.status().ok()) << a << ": " << fp.status().ToString();
+  }
+  EXPECT_NE(ChaosScheduleForIteration(11, 1), ChaosScheduleForIteration(12, 1));
+}
+
+// The acceptance-criteria campaign: many seeded iterations with faults
+// armed, and every single one ends in a clean error Status or a sketch
+// that passes its guarantee checker over the effective stream.
+TEST(ChaosTest, CampaignSurvivesRandomizedFaultSchedules) {
+  ChaosOptions options;
+  options.seed = 2026;
+  options.iterations = kCampaignIterations;
+  auto report = RunChaosCampaign(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(report->iterations, kCampaignIterations);
+  EXPECT_EQ(report->verified + report->clean_errors, kCampaignIterations);
+  EXPECT_TRUE(report->Passed());
+  EXPECT_EQ(report->guarantee_failures, 0u);
+  for (const ChaosFailure& failure : report->failures) {
+    ADD_FAILURE() << "iteration " << failure.index << " [" << failure.schedule
+                  << "] " << failure.program << ": " << failure.detail;
+  }
+  // The campaign must actually inject faults, not vacuously pass.
+  EXPECT_GT(report->faulted_iterations, 0u);
+  EXPECT_GT(report->fault_fires, 0u);
+  // Most iterations still produce a verifiable sketch.
+  EXPECT_GT(report->verified, 0u);
+}
+
+TEST(ChaosTest, KillOneWorkerScheduleAlwaysRecovers) {
+  ChaosOptions options;
+  options.seed = 7;
+  options.iterations = 5;
+  options.failpoints = "ingestor.worker_batch=crash*2";
+  options.exercise_io = false;
+  auto report = RunChaosCampaign(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Two bounded crashes per iteration, each recovered by a respawn with
+  // the in-flight batch requeued — so every iteration still verifies.
+  EXPECT_EQ(report->worker_respawns, 2u * options.iterations);
+  EXPECT_EQ(report->verified, options.iterations);
+  EXPECT_EQ(report->guarantee_failures, 0u);
+}
+
+TEST(ChaosTest, FaultFreeCampaignVerifies) {
+  ChaosOptions options;
+  options.seed = 13;
+  options.iterations = 3;
+  options.failpoints = "batch_queue.push=off";  // valid spec, disarms all
+  auto report = RunChaosCampaign(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->fault_fires, 0u);
+  EXPECT_EQ(report->verified + report->clean_errors, 3u);
+  EXPECT_EQ(report->guarantee_failures, 0u);
+}
+
+TEST(ChaosTest, InjectedIoFaultsSurfaceAsCleanStatuses) {
+  ChaosOptions options;
+  options.seed = 19;
+  options.iterations = 3;
+  options.failpoints = "sketch_io.write=error*1";
+  auto report = RunChaosCampaign(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->io_round_trips, 3u);
+  EXPECT_EQ(report->io_faults, 3u);
+  EXPECT_EQ(report->guarantee_failures, 0u);
+}
+
+TEST(ChaosTest, RejectsZeroIterations) {
+  ChaosOptions options;
+  options.iterations = 0;
+  EXPECT_TRUE(RunChaosCampaign(options).status().IsInvalidArgument());
+}
+
+TEST(ChaosTest, BadFailpointSpecIsHarnessError) {
+  ChaosOptions options;
+  options.iterations = 1;
+  options.failpoints = "no_such.site=error";
+  EXPECT_TRUE(RunChaosCampaign(options).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace streamfreq

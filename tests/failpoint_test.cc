@@ -1,0 +1,143 @@
+#include "util/failpoint.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamfreq {
+namespace {
+
+TEST(FailpointTest, DisarmedEvaluatesToNone) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.Disarm();
+  EXPECT_FALSE(reg.armed());
+  EXPECT_FALSE(SFQ_FAILPOINT("batch_queue.push"));
+  EXPECT_EQ(reg.TotalFires(), 0u);
+}
+
+TEST(FailpointTest, SimpleClauseAlwaysFires) {
+  ScopedFailpoints fp("batch_queue.push=error", 1);
+  ASSERT_TRUE(fp.status().ok()) << fp.status().ToString();
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  for (int i = 0; i < 5; ++i) {
+    const FailDecision d = reg.Evaluate("batch_queue.push");
+    EXPECT_EQ(d.action, FailAction::kError);
+  }
+  EXPECT_EQ(reg.Fires("batch_queue.push"), 5u);
+  // Other sites stay quiet.
+  EXPECT_FALSE(reg.Evaluate("batch_queue.pop"));
+}
+
+TEST(FailpointTest, CountBudgetCapsFires) {
+  ScopedFailpoints fp("ingestor.worker_batch=crash*2", 7);
+  ASSERT_TRUE(fp.status().ok());
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (reg.Evaluate("ingestor.worker_batch")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(reg.Fires("ingestor.worker_batch"), 2u);
+}
+
+TEST(FailpointTest, ParamAndProbabilityParse) {
+  ScopedFailpoints fp("batch_queue.pop=stall:25@1.0;sketch_io.write=torn:12",
+                      11);
+  ASSERT_TRUE(fp.status().ok()) << fp.status().ToString();
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  const FailDecision stall = reg.Evaluate("batch_queue.pop");
+  EXPECT_EQ(stall.action, FailAction::kStall);
+  EXPECT_EQ(stall.param, 25u);
+  const FailDecision torn = reg.Evaluate("sketch_io.write");
+  EXPECT_EQ(torn.action, FailAction::kTorn);
+  EXPECT_EQ(torn.param, 12u);
+}
+
+TEST(FailpointTest, ProbabilityIsSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    ScopedFailpoints fp("sketch_io.read=error@0.3", seed);
+    EXPECT_TRUE(fp.status().ok());
+    std::vector<bool> rolls;
+    for (int i = 0; i < 64; ++i) {
+      rolls.push_back(
+          static_cast<bool>(FailpointRegistry::Global().Evaluate(
+              "sketch_io.read")));
+    }
+    return rolls;
+  };
+  const std::vector<bool> a = run(42);
+  const std::vector<bool> b = run(42);
+  const std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // p=0.3 over 64 rolls: some fire, some pass.
+  size_t fires = 0;
+  for (const bool hit : a) fires += hit ? 1 : 0;
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST(FailpointTest, BitFlipZeroParamDrawsSeededBit) {
+  ScopedFailpoints fp("sketch_io.read=bitflip", 5);
+  ASSERT_TRUE(fp.status().ok());
+  const FailDecision d =
+      FailpointRegistry::Global().Evaluate("sketch_io.read");
+  EXPECT_EQ(d.action, FailAction::kBitFlip);
+  EXPECT_NE(d.param, 0u);  // seeded draw replaces the 0 sentinel
+}
+
+TEST(FailpointTest, OffClauseDisablesSite) {
+  ScopedFailpoints fp("batch_queue.push=off", 1);
+  ASSERT_TRUE(fp.status().ok());
+  EXPECT_FALSE(FailpointRegistry::Global().armed());
+  EXPECT_FALSE(FailpointRegistry::Global().Evaluate("batch_queue.push"));
+}
+
+TEST(FailpointTest, RejectsUnknownSiteActionAndMalformedClauses) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  const auto rejected = [&reg](const std::string& spec) {
+    return reg.Configure(spec, 1).IsInvalidArgument();
+  };
+  EXPECT_TRUE(rejected("no_such.site=error"));
+  EXPECT_FALSE(reg.armed());
+  EXPECT_TRUE(rejected("batch_queue.push=explode"));
+  EXPECT_TRUE(rejected("batch_queue.push"));
+  EXPECT_TRUE(rejected("batch_queue.push=error@1.5"));
+  EXPECT_TRUE(rejected("batch_queue.push=error*0"));
+  EXPECT_TRUE(rejected("batch_queue.push=error:abc"));
+  EXPECT_FALSE(reg.armed());
+}
+
+TEST(FailpointTest, KnownSitesListIsStableAndValidated) {
+  const std::vector<std::string>& sites = FailpointRegistry::KnownSites();
+  EXPECT_GE(sites.size(), 7u);
+  for (const std::string& site : sites) {
+    EXPECT_TRUE(FailpointRegistry::IsKnownSite(site));
+    ScopedFailpoints fp(site + "=error*1", 1);
+    EXPECT_TRUE(fp.status().ok()) << site;
+  }
+  EXPECT_FALSE(FailpointRegistry::IsKnownSite("batch_queue"));
+}
+
+TEST(FailpointTest, ConcurrentEvaluateIsSafe) {
+  ScopedFailpoints fp("ingestor.worker_batch=error@0.5", 99);
+  ASSERT_TRUE(fp.status().ok());
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) {
+        (void)FailpointRegistry::Global().Evaluate("ingestor.worker_batch");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const uint64_t fires = FailpointRegistry::Global().Fires(
+      "ingestor.worker_batch");
+  EXPECT_GT(fires, 0u);
+  EXPECT_LE(fires, 4000u);
+}
+
+}  // namespace
+}  // namespace streamfreq

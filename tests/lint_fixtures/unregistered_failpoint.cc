@@ -1,0 +1,26 @@
+// sfq-lint-path: src/core/broken_failpoint.cc
+// sfq-lint-expect: failpoint-site
+//
+// Two ways to plant a fault the robustness tooling cannot see:
+//   1. an SFQ_FAILPOINT site that KnownSites() never registered -- every
+//      --failpoints spec naming it is rejected as a typo, and the chaos
+//      scheduler can never exercise the path it guards;
+//   2. a direct FailpointRegistry::Global().Evaluate() call, which stays
+//      compiled in (and stays a lock + map lookup) even when the build
+//      sets STREAMFREQ_FAILPOINTS=OFF.
+#include "util/failpoint.h"
+
+namespace streamfreq {
+
+bool MaybeInjectedFailure() {
+  if (SFQ_FAILPOINT("core.unregistered_site")) return true;
+  return false;
+}
+
+bool DirectRegistryPoll() {
+  const FailDecision decision =
+      FailpointRegistry::Global().Evaluate("batch_queue.push");
+  return static_cast<bool>(decision);
+}
+
+}  // namespace streamfreq

@@ -95,7 +95,7 @@ TEST(LintSelfcheck, FixtureExpectationsAllHold) {
 
 TEST(LintSelfcheck, EachBrokenFixtureFailsAsTreeSource) {
   const std::vector<Fixture> fixtures = LoadFixtures();
-  ASSERT_GE(fixtures.size(), 7u);  // 6 broken + 1 suppressed control
+  ASSERT_GE(fixtures.size(), 8u);  // 7 broken + 1 suppressed control
   int broken = 0;
   for (const Fixture& f : fixtures) {
     ASSERT_FALSE(f.pretend_path.empty()) << f.file;
@@ -115,7 +115,7 @@ TEST(LintSelfcheck, EachBrokenFixtureFailsAsTreeSource) {
           << r.output;
     }
   }
-  EXPECT_GE(broken, 6);
+  EXPECT_GE(broken, 7);
 }
 
 TEST(LintSelfcheck, ListRulesMatchesDocumentedSet) {
@@ -124,7 +124,7 @@ TEST(LintSelfcheck, ListRulesMatchesDocumentedSet) {
   for (const char* rule :
        {"sfq-row-seed", "sfq-raw-geometry", "sfq-nondet-random",
         "sfq-dropped-status", "sfq-raw-mutex", "sfq-unguarded-member",
-        "sfq-concurrent-label", "sfq-nodiscard-decl"}) {
+        "sfq-concurrent-label", "sfq-nodiscard-decl", "sfq-failpoint-site"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

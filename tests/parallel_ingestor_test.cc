@@ -13,12 +13,15 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "core/count_min.h"
 #include "core/count_sketch.h"
 #include "core/misra_gries.h"
 #include "core/space_saving.h"
 #include "stream/exact_counter.h"
 #include "stream/zipf.h"
+#include "util/failpoint.h"
 
 namespace streamfreq {
 namespace {
@@ -270,6 +273,181 @@ TEST(ParallelIngestorTest, MultipleProducers) {
       ASSERT_EQ(merged->CounterAt(row, col), sequential->CounterAt(row, col));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Degraded modes (fault injection + overflow policies).
+
+// Builds the multiset difference stream \ spill, in arbitrary order. For
+// linear sketches, ingesting this sequentially must reproduce the degraded
+// parallel result exactly (order never matters for the counter sums).
+Stream EffectiveStream(const Stream& stream, const std::vector<ItemId>& spill) {
+  std::map<ItemId, uint64_t> drop;
+  for (const ItemId id : spill) ++drop[id];
+  Stream effective;
+  effective.reserve(stream.size() - spill.size());
+  for (const ItemId id : stream) {
+    auto it = drop.find(id);
+    if (it != drop.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    effective.push_back(id);
+  }
+  return effective;
+}
+
+// The acceptance-criteria scenario: kill a worker mid-stream (three times),
+// prove the in-flight batches are requeued and re-processed — the merged
+// counters stay bit-identical to sequential ingestion — and the respawns
+// show up in IngestStats.
+TEST(ParallelIngestorTest, KillOneWorkerRecoversWithRequeue) {
+  const Stream stream = MakeZipfStream(kStreamItems, 31);
+  auto sequential = CountSketch::Make(SketchParams());
+  ASSERT_TRUE(sequential.ok());
+  sequential->BatchAdd(std::span<const ItemId>(stream));
+
+  ScopedFailpoints fp("ingestor.worker_batch=crash*3", 17);
+  ASSERT_TRUE(fp.status().ok());
+
+  IngestOptions opts;
+  opts.threads = 2;
+  opts.batch_items = 2048;
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      MakeSharedParamsFactory<CountSketch>(SketchParams()), opts);
+  ASSERT_TRUE(ingestor.ok());
+  ASSERT_TRUE((*ingestor)->Ingest(std::span<const ItemId>(stream)).ok());
+  auto merged = (*ingestor)->Finish();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  const IngestStats stats = (*ingestor)->Stats();
+  EXPECT_EQ(stats.worker_respawns, 3u);
+  EXPECT_EQ(stats.items_ingested, stream.size());
+  EXPECT_EQ(stats.DroppedItems(), 0u) << "crash recovery must not lose mass";
+  for (size_t row = 0; row < sequential->depth(); ++row) {
+    for (size_t col = 0; col < sequential->width(); ++col) {
+      ASSERT_EQ(merged->CounterAt(row, col), sequential->CounterAt(row, col));
+    }
+  }
+}
+
+TEST(ParallelIngestorTest, ShedPolicyCountsAndRecordsDroppedMass) {
+  const Stream stream = MakeZipfStream(10240, 32);
+
+  // One worker that sleeps 40 ms per hand-off against 1 ms push deadlines:
+  // most batches shed.
+  ScopedFailpoints fp("batch_queue.pop=stall:40", 19);
+  ASSERT_TRUE(fp.status().ok());
+
+  IngestOptions opts;
+  opts.threads = 1;
+  opts.batch_items = 512;
+  opts.queue_batches = 1;
+  opts.push_timeout_ms = 1;
+  opts.overflow_policy = OverflowPolicy::kShed;
+  opts.record_shed = true;
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      MakeSharedParamsFactory<CountSketch>(SketchParams()), opts);
+  ASSERT_TRUE(ingestor.ok());
+  ASSERT_TRUE((*ingestor)->Ingest(std::span<const ItemId>(stream)).ok());
+  auto merged = (*ingestor)->Finish();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  const IngestStats stats = (*ingestor)->Stats();
+  EXPECT_GT(stats.shed_batches, 0u);
+  EXPECT_GT(stats.deadline_misses, 0u);
+  // Conservation: everything offered was either ingested or accounted for.
+  EXPECT_EQ(stats.items_ingested + stats.DroppedItems(), stream.size());
+
+  // The recorded spill is the exact dropped mass, so the degraded sketch
+  // equals sequential ingestion of the effective (surviving) stream.
+  const std::vector<ItemId> spill = (*ingestor)->SpilledItems();
+  EXPECT_EQ(spill.size(), stats.DroppedItems());
+  auto effective = CountSketch::Make(SketchParams());
+  ASSERT_TRUE(effective.ok());
+  const Stream survivors = EffectiveStream(stream, spill);
+  effective->BatchAdd(std::span<const ItemId>(survivors));
+  for (size_t row = 0; row < effective->depth(); ++row) {
+    for (size_t col = 0; col < effective->width(); ++col) {
+      ASSERT_EQ(merged->CounterAt(row, col), effective->CounterAt(row, col));
+    }
+  }
+}
+
+TEST(ParallelIngestorTest, SamplePolicyDecimatesInsteadOfDropping) {
+  const Stream stream = MakeZipfStream(8192, 33);
+  ScopedFailpoints fp("batch_queue.pop=stall:40", 23);
+  ASSERT_TRUE(fp.status().ok());
+
+  IngestOptions opts;
+  opts.threads = 1;
+  opts.batch_items = 512;
+  opts.queue_batches = 1;
+  opts.push_timeout_ms = 1;
+  opts.overflow_policy = OverflowPolicy::kSample;
+  opts.sample_keep_one_in = 4;
+  opts.record_shed = true;
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      MakeSharedParamsFactory<CountSketch>(SketchParams()), opts);
+  ASSERT_TRUE(ingestor.ok());
+  ASSERT_TRUE((*ingestor)->Ingest(std::span<const ItemId>(stream)).ok());
+  auto merged = (*ingestor)->Finish();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  const IngestStats stats = (*ingestor)->Stats();
+  EXPECT_GT(stats.sampled_batches, 0u);
+  EXPECT_GT(stats.sampled_items_dropped, 0u);
+  EXPECT_EQ(stats.shed_batches, 0u) << "sampling keeps a sliver of each batch";
+  EXPECT_EQ(stats.items_ingested + stats.DroppedItems(), stream.size());
+  EXPECT_EQ((*ingestor)->SpilledItems().size(), stats.DroppedItems());
+}
+
+TEST(ParallelIngestorTest, BlockPolicyDeadlineMissFailsLoudly) {
+  const Stream stream = MakeZipfStream(4096, 34);
+  ScopedFailpoints fp("batch_queue.pop=stall:200", 29);
+  ASSERT_TRUE(fp.status().ok());
+
+  IngestOptions opts;
+  opts.threads = 1;
+  opts.batch_items = 256;
+  opts.queue_batches = 1;
+  opts.push_timeout_ms = 5;  // policy stays kBlock: misses are errors
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      MakeSharedParamsFactory<CountSketch>(SketchParams()), opts);
+  ASSERT_TRUE(ingestor.ok());
+  const Status s = (*ingestor)->Ingest(std::span<const ItemId>(stream));
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+  EXPECT_GT((*ingestor)->Stats().deadline_misses, 0u);
+}
+
+TEST(ParallelIngestorTest, DrainTimeoutAbandonsBacklogInsteadOfHanging) {
+  const Stream stream = MakeZipfStream(20 * 128, 35);
+  // Worker needs 30 ms per batch => ~600 ms to drain 20 queued batches; the
+  // 60 ms drain deadline abandons most of them.
+  ScopedFailpoints fp("ingestor.worker_batch=stall:30", 37);
+  ASSERT_TRUE(fp.status().ok());
+
+  IngestOptions opts;
+  opts.threads = 1;
+  opts.batch_items = 128;
+  opts.queue_batches = 64;
+  opts.drain_timeout_ms = 60;
+  opts.record_shed = true;
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      MakeSharedParamsFactory<CountSketch>(SketchParams()), opts);
+  ASSERT_TRUE(ingestor.ok());
+  ASSERT_TRUE((*ingestor)->Ingest(std::span<const ItemId>(stream)).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto merged = (*ingestor)->Finish();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::milliseconds(5000));
+
+  const IngestStats stats = (*ingestor)->Stats();
+  EXPECT_GT(stats.abandoned_batches, 0u);
+  EXPECT_EQ(stats.items_ingested + stats.DroppedItems(), stream.size());
+  EXPECT_EQ((*ingestor)->SpilledItems().size(), stats.DroppedItems());
 }
 
 }  // namespace

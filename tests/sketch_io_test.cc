@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/failpoint.h"
 #include "verify/program.h"
 
 namespace streamfreq {
@@ -138,6 +139,164 @@ TEST(SketchIoTest, SavedSketchStaysMergeable) {
   b->Add(42, 5);
   ASSERT_TRUE(a->Merge(*b).ok());
   EXPECT_EQ(a->Estimate(42), 25);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix + crash-consistency. Every adversarial mutation of a
+// valid file must come back as a clean Corruption status — no crash, no UB
+// (this file runs under the ASan/UBSan step of scripts/check.sh).
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  EXPECT_TRUE(static_cast<bool>(out)) << path;
+}
+
+TEST(SketchIoTest, CorruptionMatrixTruncationAtEveryFieldBoundary) {
+  const std::string path = TempPath("sfq_sketch_matrix_trunc.skf");
+  ASSERT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).ok());
+  const std::string valid = ReadAll(path);
+  ASSERT_GT(valid.size(), 20u);
+
+  // Field boundaries of the header (magic | length | crc | payload) plus
+  // mid-field cuts and the one-byte-short file.
+  const size_t cuts[] = {0, 1, 7, 8, 12, 15, 16, 19, 20, 21,
+                         20 + (valid.size() - 20) / 2, valid.size() - 1};
+  for (const size_t cut : cuts) {
+    WriteAll(path, valid.substr(0, cut));
+    const Status s = ReadSketchFile(path).status();
+    EXPECT_TRUE(s.IsCorruption()) << "cut at " << cut << ": " << s.ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, CorruptionMatrixSingleBitFlips) {
+  const std::string path = TempPath("sfq_sketch_matrix_bits.skf");
+  ASSERT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).ok());
+  const std::string valid = ReadAll(path);
+
+  // Every bit of the header, then a stride through the payload. A flip in
+  // the length field may masquerade as truncation or an implausible length;
+  // all of those are Corruption too, never a crash.
+  std::vector<size_t> byte_positions;
+  for (size_t i = 0; i < 20; ++i) byte_positions.push_back(i);
+  for (size_t i = 20; i < valid.size(); i += 37) byte_positions.push_back(i);
+  for (const size_t pos : byte_positions) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = valid;
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^ (1u << bit));
+      WriteAll(path, mutated);
+      const Status s = ReadSketchFile(path).status();
+      EXPECT_TRUE(s.IsCorruption())
+          << "flip byte " << pos << " bit " << bit << ": " << s.ToString();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, CorruptionMatrixWrongMagicAndVersion) {
+  const std::string path = TempPath("sfq_sketch_matrix_magic.skf");
+  ASSERT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).ok());
+  const std::string valid = ReadAll(path);
+
+  // A future-version tag (last magic byte bumped) must be rejected, as must
+  // an entirely alien magic.
+  std::string version_bump = valid;
+  version_bump[7] = static_cast<char>(version_bump[7] + 1);
+  WriteAll(path, version_bump);
+  EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+
+  std::string alien = valid;
+  for (size_t i = 0; i < 8; ++i) alien[i] = 'Z';
+  WriteAll(path, alien);
+  EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, TrailingBytesAreCorruption) {
+  const std::string path = TempPath("sfq_sketch_matrix_trailing.skf");
+  ASSERT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).ok());
+  WriteAll(path, ReadAll(path) + "junk");
+  EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, AtomicWriteLeavesNoTempFileBehind) {
+  const std::string path = TempPath("sfq_sketch_atomic.skf");
+  ASSERT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(static_cast<bool>(tmp)) << "temp file must be renamed away";
+  std::remove(path.c_str());
+}
+
+// Crash consistency: a save that dies before the rename (injected) must
+// leave the previous checkpoint byte-for-byte intact.
+TEST(SketchIoTest, FailedRenameLeavesPreviousCheckpointIntact) {
+  const std::string path = TempPath("sfq_sketch_crash.skf");
+  const CountSketch original = MakeLoadedSketch();
+  ASSERT_TRUE(WriteSketchFile(path, original).ok());
+  const std::string before = ReadAll(path);
+
+  {
+    ScopedFailpoints fp("sketch_io.rename=error*1", 3);
+    ASSERT_TRUE(fp.status().ok());
+    CountSketchParams p;
+    p.depth = 4;
+    p.width = 256;
+    p.seed = 99;
+    auto newer = CountSketch::Make(p);
+    ASSERT_TRUE(newer.ok());
+    newer->Add(7, 7);
+    EXPECT_TRUE(WriteSketchFile(path, *newer).IsIoError());
+  }
+
+  EXPECT_EQ(ReadAll(path), before);
+  auto loaded = ReadSketchFile(path);
+  ASSERT_TRUE(loaded.ok());
+  for (ItemId q = 1; q <= 1000; ++q) {
+    ASSERT_EQ(loaded->Estimate(q), original.Estimate(q));
+  }
+  std::remove(path.c_str());
+}
+
+// A torn write (injected) bypasses the temp+rename protocol by design; the
+// reader must then catch the prefix via its truncation/CRC checks.
+TEST(SketchIoTest, InjectedTornWriteIsCaughtOnRead) {
+  const std::string path = TempPath("sfq_sketch_torn.skf");
+  {
+    ScopedFailpoints fp("sketch_io.write=torn*1", 5);
+    ASSERT_TRUE(fp.status().ok());
+    EXPECT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).IsIoError());
+  }
+  EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SketchIoTest, InjectedReadFaultsSurfaceAsStatuses) {
+  const std::string path = TempPath("sfq_sketch_readfp.skf");
+  ASSERT_TRUE(WriteSketchFile(path, MakeLoadedSketch()).ok());
+  {
+    ScopedFailpoints fp("sketch_io.read=error*1", 7);
+    ASSERT_TRUE(fp.status().ok());
+    EXPECT_TRUE(ReadSketchFile(path).status().IsIoError());
+  }
+  {
+    ScopedFailpoints fp("sketch_io.read=bitflip*1", 7);
+    ASSERT_TRUE(fp.status().ok());
+    EXPECT_TRUE(ReadSketchFile(path).status().IsCorruption());
+  }
+  // Disarmed again: the file itself was never touched.
+  EXPECT_TRUE(ReadSketchFile(path).ok());
   std::remove(path.c_str());
 }
 

@@ -13,6 +13,10 @@
 //   verify     seeded differential fuzzing of every algorithm's guarantees
 //              against the exact oracle (src/verify/); failing programs are
 //              shrunk and printed as replayable --program lines
+//   chaos      replay seeded fuzz programs under randomized failpoint
+//              schedules (src/verify/chaos.h): every iteration must end in
+//              a clean error Status or a sketch passing its guarantee
+//              checker over the effective stream (docs/ROBUSTNESS.md)
 //
 // Examples:
 //   sfq generate --kind zipf --z 1.1 --m 100000 --n 1000000 --out q.trace
@@ -39,8 +43,10 @@
 #include "stream/trace.h"
 #include "stream/zipf.h"
 #include "eval/report.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
+#include "verify/chaos.h"
 #include "verify/fuzz.h"
 #include "verify/program.h"
 #include "verify/violation.h"
@@ -67,6 +73,9 @@ void PrintUsage() {
       "            [--width B] [--tracked L]\n"
       "  sketch    --trace FILE --out FILE [--depth T] [--width B] [--seed S]\n"
       "            [--threads N] [--batch ITEMS]   (parallel ingestion)\n"
+      "            [--failpoints SPEC] [--push-timeout-ms MS]\n"
+      "            [--overflow block|shed|sample] [--json FILE]\n"
+      "            (degraded modes; see docs/ROBUSTNESS.md)\n"
       "  inspect   --sketch FILE\n"
       "  estimate  --sketch FILE --item ID\n"
       "  words     --text FILE [--k K] [--depth T] [--width B]\n"
@@ -74,7 +83,10 @@ void PrintUsage() {
       "  hh        --trace FILE [--phi F]   (phi-heavy-hitters report)\n"
       "  verify    [--seed S] [--iters N] [--algo NAME] [--width-scale W]\n"
       "            [--shrink BOOL] [--json FILE] [--program \"LINE\"]\n"
-      "            (differential guarantee fuzzing; see docs/VERIFICATION.md)\n";
+      "            (differential guarantee fuzzing; see docs/VERIFICATION.md)\n"
+      "  chaos     [--seed S] [--iters N] [--failpoints SPEC] [--io BOOL]\n"
+      "            [--json FILE]\n"
+      "            (fault-injection campaign; see docs/ROBUSTNESS.md)\n";
 }
 
 Result<CountSketchParams> SketchParamsFromFlags(const Flags& flags) {
@@ -236,6 +248,13 @@ int CmdMaxChange(const Flags& flags) {
   return 0;
 }
 
+Result<OverflowPolicy> ParseOverflowPolicy(const std::string& name) {
+  if (name == "block") return OverflowPolicy::kBlock;
+  if (name == "shed") return OverflowPolicy::kShed;
+  if (name == "sample") return OverflowPolicy::kSample;
+  return Status::InvalidArgument("--overflow must be block, shed, or sample");
+}
+
 int CmdSketch(const Flags& flags) {
   auto stream = LoadTrace(flags, "trace");
   if (!stream.ok()) return Fail(stream.status());
@@ -247,23 +266,45 @@ int CmdSketch(const Flags& flags) {
   if (!threads.ok()) return Fail(threads.status());
   auto batch = flags.GetInt("batch", 8192);
   if (!batch.ok()) return Fail(batch.status());
-  if (*threads <= 0 || *batch <= 0) {
-    return Fail(Status::InvalidArgument("--threads and --batch must be positive"));
+  auto push_timeout = flags.GetInt("push-timeout-ms", 0);
+  if (!push_timeout.ok()) return Fail(push_timeout.status());
+  if (*threads <= 0 || *batch <= 0 || *push_timeout < 0) {
+    return Fail(Status::InvalidArgument(
+        "--threads and --batch must be positive, --push-timeout-ms >= 0"));
   }
+  auto overflow = ParseOverflowPolicy(flags.GetString("overflow", "block"));
+  if (!overflow.ok()) return Fail(overflow.status());
+
+  // Fault injection (for chaos drills and docs/ROBUSTNESS.md examples);
+  // requires a build with STREAMFREQ_FAILPOINTS=ON to have any effect.
+  ScopedFailpoints failpoints(flags.GetString("failpoints", ""),
+                              params->seed);
+  if (!failpoints.status().ok()) return Fail(failpoints.status());
 
   Result<CountSketch> sketch = Status::Internal("unset");
+  IngestStats stats;
   if (*threads > 1) {
     // Parallel sharded ingestion: per-thread sketches from the same params
     // and seed, folded at the end — identical counters by linearity.
     IngestOptions opts;
     opts.threads = static_cast<size_t>(*threads);
     opts.batch_items = static_cast<size_t>(*batch);
-    sketch = ParallelIngest<CountSketch>(
-        std::span<const ItemId>(*stream),
+    opts.push_timeout_ms = static_cast<uint64_t>(*push_timeout);
+    opts.overflow_policy = *overflow;
+    auto ingestor = ParallelIngestor<CountSketch>::Make(
         MakeSharedParamsFactory<CountSketch>(*params), opts);
+    if (!ingestor.ok()) return Fail(ingestor.status());
+    const Status ingest_status =
+        (*ingestor)->Ingest(std::span<const ItemId>(*stream));
+    sketch = (*ingestor)->Finish();
+    stats = (*ingestor)->Stats();
+    if (!ingest_status.ok()) return Fail(ingest_status);
   } else {
     sketch = CountSketch::Make(*params);
-    if (sketch.ok()) sketch->BatchAdd(std::span<const ItemId>(*stream));
+    if (sketch.ok()) {
+      sketch->BatchAdd(std::span<const ItemId>(*stream));
+      stats.items_ingested = stream->size();
+    }
   }
   if (!sketch.ok()) return Fail(sketch.status());
   const Status s = WriteSketchFile(out, *sketch);
@@ -272,6 +313,50 @@ int CmdSketch(const Flags& flags) {
             << ", b=" << sketch->width() << ", "
             << sketch->SpaceBytes() / 1024 << " KiB of counters, ingested with "
             << *threads << " thread" << (*threads == 1 ? "" : "s") << ")\n";
+  // Degraded-mode accounting: anyone consuming this sketch downstream
+  // widens its accuracy bounds by exactly the dropped mass reported here.
+  if (stats.DroppedItems() > 0 || stats.worker_respawns > 0 ||
+      stats.deadline_misses > 0 || stats.publish_failures > 0) {
+    std::cout << "DEGRADED ingest: dropped=" << stats.DroppedItems()
+              << " (shed=" << stats.shed_items
+              << ", sampled_away=" << stats.sampled_items_dropped
+              << ", abandoned=" << stats.abandoned_items
+              << "), deadline_misses=" << stats.deadline_misses
+              << ", worker_respawns=" << stats.worker_respawns << "\n";
+  }
+
+  std::vector<JsonField> fields;
+  fields.push_back(JsonField::Integer("depth",
+                                      static_cast<int64_t>(sketch->depth())));
+  fields.push_back(JsonField::Integer("width",
+                                      static_cast<int64_t>(sketch->width())));
+  fields.push_back(JsonField::Integer("threads", *threads));
+  fields.push_back(JsonField::Integer(
+      "items_offered", static_cast<int64_t>(stream->size())));
+  fields.push_back(JsonField::Integer(
+      "items_ingested", static_cast<int64_t>(stats.items_ingested)));
+  fields.push_back(JsonField::Integer(
+      "dropped_items", static_cast<int64_t>(stats.DroppedItems())));
+  fields.push_back(JsonField::Integer(
+      "shed_items", static_cast<int64_t>(stats.shed_items)));
+  fields.push_back(JsonField::Integer(
+      "sampled_items_dropped",
+      static_cast<int64_t>(stats.sampled_items_dropped)));
+  fields.push_back(JsonField::Integer(
+      "abandoned_items", static_cast<int64_t>(stats.abandoned_items)));
+  fields.push_back(JsonField::Integer(
+      "deadline_misses", static_cast<int64_t>(stats.deadline_misses)));
+  fields.push_back(JsonField::Integer(
+      "worker_respawns", static_cast<int64_t>(stats.worker_respawns)));
+  fields.push_back(JsonField::Integer(
+      "publish_failures", static_cast<int64_t>(stats.publish_failures)));
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    const Status js = WriteJsonReport(json_path, "sketch", fields);
+    if (!js.ok()) return Fail(js);
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  EmitJsonReport("sketch", fields, std::cout);
   return 0;
 }
 
@@ -451,6 +536,86 @@ int CmdVerify(const Flags& flags) {
   return report->Pass() ? 0 : 1;
 }
 
+int CmdChaos(const Flags& flags) {
+  auto seed = flags.GetInt("seed", 42);
+  auto iters = flags.GetInt("iters", 200);
+  auto io = flags.GetBool("io", true);
+  for (const Status& s : {seed.status(), iters.status(), io.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+  if (*iters <= 0) {
+    return Fail(Status::InvalidArgument("--iters must be positive"));
+  }
+
+  ChaosOptions options;
+  options.seed = static_cast<uint64_t>(*seed);
+  options.iterations = static_cast<uint64_t>(*iters);
+  options.failpoints = flags.GetString("failpoints", "");
+  options.exercise_io = *io;
+  auto report = RunChaosCampaign(options);
+  if (!report.ok()) return Fail(report.status());
+
+  TablePrinter table({"metric", "value"});
+  table.AddRowValues("iterations", report->iterations);
+  table.AddRowValues("verified", report->verified);
+  table.AddRowValues("clean errors", report->clean_errors);
+  table.AddRowValues("guarantee failures", report->guarantee_failures);
+  table.AddRowValues("fault fires", report->fault_fires);
+  table.AddRowValues("faulted iterations", report->faulted_iterations);
+  table.AddRowValues("worker respawns", report->worker_respawns);
+  table.AddRowValues("dropped items", report->dropped_items);
+  table.AddRowValues("io round trips", report->io_round_trips);
+  table.AddRowValues("io faults", report->io_faults);
+  EmitTable(table, "chaos", std::cout);
+  for (const ChaosFailure& failure : report->failures) {
+    std::cout << "FAIL iteration " << failure.index << ": " << failure.detail
+              << "\n  schedule: " << failure.schedule
+              << "\n  replay: sfq chaos --seed " << *seed
+              << " --iters " << (failure.index + 1)
+              << (options.failpoints.empty()
+                      ? ""
+                      : " --failpoints \"" + options.failpoints + "\"")
+              << "\n  program: " << failure.program << "\n";
+  }
+  std::cout << (report->Passed() ? "CHAOS PASS" : "CHAOS FAIL") << ": "
+            << report->verified << " verified + " << report->clean_errors
+            << " clean errors / " << report->iterations << " iterations, "
+            << report->fault_fires << " fault fires (seed=" << *seed
+            << ")\n";
+
+  std::vector<JsonField> fields;
+  fields.push_back(JsonField::Integer("seed", *seed));
+  fields.push_back(JsonField::Integer(
+      "iterations", static_cast<int64_t>(report->iterations)));
+  fields.push_back(JsonField::Integer(
+      "verified", static_cast<int64_t>(report->verified)));
+  fields.push_back(JsonField::Integer(
+      "clean_errors", static_cast<int64_t>(report->clean_errors)));
+  fields.push_back(JsonField::Integer(
+      "guarantee_failures", static_cast<int64_t>(report->guarantee_failures)));
+  fields.push_back(JsonField::Integer(
+      "fault_fires", static_cast<int64_t>(report->fault_fires)));
+  fields.push_back(JsonField::Integer(
+      "faulted_iterations",
+      static_cast<int64_t>(report->faulted_iterations)));
+  fields.push_back(JsonField::Integer(
+      "worker_respawns", static_cast<int64_t>(report->worker_respawns)));
+  fields.push_back(JsonField::Integer(
+      "dropped_items", static_cast<int64_t>(report->dropped_items)));
+  fields.push_back(JsonField::Integer(
+      "io_round_trips", static_cast<int64_t>(report->io_round_trips)));
+  fields.push_back(JsonField::Integer(
+      "io_faults", static_cast<int64_t>(report->io_faults)));
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    const Status s = WriteJsonReport(json_path, "chaos", fields);
+    if (!s.ok()) return Fail(s);
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  EmitJsonReport("chaos", fields, std::cout);
+  return report->Passed() ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) return Fail(flags.status());
@@ -469,6 +634,7 @@ int Main(int argc, char** argv) {
   if (command == "words") return CmdWords(*flags);
   if (command == "hh") return CmdHeavyHitters(*flags);
   if (command == "verify") return CmdVerify(*flags);
+  if (command == "chaos") return CmdChaos(*flags);
   PrintUsage();
   return Fail(Status::InvalidArgument("unknown command: " + command));
 }

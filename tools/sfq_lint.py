@@ -37,6 +37,13 @@ This checker mechanizes them:
                     [[nodiscard]], and util/macros.h must keep the
                     SFQ_GUARDED_BY annotation macros -- removing either
                     disarms a whole enforcement layer.
+  failpoint-site    Fault injection in library/tool code must go through
+                    the SFQ_FAILPOINT("literal") macro (so sites compile
+                    out when STREAMFREQ_FAILPOINTS=OFF), the literal must
+                    be registered in FailpointRegistry::KnownSites()
+                    (src/util/failpoint.cc) so --failpoints specs naming
+                    it validate, and it must appear in the site table in
+                    docs/ROBUSTNESS.md.
 
 Suppression: append `// NOLINT(sfq-<rule>): <reason>` to the offending line
 or put `// NOLINTNEXTLINE(sfq-<rule>): <reason>` on the line above. The
@@ -65,6 +72,7 @@ RULE_IDS = [
     "unguarded-member",
     "concurrent-label",
     "nodiscard-decl",
+    "failpoint-site",
 ]
 
 # Directories deliberately outside the normal scan: fixtures are broken on
@@ -123,11 +131,12 @@ def strip_code(line: str) -> str:
 class FileLinter:
     """Runs the per-file rules on one file at a (possibly pretend) path."""
 
-    def __init__(self, relpath, lines, status_methods):
+    def __init__(self, relpath, lines, status_methods, failpoint_sites=None):
         self.path = relpath.replace(os.sep, "/")
         self.lines = lines
         self.code = [strip_code(l) for l in lines]
         self.status_methods = status_methods
+        self.failpoint_sites = failpoint_sites or (frozenset(), frozenset())
         self.findings = []
 
     def run(self):
@@ -142,6 +151,8 @@ class FileLinter:
             self.check_raw_geometry()
             if self.path != "src/util/mutex.h":
                 self.check_raw_mutex()
+            if not self.path.startswith("src/util/failpoint"):
+                self.check_failpoint_site()
         if self.path.startswith(("src/verify/", "src/stream/")):
             self.check_nondet_random()
         self.check_dropped_status()
@@ -291,6 +302,59 @@ class FileLinter:
                     "util/mutex.h so SFQ_GUARDED_BY members stay checked.",
                 )
 
+    # -- failpoint-site ----------------------------------------------------
+    def check_failpoint_site(self):
+        """Failpoints are planted only via SFQ_FAILPOINT with a known literal.
+
+        The macro is what makes sites compile out under
+        STREAMFREQ_FAILPOINTS=OFF; the literal-site requirement is what lets
+        Configure() reject typo'd --failpoints specs and lets the chaos
+        scheduler enumerate every plantable fault.
+        """
+        registered, documented = self.failpoint_sites
+        lit = re.compile(r'SFQ_FAILPOINT\(\s*"([^"]*)"')
+        direct = re.compile(
+            r"FailpointRegistry\b.*\bEvaluate\s*\(|\bGlobal\(\)\s*\.\s*Evaluate\s*\("
+        )
+        for idx, code in enumerate(self.code):
+            if "SFQ_FAILPOINT" in code and "#define" not in code:
+                # self.code has literal contents blanked; re-read the raw
+                # line to recover the site name.
+                m = lit.search(self.lines[idx])
+                if not m:
+                    self.report(
+                        idx,
+                        "failpoint-site",
+                        "SFQ_FAILPOINT takes a string-literal site name; a "
+                        "computed name cannot be validated by Configure() or "
+                        "enumerated by the chaos scheduler.",
+                    )
+                elif registered and m.group(1) not in registered:
+                    self.report(
+                        idx,
+                        "failpoint-site",
+                        f"failpoint site '{m.group(1)}' is not registered in "
+                        "FailpointRegistry::KnownSites() "
+                        "(src/util/failpoint.cc); register it there so "
+                        "--failpoints specs naming it validate.",
+                    )
+                elif documented and m.group(1) not in documented:
+                    self.report(
+                        idx,
+                        "failpoint-site",
+                        f"failpoint site '{m.group(1)}' is missing from the "
+                        "site table in docs/ROBUSTNESS.md; document what it "
+                        "injects and which degraded path it exercises.",
+                    )
+            if direct.search(code):
+                self.report(
+                    idx,
+                    "failpoint-site",
+                    "direct FailpointRegistry Evaluate() call; plant faults "
+                    'via SFQ_FAILPOINT("site") so they compile out when '
+                    "STREAMFREQ_FAILPOINTS=OFF and the site stays auditable.",
+                )
+
     # -- unguarded-member --------------------------------------------------
     MEMBER_RE = re.compile(
         r"^\s*(?P<mutable>mutable\s+)?(?P<const>const\s+)?"
@@ -369,6 +433,37 @@ def scan_status_methods(root):
     return methods
 
 
+def scan_failpoint_sites(root):
+    """Returns (registered, documented) failpoint site-name sets.
+
+    Registered sites come from the BuildKnownSites() table in
+    src/util/failpoint.cc; documented sites are the backtick-quoted
+    `component.site` tokens in docs/ROBUSTNESS.md. Either set is empty when
+    its source file is missing, which disables that half of the rule rather
+    than flagging every planted site.
+    """
+    site_re = re.compile(r'"([a-z_]+\.[a-z_]+)"')
+    registered = set()
+    try:
+        with open(
+            os.path.join(root, "src", "util", "failpoint.cc"), encoding="utf-8"
+        ) as f:
+            m = re.search(r"BuildKnownSites\(\)\s*\{(.*?)\};", f.read(), re.S)
+            if m:
+                registered = set(site_re.findall(m.group(1)))
+    except OSError:
+        pass
+    documented = set()
+    try:
+        with open(
+            os.path.join(root, "docs", "ROBUSTNESS.md"), encoding="utf-8"
+        ) as f:
+            documented = set(re.findall(r"`([a-z_]+\.[a-z_]+)`", f.read()))
+    except OSError:
+        pass
+    return frozenset(registered), frozenset(documented)
+
+
 def check_concurrent_label(cmake_path, src_dir, relprefix):
     """Tests using src/concurrent/ must carry the `concurrent` ctest label."""
     findings = []
@@ -442,6 +537,7 @@ def walk_files(top, extensions):
 
 def lint_repo(root):
     status_methods = scan_status_methods(root)
+    failpoint_sites = scan_failpoint_sites(root)
     findings = []
     for sub in ("src", "tools", "tests", "bench", "examples"):
         top = os.path.join(root, sub)
@@ -451,7 +547,8 @@ def lint_repo(root):
                 continue
             with open(path, encoding="utf-8") as f:
                 lines = f.read().splitlines()
-            findings += FileLinter(rel, lines, status_methods).run()
+            findings += FileLinter(rel, lines, status_methods,
+                                   failpoint_sites).run()
     findings += check_concurrent_label(
         os.path.join(root, "tests", "CMakeLists.txt"),
         os.path.join(root, "tests"),
@@ -463,9 +560,11 @@ def lint_repo(root):
 
 def lint_one_file(root, file_path, pretend_path):
     status_methods = scan_status_methods(root)
+    failpoint_sites = scan_failpoint_sites(root)
     with open(file_path, encoding="utf-8") as f:
         lines = f.read().splitlines()
-    return FileLinter(pretend_path, lines, status_methods).run()
+    return FileLinter(pretend_path, lines, status_methods,
+                      failpoint_sites).run()
 
 
 def run_fixtures(root, fixtures_dir):
