@@ -8,20 +8,29 @@
 #                               a failpoints-compiled-out sanity build,
 #                               and nightly-scale `sfq verify` + `sfq chaos`
 #                               campaigns
+#   scripts/check.sh --bench    build bench_throughput only, regenerate the
+#                               ingest trajectory, and gate it against the
+#                               committed BENCH_throughput.json via
+#                               tools/bench_gate.py (>15% regression fails;
+#                               see docs/PERFORMANCE.md)
 #
 # Environment:
 #   SFQ_FUZZ_SEED    master seed for the nightly fuzz campaign (default 42)
 #   SFQ_FUZZ_ITERS   nightly fuzz iterations (default 2000; CI smoke is 200)
 #   SFQ_CHAOS_SEED   master seed for the chaos campaigns (default 42)
 #   SFQ_CHAOS_ITERS  nightly chaos iterations (default 2000; quick is 200)
+#   SFQ_BENCH_BUDGET fractional throughput regression allowed by --bench
+#                    (default 0.15)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
+BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
-    *) echo "usage: scripts/check.sh [--quick]" >&2; exit 2 ;;
+    --bench) BENCH=1 ;;
+    *) echo "usage: scripts/check.sh [--quick|--bench]" >&2; exit 2 ;;
   esac
 done
 
@@ -30,6 +39,27 @@ done
 GEN=()
 if command -v ninja >/dev/null 2>&1; then
   GEN=(-G Ninja)
+fi
+
+# Throughput regression gate: rerun the ingest-trajectory benchmarks and
+# compare against the committed baseline. 5 repetitions, best-of (the
+# reporter keeps each benchmark's fastest repetition — interference on a
+# loaded box only slows runs down) keeps single-core noise from tripping
+# the budget.
+if [[ "$BENCH" -eq 1 ]]; then
+  cmake -B build "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build build --target bench_throughput
+  out="$(mktemp /tmp/sfq_bench.XXXXXX.json)"
+  trap 'rm -f "$out"' EXIT
+  build/bench/bench_throughput \
+    --benchmark_filter='BatchAddBackend' \
+    --benchmark_min_time=0.1 \
+    --benchmark_repetitions=5 \
+    --json "$out"
+  python3 tools/bench_gate.py "$out" BENCH_throughput.json \
+    --budget "${SFQ_BENCH_BUDGET:-0.15}"
+  echo "check.sh --bench: OK"
+  exit 0
 fi
 
 # Static analysis first: the cheapest signal, and sfq-lint needs no build.

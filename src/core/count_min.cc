@@ -21,7 +21,7 @@ CountMin::CountMin(const CountMinParams& params)
     : params_(params),
       depth_(params.depth),
       width_(params.width),
-      counters_(params.depth * params.width, 0) {
+      counters_(params.depth, params.width) {
   SplitMix64 seeder(SplitMix64(params.seed).Next() ^ 0xC3117EULL);
   hashes_.reserve(depth_);
   for (size_t i = 0; i < depth_; ++i) hashes_.emplace_back(seeder);
@@ -31,7 +31,7 @@ void CountMin::Add(ItemId item, Count weight) noexcept {
   SFQ_DCHECK_GE(weight, 0);
   if (!params_.conservative) {
     for (size_t i = 0; i < depth_; ++i) {
-      counters_[i * width_ + hashes_[i].Bucket(item, width_)] += weight;
+      counters_.At(i, hashes_[i].Bucket(item, width_)) += weight;
     }
     return;
   }
@@ -40,29 +40,51 @@ void CountMin::Add(ItemId item, Count weight) noexcept {
   Count current = Estimate(item);
   const Count target = current + weight;
   for (size_t i = 0; i < depth_; ++i) {
-    int64_t& c = counters_[i * width_ + hashes_[i].Bucket(item, width_)];
+    int64_t& c = counters_.At(i, hashes_[i].Bucket(item, width_));
     c = std::max<int64_t>(c, target);
   }
 }
 
-void CountMin::BatchAdd(std::span<const ItemId> items, Count weight) noexcept {
+void CountMin::BatchAddDispatch(std::span<const ItemId> items, Count weight,
+                                batch_hash::Backend backend) noexcept {
   SFQ_DCHECK_GE(weight, 0);
   if (params_.conservative) {
+    // Order-dependent update; the batch kernels would change semantics.
     for (const ItemId q : items) Add(q, weight);
     return;
   }
+  // kChunk-key stripes amortize the kernel call and keep the staging
+  // buffer L1-resident (see CountSketch::BatchAddRows).
+  constexpr size_t kChunk = 1024;
+  static_assert(kChunk % batch_hash::kBlock == 0);
+  uint64_t bkt[kChunk];
   for (size_t i = 0; i < depth_; ++i) {
     const CarterWegmanHash& h = hashes_[i];
-    int64_t* row = counters_.data() + i * width_;
-    for (const ItemId q : items) row[h.Bucket(q, width_)] += weight;
+    int64_t* row = counters_.Row(i);
+    for (size_t pos = 0; pos < items.size(); pos += kChunk) {
+      const size_t take = std::min(kChunk, items.size() - pos);
+      batch_hash::Buckets(
+          h, std::span<const uint64_t>(items.data() + pos, take), width_, bkt,
+          backend);
+      for (size_t j = 0; j < take; ++j) row[bkt[j]] += weight;
+    }
   }
 }
 
+void CountMin::BatchAdd(std::span<const ItemId> items, Count weight) noexcept {
+  BatchAddDispatch(items, weight, batch_hash::Backend::kVectorized);
+}
+
+void CountMin::BatchAddScalar(std::span<const ItemId> items,
+                              Count weight) noexcept {
+  BatchAddDispatch(items, weight, batch_hash::Backend::kScalar);
+}
+
 Count CountMin::Estimate(ItemId item) const noexcept {
-  Count best = counters_[hashes_[0].Bucket(item, width_)];
+  Count best = counters_.At(0, hashes_[0].Bucket(item, width_));
   for (size_t i = 1; i < depth_; ++i) {
     best = std::min<Count>(best,
-                           counters_[i * width_ + hashes_[i].Bucket(item, width_)]);
+                           counters_.At(i, hashes_[i].Bucket(item, width_)));
   }
   return best;
 }
@@ -82,12 +104,12 @@ Status CountMin::Merge(const CountMin& other) {
     return Status::InvalidArgument(
         "CountMin::Merge: conservative-update sketches are not mergeable");
   }
-  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+  counters_.AddAll(other.counters_);
   return Status::OK();
 }
 
 size_t CountMin::SpaceBytes() const {
-  return counters_.size() * sizeof(int64_t) + depth_ * 2 * sizeof(uint64_t);
+  return counters_.AllocatedBytes() + depth_ * 2 * sizeof(uint64_t);
 }
 
 }  // namespace streamfreq

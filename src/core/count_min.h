@@ -16,7 +16,9 @@
 #include <span>
 #include <vector>
 
+#include "core/counter_matrix.h"
 #include "core/frequent.h"
+#include "hash/batch_hash.h"
 #include "hash/pairwise.h"
 #include "util/result.h"
 
@@ -43,11 +45,19 @@ class CountMin {
   void Add(ItemId item, Count weight = 1) noexcept;
 
   /// Batch Add: `weight` occurrences of every item in `items`. For the
-  /// plain sketch the update is row-major (hash constants and one counter
-  /// stripe at a time) and the final state is exactly the item-at-a-time
-  /// state; the conservative-update variant is order-dependent and falls
-  /// back to per-item Add in stream order.
+  /// plain sketch the update is row-major (hash constants and one
+  /// cache-line-aligned counter stripe at a time), bucket hashes evaluated
+  /// 16 keys per iteration by the SIMD kernels in hash/batch_hash.h, and
+  /// the final state is exactly the item-at-a-time state; the
+  /// conservative-update variant is order-dependent and falls back to
+  /// per-item Add in stream order.
   void BatchAdd(std::span<const ItemId> items, Count weight = 1) noexcept;
+
+  /// BatchAdd forced through the scalar reference kernels — the baseline
+  /// side of simd_equivalence_test and of the scalar-baseline rows in
+  /// BENCH_throughput.json.
+  void BatchAddScalar(std::span<const ItemId> items,
+                      Count weight = 1) noexcept;
 
   /// min over rows of the item's counter: an overestimate of the count.
   Count Estimate(ItemId item) const noexcept;
@@ -67,11 +77,16 @@ class CountMin {
  private:
   explicit CountMin(const CountMinParams& params);
 
+  void BatchAddDispatch(std::span<const ItemId> items, Count weight,
+                        batch_hash::Backend backend) noexcept;
+
   CountMinParams params_;
   size_t depth_;
   size_t width_;
   std::vector<CarterWegmanHash> hashes_;
-  std::vector<int64_t> counters_;
+  // depth_ x width_ counters, cache-line aligned and stride-padded (see
+  // counter_matrix.h).
+  CounterMatrix counters_;
 };
 
 }  // namespace streamfreq

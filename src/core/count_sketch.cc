@@ -26,7 +26,7 @@ CountSketch::CountSketch(const CountSketchParams& params)
     : params_(params),
       depth_(params.depth),
       width_(params.width),
-      counters_(params.depth * params.width, 0) {
+      counters_(params.depth, params.width) {
   // One seed stream per role keeps bucket and sign functions mutually
   // independent, as the analysis requires.
   SplitMix64 bucket_seeder(SplitMix64(params.seed).Next() ^ 0xB0C4E7ULL);
@@ -74,45 +74,69 @@ CountSketch::BucketSign CountSketch::Locate(size_t row, ItemId item) const noexc
 void CountSketch::Add(ItemId item, Count weight) noexcept {
   for (size_t i = 0; i < depth_; ++i) {
     const BucketSign bs = Locate(i, item);
-    counters_[i * width_ + bs.bucket] += weight * bs.sign;
+    counters_.At(i, bs.bucket) += weight * bs.sign;
   }
 }
 
 template <typename HashT>
 void CountSketch::BatchAddRows(const std::vector<HashT>& bucket,
                                const std::vector<HashT>& sign,
-                               std::span<const ItemId> items,
-                               Count weight) noexcept {
+                               std::span<const ItemId> items, Count weight,
+                               batch_hash::Backend backend) noexcept {
+  // Rows outer, items inner: one row's hash constants stay in registers
+  // and every pass walks a single aligned counter stripe. Within a row the
+  // bucket/sign evaluation runs through the batch kernels a kChunk-key
+  // stripe at a time — large enough to amortize the (non-inlined) kernel
+  // call, small enough that the staging buffers stay in L1 — then the
+  // scatter runs scalar (data-dependent indices).
+  constexpr size_t kChunk = 1024;
+  static_assert(kChunk % batch_hash::kBlock == 0);
+  uint64_t bkt[kChunk];
+  int64_t sgn[kChunk];
   for (size_t i = 0; i < depth_; ++i) {
     const HashT& hb = bucket[i];
     const HashT& hs = sign[i];
-    int64_t* row = counters_.data() + i * width_;
-    for (const ItemId q : items) {
-      row[hb.Bucket(q, width_)] += weight * hs.Sign(q);
+    int64_t* row = counters_.Row(i);
+    for (size_t pos = 0; pos < items.size(); pos += kChunk) {
+      const size_t take = std::min(kChunk, items.size() - pos);
+      batch_hash::BucketsAndSigns(
+          hb, hs, std::span<const uint64_t>(items.data() + pos, take), width_,
+          bkt, sgn, backend);
+      for (size_t j = 0; j < take; ++j) row[bkt[j]] += weight * sgn[j];
     }
+  }
+}
+
+void CountSketch::BatchAddDispatch(std::span<const ItemId> items, Count weight,
+                                   batch_hash::Backend backend) noexcept {
+  switch (params_.family) {
+    case HashFamily::kCarterWegman:
+      BatchAddRows(cw_bucket_, cw_sign_, items, weight, backend);
+      break;
+    case HashFamily::kMultiplyShift:
+      BatchAddRows(ms_bucket_, ms_sign_, items, weight, backend);
+      break;
+    case HashFamily::kTabulation:
+      BatchAddRows(tab_bucket_, tab_sign_, items, weight, backend);
+      break;
   }
 }
 
 void CountSketch::BatchAdd(std::span<const ItemId> items,
                            Count weight) noexcept {
-  switch (params_.family) {
-    case HashFamily::kCarterWegman:
-      BatchAddRows(cw_bucket_, cw_sign_, items, weight);
-      break;
-    case HashFamily::kMultiplyShift:
-      BatchAddRows(ms_bucket_, ms_sign_, items, weight);
-      break;
-    case HashFamily::kTabulation:
-      BatchAddRows(tab_bucket_, tab_sign_, items, weight);
-      break;
-  }
+  BatchAddDispatch(items, weight, batch_hash::Backend::kVectorized);
+}
+
+void CountSketch::BatchAddScalar(std::span<const ItemId> items,
+                                 Count weight) noexcept {
+  BatchAddDispatch(items, weight, batch_hash::Backend::kScalar);
 }
 
 std::vector<Count> CountSketch::RowEstimates(ItemId item) const {
   std::vector<Count> est(depth_);
   for (size_t i = 0; i < depth_; ++i) {
     const BucketSign bs = Locate(i, item);
-    est[i] = counters_[i * width_ + bs.bucket] * bs.sign;
+    est[i] = counters_.At(i, bs.bucket) * bs.sign;
   }
   return est;
 }
@@ -148,7 +172,7 @@ Count CountSketch::Estimate(ItemId item) const noexcept {
   }
   for (size_t i = 0; i < depth_; ++i) {
     const BucketSign bs = Locate(i, item);
-    est[i] = counters_[i * width_ + bs.bucket] * bs.sign;
+    est[i] = counters_.At(i, bs.bucket) * bs.sign;
   }
   if (params_.estimator == Estimator::kMean) {
     // Mean ablation: average rounded toward zero.
@@ -178,7 +202,7 @@ Status CountSketch::Merge(const CountSketch& other) {
         "CountSketch::Merge: incompatible sketches (parameters or seed "
         "differ)");
   }
-  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+  counters_.AddAll(other.counters_);
   return Status::OK();
 }
 
@@ -188,13 +212,11 @@ Status CountSketch::Subtract(const CountSketch& other) {
         "CountSketch::Subtract: incompatible sketches (parameters or seed "
         "differ)");
   }
-  for (size_t i = 0; i < counters_.size(); ++i) counters_[i] -= other.counters_[i];
+  counters_.SubtractAll(other.counters_);
   return Status::OK();
 }
 
-void CountSketch::Clear() noexcept {
-  std::fill(counters_.begin(), counters_.end(), 0);
-}
+void CountSketch::Clear() noexcept { counters_.Clear(); }
 
 size_t CountSketch::SpaceBytes() const {
   size_t hash_bytes = 0;
@@ -207,7 +229,7 @@ size_t CountSketch::SpaceBytes() const {
       hash_bytes = depth_ * 2 * sizeof(TabulationHash);
       break;
   }
-  return counters_.size() * sizeof(int64_t) + hash_bytes;
+  return counters_.AllocatedBytes() + hash_bytes;
 }
 
 namespace {
@@ -222,7 +244,11 @@ void CountSketch::SerializeTo(std::string* out) const {
   w.PutU64(params_.seed);
   w.PutU64(static_cast<uint64_t>(params_.family));
   w.PutU64(static_cast<uint64_t>(params_.estimator));
-  for (int64_t c : counters_) w.PutI64(c);
+  // Logical row-major order, padding skipped: the wire format is the same
+  // as the historical unpadded layout.
+  for (size_t i = 0; i < depth_; ++i) {
+    for (size_t j = 0; j < width_; ++j) w.PutI64(counters_.At(i, j));
+  }
 }
 
 Result<CountSketch> CountSketch::Deserialize(std::string_view data) {
@@ -257,8 +283,10 @@ Result<CountSketch> CountSketch::Deserialize(std::string_view data) {
   params.family = static_cast<HashFamily>(family);
   params.estimator = static_cast<Estimator>(estimator);
   STREAMFREQ_ASSIGN_OR_RETURN(CountSketch sketch, Make(params));
-  for (auto& c : sketch.counters_) {
-    STREAMFREQ_RETURN_NOT_OK(r.GetI64(&c));
+  for (size_t i = 0; i < depth; ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      STREAMFREQ_RETURN_NOT_OK(r.GetI64(&sketch.counters_.At(i, j)));
+    }
   }
   return sketch;
 }

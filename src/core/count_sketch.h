@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/counter_matrix.h"
+#include "hash/batch_hash.h"
 #include "hash/pairwise.h"
 #include "stream/types.h"
 #include "util/result.h"
@@ -71,10 +73,19 @@ class CountSketch {
   /// Batch ADD: processes `weight` occurrences of every item in `items`,
   /// with the final state exactly equal to item-at-a-time Add calls (the
   /// counters are a linear function of the multiset). Iterates row-major —
-  /// one hash function and one counter row at a time — so the hash
-  /// parameters stay in registers and each pass touches a single
-  /// width_-sized stripe; the parallel ingestion fast path.
+  /// one hash function and one cache-line-aligned counter stripe at a
+  /// time — evaluating bucket and sign hashes 16 keys per iteration with
+  /// the SIMD kernels in hash/batch_hash.h, then scattering the counter
+  /// updates. The parallel ingestion fast path; bit-identical to the
+  /// scalar path (tests/simd_equivalence_test.cc).
   void BatchAdd(std::span<const ItemId> items, Count weight = 1) noexcept;
+
+  /// BatchAdd forced through the scalar reference kernels. The test and
+  /// benchmark seam: simd_equivalence_test asserts BatchAdd == this ==
+  /// an Add loop, and bench_throughput's scalar-baseline rows in
+  /// BENCH_throughput.json are measured here.
+  void BatchAddScalar(std::span<const ItemId> items,
+                      Count weight = 1) noexcept;
 
   /// ESTIMATE(C, q): the median (or mean) over rows of C[i][h_i(q)]*s_i(q).
   /// Mean estimates round toward zero.
@@ -128,7 +139,7 @@ class CountSketch {
 
   /// Raw counter access for tests and diagnostics.
   int64_t CounterAt(size_t row, size_t bucket) const {
-    return counters_[row * width_ + bucket];
+    return counters_.At(row, bucket);
   }
 
  private:
@@ -141,11 +152,16 @@ class CountSketch {
   };
   BucketSign Locate(size_t row, ItemId item) const noexcept;
 
-  /// Row-major batch update over one hash family's function vectors.
+  /// Row-major batch update over one hash family's function vectors,
+  /// through the selected batch-hash backend.
   template <typename HashT>
   void BatchAddRows(const std::vector<HashT>& bucket,
                     const std::vector<HashT>& sign,
-                    std::span<const ItemId> items, Count weight) noexcept;
+                    std::span<const ItemId> items, Count weight,
+                    batch_hash::Backend backend) noexcept;
+
+  void BatchAddDispatch(std::span<const ItemId> items, Count weight,
+                        batch_hash::Backend backend) noexcept;
 
   CountSketchParams params_;
   size_t depth_;
@@ -155,7 +171,10 @@ class CountSketch {
   std::vector<CarterWegmanHash> cw_bucket_, cw_sign_;
   std::vector<MultiplyShiftHash> ms_bucket_, ms_sign_;
   std::vector<TabulationHash> tab_bucket_, tab_sign_;
-  std::vector<int64_t> counters_;  // depth_ * width_, row-major
+  // depth_ x width_ logical counters in a cache-line-aligned, padded
+  // row-major layout (see counter_matrix.h); serialization stays in
+  // logical row-major order, so the wire format is unchanged.
+  CounterMatrix counters_;
 };
 
 }  // namespace streamfreq

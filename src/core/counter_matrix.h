@@ -1,0 +1,128 @@
+// CounterMatrix: cache-line-aware counter storage for the linear sketches.
+//
+// CountSketch and CountMin used to hold their t x b counter tables in a
+// bare std::vector<int64_t> with stride == width. This class is the same
+// logical matrix with a physical layout tuned for the batched ingest path:
+//
+//   * the allocation is 64-byte aligned, and
+//   * each row's stride is padded up to a whole cache line (8 counters),
+//     so row starts never straddle lines and the row-major BatchAdd walk
+//     touches the minimum number of lines per stripe.
+//
+// Padding cells are born zero and stay zero: the sketch update paths only
+// ever index columns < width, and the whole-buffer Add/Subtract used by
+// Merge preserves zeros (0 + 0 == 0). That invariant is what lets Merge
+// run over the padded buffer without masking. Serialization iterates
+// logical cells only, so the on-disk format is identical to the unpadded
+// layout and old sketch files deserialize unchanged.
+//
+// For the common power-of-two widths (>= 8) the stride equals the width
+// and the padding is zero bytes; only odd widths pay (at most 56 bytes
+// per row).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+namespace streamfreq {
+
+/// A depth x width matrix of int64 counters, cache-line aligned.
+class CounterMatrix {
+ public:
+  /// Counters per 64-byte cache line; rows are padded to a multiple.
+  static constexpr size_t kLineCounters = 64 / sizeof(int64_t);
+
+  CounterMatrix() = default;
+
+  /// Builds a zeroed matrix. Dimension validation (non-zero, plausible)
+  /// belongs to the owning sketch's Make.
+  CounterMatrix(size_t depth, size_t width)
+      : depth_(depth),
+        width_(width),
+        stride_((width + kLineCounters - 1) / kLineCounters * kLineCounters) {
+    data_.reset(static_cast<int64_t*>(
+        std::aligned_alloc(64, depth_ * stride_ * sizeof(int64_t))));
+    Clear();
+  }
+
+  CounterMatrix(const CounterMatrix& other)
+      : depth_(other.depth_), width_(other.width_), stride_(other.stride_) {
+    if (other.data_ == nullptr) return;
+    data_.reset(static_cast<int64_t*>(
+        std::aligned_alloc(64, depth_ * stride_ * sizeof(int64_t))));
+    std::memcpy(data_.get(), other.data_.get(),
+                depth_ * stride_ * sizeof(int64_t));
+  }
+
+  CounterMatrix& operator=(const CounterMatrix& other) {
+    if (this != &other) *this = CounterMatrix(other);
+    return *this;
+  }
+
+  CounterMatrix(CounterMatrix&&) noexcept = default;
+  CounterMatrix& operator=(CounterMatrix&&) noexcept = default;
+
+  size_t depth() const { return depth_; }
+  size_t width() const { return width_; }
+  size_t stride() const { return stride_; }
+
+  /// First counter of row i (64-byte aligned).
+  int64_t* Row(size_t i) noexcept { return data_.get() + i * stride_; }
+  const int64_t* Row(size_t i) const noexcept {
+    return data_.get() + i * stride_;
+  }
+
+  int64_t& At(size_t row, size_t col) noexcept { return Row(row)[col]; }
+  int64_t At(size_t row, size_t col) const noexcept { return Row(row)[col]; }
+
+  /// Zeroes every cell, padding included.
+  void Clear() noexcept {
+    std::memset(data_.get(), 0, depth_ * stride_ * sizeof(int64_t));
+  }
+
+  /// this += other, over the whole padded buffer (padding stays zero).
+  /// Caller guarantees equal dimensions (the sketches' CompatibleWith).
+  void AddAll(const CounterMatrix& other) noexcept {
+    int64_t* a = data_.get();
+    const int64_t* b = other.data_.get();
+    const size_t n = depth_ * stride_;
+    for (size_t i = 0; i < n; ++i) a[i] += b[i];
+  }
+
+  /// this -= other, same contract as AddAll.
+  void SubtractAll(const CounterMatrix& other) noexcept {
+    int64_t* a = data_.get();
+    const int64_t* b = other.data_.get();
+    const size_t n = depth_ * stride_;
+    for (size_t i = 0; i < n; ++i) a[i] -= b[i];
+  }
+
+  /// Logical-cell equality (padding excluded); dimensions must match too.
+  friend bool operator==(const CounterMatrix& a, const CounterMatrix& b) {
+    if (a.depth_ != b.depth_ || a.width_ != b.width_) return false;
+    for (size_t i = 0; i < a.depth_; ++i) {
+      if (!std::equal(a.Row(i), a.Row(i) + a.width_, b.Row(i))) return false;
+    }
+    return true;
+  }
+
+  /// Bytes actually held, padding included (reported by SpaceBytes).
+  size_t AllocatedBytes() const { return depth_ * stride_ * sizeof(int64_t); }
+
+ private:
+  struct Free {
+    void operator()(int64_t* p) const { std::free(p); }
+  };
+
+  size_t depth_ = 0;
+  size_t width_ = 0;
+  size_t stride_ = 0;
+  std::unique_ptr<int64_t[], Free> data_;
+};
+
+}  // namespace streamfreq

@@ -1,0 +1,81 @@
+// Batched row-hash evaluation: the SIMD half of the sketch ingest hot path.
+//
+// A sketch's BatchAdd splits per row into two phases: (1) hash a block of
+// keys to bucket indices (and, for Count-Sketch, ±1 signs), then (2)
+// scatter counter updates. Phase 1 is pure lane-parallel integer math and
+// is what these kernels vectorize — 16 keys per iteration as two
+// simd::U64x8 bundles; phase 2 stays scalar because the bucket indices are
+// data-dependent (a gather/scatter would serialize on conflicts anyway).
+//
+// Every kernel has two selectable backends:
+//   kScalar      one key at a time through the hash class's own
+//                Bucket()/Sign() — the reference semantics.
+//   kVectorized  the simd::U64x8 pipeline. Exact lane math (Mersenne
+//                fold, FastRange reduction) mirrors the scalar code
+//                operation for operation, so results are bit-identical —
+//                asserted exhaustively by tests/simd_equivalence_test.cc.
+// TabulationHash is the documented exception: its byte-indexed table
+// lookups do not vectorize profitably without gather hardware, so its
+// kVectorized backend is the scalar loop (see the dispatch matrix in
+// docs/PERFORMANCE.md).
+//
+// The kernels are compiled ONCE, into streamfreq_hash, which is the only
+// library target that receives the STREAMFREQ_SIMD instruction-set flags.
+// Callers (core sketches, tests, benches) always link the same code, so
+// BackendName() is authoritative for the whole process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "hash/pairwise.h"
+
+namespace streamfreq {
+namespace batch_hash {
+
+/// Which implementation a caller wants. kVectorized is the default hot
+/// path; kScalar is the reference used for equivalence tests and the
+/// scalar-baseline benchmark rows in BENCH_throughput.json.
+enum class Backend : uint8_t { kScalar, kVectorized };
+
+/// Keys consumed per kernel iteration (two simd::U64x8 bundles). The
+/// kernels accept spans of any length; callers staging outputs on the
+/// stack pick a multiple of this (the sketches use 1024-key stripes to
+/// amortize the call across many blocks).
+inline constexpr size_t kBlock = 16;
+
+/// The instruction set the kernels in this library were compiled for:
+/// "avx512", "avx2", "sse2", "neon", or "scalar". Reported in
+/// BENCH_throughput.json and `sfq sketch --json`.
+const char* BackendName();
+
+/// out_bucket[i] = h.Bucket(keys[i], range) for every key.
+void Buckets(const CarterWegmanHash& h, std::span<const uint64_t> keys,
+             uint64_t range, uint64_t* out_bucket,
+             Backend backend = Backend::kVectorized);
+void Buckets(const MultiplyShiftHash& h, std::span<const uint64_t> keys,
+             uint64_t range, uint64_t* out_bucket,
+             Backend backend = Backend::kVectorized);
+void Buckets(const TabulationHash& h, std::span<const uint64_t> keys,
+             uint64_t range, uint64_t* out_bucket,
+             Backend backend = Backend::kVectorized);
+
+/// out_bucket[i] = hb.Bucket(keys[i], range), out_sign[i] = hs.Sign(keys[i])
+/// for every key — the fused Count-Sketch row evaluation (one pass over the
+/// keys instead of two).
+void BucketsAndSigns(const CarterWegmanHash& hb, const CarterWegmanHash& hs,
+                     std::span<const uint64_t> keys, uint64_t range,
+                     uint64_t* out_bucket, int64_t* out_sign,
+                     Backend backend = Backend::kVectorized);
+void BucketsAndSigns(const MultiplyShiftHash& hb, const MultiplyShiftHash& hs,
+                     std::span<const uint64_t> keys, uint64_t range,
+                     uint64_t* out_bucket, int64_t* out_sign,
+                     Backend backend = Backend::kVectorized);
+void BucketsAndSigns(const TabulationHash& hb, const TabulationHash& hs,
+                     std::span<const uint64_t> keys, uint64_t range,
+                     uint64_t* out_bucket, int64_t* out_sign,
+                     Backend backend = Backend::kVectorized);
+
+}  // namespace batch_hash
+}  // namespace streamfreq

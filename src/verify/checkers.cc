@@ -147,6 +147,25 @@ Result<SketchT> IngestMutated(const std::function<Result<SketchT>()>& make,
           std::span<const ItemId>(stream.data() + cut, stream.size() - cut));
       return s;
     }
+    case Mutation::kBatchedScalar: {
+      // Same spans as kBatched, forced through the scalar reference
+      // kernels: together the two mutations differentially anchor the
+      // SIMD-vectorized BatchAdd against the scalar path.
+      constexpr bool kHasBatchScalar =
+          requires(SketchT& s, std::span<const ItemId> span) {
+            s.BatchAddScalar(span, Count{1});
+          };
+      if constexpr (kHasBatchScalar) {
+        STREAMFREQ_ASSIGN_OR_RETURN(SketchT s, make());
+        const size_t cut = stream.size() / 3;
+        s.BatchAddScalar(std::span<const ItemId>(stream.data(), cut));
+        s.BatchAddScalar(
+            std::span<const ItemId>(stream.data() + cut, stream.size() - cut));
+        return s;
+      } else {
+        return Status::Unimplemented("IngestMutated: type has no BatchAddScalar");
+      }
+    }
     case Mutation::kSplitMerge: {
       if constexpr (kHasMerge) {
         STREAMFREQ_ASSIGN_OR_RETURN(SketchT a, make());
@@ -421,8 +440,9 @@ class CountMinChecker final : public GuaranteeChecker {
     // The plain sketch is linear: every supported mutation must reproduce
     // the sequential state exactly. Conservative update is order-dependent,
     // but its BatchAdd documents an exact in-order fallback.
-    const bool exact_relation =
-        !conservative_ || mutation == Mutation::kBatched;
+    const bool exact_relation = !conservative_ ||
+                                mutation == Mutation::kBatched ||
+                                mutation == Mutation::kBatchedScalar;
     if (mutation != Mutation::kSequential && exact_relation) {
       STREAMFREQ_ASSIGN_OR_RETURN(
           CountMin reference,
@@ -492,7 +512,9 @@ class MisraGriesChecker final : public GuaranteeChecker {
   const char* Name() const override { return "misra-gries"; }
 
   bool Supports(Mutation m) const override {
-    return m != Mutation::kSerializeMidStream;
+    // Counter summaries have no scalar/SIMD split (no BatchAddScalar).
+    return m != Mutation::kSerializeMidStream &&
+           m != Mutation::kBatchedScalar;
   }
 
   Result<BuildOutcome> Build(const Stream& stream, const VerifySetup& setup,
@@ -588,7 +610,9 @@ class SpaceSavingChecker final : public GuaranteeChecker {
   const char* Name() const override { return "space-saving"; }
 
   bool Supports(Mutation m) const override {
-    return m != Mutation::kSerializeMidStream;
+    // Counter summaries have no scalar/SIMD split (no BatchAddScalar).
+    return m != Mutation::kSerializeMidStream &&
+           m != Mutation::kBatchedScalar;
   }
 
   Result<BuildOutcome> Build(const Stream& stream, const VerifySetup& setup,

@@ -20,7 +20,8 @@ namespace {
 constexpr std::array<const char*, 4> kKindNames = {"zipf", "uniform", "flows",
                                                   "adversarial"};
 constexpr std::array<const char*, kMutationCount> kMutationNames = {
-    "seq", "permute", "batch", "split-merge", "serialize-mid", "parallel"};
+    "seq",           "permute",  "batch",       "split-merge",
+    "serialize-mid", "parallel", "batch-scalar"};
 
 // Doubles are printed at round-trip precision so that a shrunk program line
 // replays the exact failing run.

@@ -15,7 +15,12 @@
 //                 be bit-identical; counter summaries keep their guarantees
 //                 (they are order-independent) but may change state
 //   batch         BatchAdd over two uneven spans — exact for linear
-//                 sketches, reorder-equivalent for counter summaries
+//                 sketches, reorder-equivalent for counter summaries;
+//                 exercises the SIMD-vectorized kernels (the default
+//                 BatchAdd backend)
+//   batch-scalar  BatchAddScalar over the same spans — the scalar
+//                 reference kernels; with `batch` this differentially
+//                 anchors the vectorized hot path inside `sfq verify`
 //   split-merge   two halves ingested separately, then Merge — exact for
 //                 linear sketches, guarantee-preserving for MG/SS
 //   serialize-mid serialize + deserialize at the half-way point, then keep
@@ -44,9 +49,10 @@ enum class Mutation : uint8_t {
   kSplitMerge,
   kSerializeMidStream,
   kParallel,
+  kBatchedScalar,
 };
 
-inline constexpr size_t kMutationCount = 6;
+inline constexpr size_t kMutationCount = 7;
 
 /// One complete, deterministic verification workload.
 struct FuzzProgram {

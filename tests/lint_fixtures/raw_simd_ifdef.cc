@@ -1,0 +1,33 @@
+// Broken on purpose: hand-rolls an AVX2 path behind a raw instruction-set
+// ifdef instead of programming against simd::U64x8. This reintroduces
+// per-translation-unit ISA divergence — the sketch library would execute
+// different arithmetic depending on which TU's flags won — and breaks the
+// single-file auditability of the scalar/vector bit-identity argument
+// (docs/PERFORMANCE.md). SIMD conditionals and intrinsics belong in
+// src/util/simd.h and nowhere else.
+//
+// sfq-lint-path: src/core/hand_rolled_simd.cc
+// sfq-lint-expect: simd-ifdef
+
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace streamfreq {
+
+uint64_t SumKeys(const uint64_t* keys, size_t n) {
+  uint64_t total = 0;
+#if defined(__AVX2__)
+  __m256i acc = _mm256_setzero_si256();
+  for (size_t i = 0; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i)));
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) total += keys[i];
+  return total;
+}
+
+}  // namespace streamfreq

@@ -92,7 +92,8 @@ TEST(FuzzDriverTest, MetamorphicMutationsAreExactForLinearSketches) {
   const FuzzDriver driver(FuzzOptions{});
   for (Mutation mutation :
        {Mutation::kPermuted, Mutation::kBatched, Mutation::kSplitMerge,
-        Mutation::kSerializeMidStream, Mutation::kParallel}) {
+        Mutation::kSerializeMidStream, Mutation::kParallel,
+        Mutation::kBatchedScalar}) {
     for (const char* algo : {"count-sketch", "count-min"}) {
       FuzzProgram program;
       program.kind = WorkloadKind::kZipf;

@@ -315,8 +315,9 @@ TEST(ProgramTest, SeededSequenceIsDeterministicAndDiverse) {
     kinds.insert(WorkloadKindName(a.kind));
     mutations.insert(MutationName(a.mutation));
   }
-  EXPECT_EQ(kinds.size(), 4u);      // every workload family appears
-  EXPECT_EQ(mutations.size(), 6u);  // every metamorphic mutation appears
+  EXPECT_EQ(kinds.size(), 4u);  // every workload family appears
+  // every metamorphic mutation appears
+  EXPECT_EQ(mutations.size(), kMutationCount);
   // Different master seeds diverge.
   EXPECT_NE(FormatProgram(ProgramFromSeed(42, 0)),
             FormatProgram(ProgramFromSeed(43, 0)));

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""bench_gate: regression gate over the recorded benchmark trajectory.
+
+Compares a freshly generated streamfreq-bench-v1 JSON (written by
+`bench_throughput --json <path>`) against the committed baseline
+(BENCH_throughput.json at the repo root) and fails when any entry's
+items/second fell more than the budget (default 15%) below the baseline.
+Run by `scripts/check.sh --bench`; the format is documented in
+docs/PERFORMANCE.md.
+
+Usage:
+  bench_gate.py CANDIDATE BASELINE [--budget 0.15] [--update]
+
+Semantics:
+  * Both files must validate against the streamfreq-bench-v1 schema
+    (schema marker, non-empty entries, unique names, positive finite
+    items_per_second). A malformed file is an error, not a skip — a gate
+    that silently accepts garbage is not a gate.
+  * Every baseline entry must appear in the candidate (losing coverage is
+    a failure); candidate-only entries are reported and allowed (new
+    benchmarks land before their baseline).
+  * Ratios are candidate/baseline per matching name. ratio < 1 - budget
+    fails. Improvements are reported; use --update to promote the
+    candidate to the new committed baseline after review.
+  * scalar/simd pairs (names differing only in a trailing `scalar`/`simd`
+    component) additionally get their speedup printed — the number
+    docs/PERFORMANCE.md tracks.
+
+Exit status: 0 = within budget, 1 = regression/coverage/schema failure,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import shutil
+import sys
+
+SCHEMA = "streamfreq-bench-v1"
+
+
+def fail(message: str) -> "sys.NoReturn":
+    print(f"bench_gate: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_trajectory(path: str) -> dict:
+    """Loads and schema-validates one trajectory file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: unreadable or not JSON: {err}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        fail(f"{path}: missing schema marker '{SCHEMA}'")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail(f"{path}: 'entries' must be a non-empty list")
+    seen = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            fail(f"{path}: entry is not an object: {entry!r}")
+        name = entry.get("name")
+        ips = entry.get("items_per_second")
+        if not isinstance(name, str) or not name:
+            fail(f"{path}: entry without a name: {entry!r}")
+        if name in seen:
+            fail(f"{path}: duplicate entry name '{name}'")
+        seen.add(name)
+        if (
+            not isinstance(ips, (int, float))
+            or isinstance(ips, bool)
+            or not math.isfinite(ips)
+            or ips <= 0
+        ):
+            fail(f"{path}: '{name}' has invalid items_per_second: {ips!r}")
+    return doc
+
+
+def by_name(doc: dict) -> dict:
+    return {entry["name"]: entry["items_per_second"] for entry in doc["entries"]}
+
+
+def human(rate: float) -> str:
+    if rate >= 1e9:
+        return f"{rate / 1e9:.2f}G/s"
+    if rate >= 1e6:
+        return f"{rate / 1e6:.1f}M/s"
+    return f"{rate / 1e3:.1f}K/s"
+
+
+def report_speedups(candidate: dict) -> None:
+    """Prints simd-vs-scalar speedups for paired entry names."""
+    rates = by_name(candidate)
+    for name, rate in sorted(rates.items()):
+        if "scalar" not in name:
+            continue
+        partner = name.replace("scalar", "simd")
+        if partner in rates:
+            print(
+                f"bench_gate: speedup {partner}: "
+                f"{rates[partner] / rate:.2f}x over scalar "
+                f"({human(rate)} -> {human(rates[partner])})"
+            )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", help="freshly generated trajectory JSON")
+    parser.add_argument("baseline", help="committed baseline trajectory JSON")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression per entry (default 0.15)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="on success, copy the candidate over the baseline",
+    )
+    args = parser.parse_args()
+    if not 0 < args.budget < 1:
+        print("bench_gate: --budget must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    candidate = load_trajectory(args.candidate)
+    baseline = load_trajectory(args.baseline)
+    cand = by_name(candidate)
+    base = by_name(baseline)
+
+    if candidate.get("simd_backend") != baseline.get("simd_backend"):
+        print(
+            f"bench_gate: note: backend changed "
+            f"{baseline.get('simd_backend')} -> {candidate.get('simd_backend')}"
+            " (numbers compare across different kernels)"
+        )
+
+    regressions = []
+    for name, base_rate in sorted(base.items()):
+        if name not in cand:
+            fail(f"baseline entry '{name}' missing from candidate (coverage lost)")
+        ratio = cand[name] / base_rate
+        marker = ""
+        if ratio < 1 - args.budget:
+            regressions.append((name, ratio))
+            marker = "  << REGRESSION"
+        print(
+            f"bench_gate: {name}: {human(base_rate)} -> {human(cand[name])} "
+            f"({ratio:.2f}x){marker}"
+        )
+    for name in sorted(set(cand) - set(base)):
+        print(f"bench_gate: new entry (no baseline yet): {name}")
+
+    report_speedups(candidate)
+
+    if regressions:
+        for name, ratio in regressions:
+            print(
+                f"bench_gate: FAIL: {name} regressed to {ratio:.2f}x of "
+                f"baseline (budget {1 - args.budget:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+
+    if args.update:
+        shutil.copyfile(args.candidate, args.baseline)
+        print(f"bench_gate: baseline updated: {args.baseline}")
+    print(f"bench_gate: OK ({len(base)} entries within {args.budget:.0%} budget)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,15 @@ This checker mechanizes them:
                     (src/util/failpoint.cc) so --failpoints specs naming
                     it validate, and it must appear in the site table in
                     docs/ROBUSTNESS.md.
+  simd-ifdef        Instruction-set conditionals (__AVX512F__, __AVX2__,
+                    __SSE2__, __ARM_NEON), <immintrin.h>-style includes,
+                    raw _mm*/vld* intrinsics, and vector_size declarations
+                    are allowed ONLY in src/util/simd.h. Everything else
+                    programs against the simd::U64x8 bundle, so the
+                    kernels are compiled once (in streamfreq_hash, the one
+                    target that gets STREAMFREQ_SIMD flags) and the
+                    scalar/vector bit-identity argument in
+                    docs/PERFORMANCE.md stays auditable in a single file.
 
 Suppression: append `// NOLINT(sfq-<rule>): <reason>` to the offending line
 or put `// NOLINTNEXTLINE(sfq-<rule>): <reason>` on the line above. The
@@ -73,6 +82,7 @@ RULE_IDS = [
     "concurrent-label",
     "nodiscard-decl",
     "failpoint-site",
+    "simd-ifdef",
 ]
 
 # Directories deliberately outside the normal scan: fixtures are broken on
@@ -153,6 +163,10 @@ class FileLinter:
                 self.check_raw_mutex()
             if not self.path.startswith("src/util/failpoint"):
                 self.check_failpoint_site()
+        if (
+            in_src or in_tools or self.path.startswith("bench/")
+        ) and self.path != "src/util/simd.h":
+            self.check_simd_ifdef()
         if self.path.startswith(("src/verify/", "src/stream/")):
             self.check_nondet_random()
         self.check_dropped_status()
@@ -353,6 +367,35 @@ class FileLinter:
                     "direct FailpointRegistry Evaluate() call; plant faults "
                     'via SFQ_FAILPOINT("site") so they compile out when '
                     "STREAMFREQ_FAILPOINTS=OFF and the site stays auditable.",
+                )
+
+    # -- simd-ifdef --------------------------------------------------------
+    SIMD_TOKEN_RE = re.compile(
+        r"__AVX512[A-Z0-9]*__|__AVX2?__|__SSE[0-9_]*__"
+        r"|__ARM_NEON(?:__)?|STREAMFREQ_FORCE_SCALAR_SIMD"
+        r"|\b(?:imm|x86|arm_ne|smm|emm|tmm)\w*intrin\.h|\barm_neon\.h"
+        r"|\b_mm(?:256|512)?_\w+|\bv(?:ld|st)[1-4]q?_\w+"
+        r"|vector_size\s*\("
+    )
+
+    def check_simd_ifdef(self):
+        """ISA conditionals and intrinsics live in src/util/simd.h only.
+
+        The whole bit-identity argument (docs/PERFORMANCE.md) rests on the
+        kernels being compiled once, against one lane-bundle abstraction,
+        in the one library target that receives STREAMFREQ_SIMD flags. A
+        stray __AVX2__ ifdef elsewhere reintroduces per-TU divergence.
+        """
+        for idx, code in enumerate(self.code):
+            m = self.SIMD_TOKEN_RE.search(code)
+            if m:
+                self.report(
+                    idx,
+                    "simd-ifdef",
+                    f"instruction-set token '{m.group(0).strip()}' outside "
+                    "src/util/simd.h; program against simd::U64x8 (or add a "
+                    "new primitive to simd.h) so SIMD stays confined to the "
+                    "one audited dispatch header.",
                 )
 
     # -- unguarded-member --------------------------------------------------
