@@ -1,0 +1,314 @@
+// bench_serve: YCSB-style load driver for `sfq serve`.
+//
+// Boots an in-process SfqServer on a throwaway unix socket, creates one
+// tenant, then runs a closed-loop campaign: N client threads, one
+// SfqClient (= one connection) each, issuing a fixed 8:1 ingest:query mix
+// over a pre-generated zipf stream. Closed loop means each client keeps
+// exactly one request outstanding, so per-request wall time IS the
+// request latency — no coordinated-omission correction needed.
+//
+// Two entries per client count land in the trajectory JSON
+// (streamfreq-bench-v1, gated by tools/bench_gate.py against the
+// committed BENCH_serve.json):
+//   ServeIngest/clients:C  items_per_second = stream items ingested / wall
+//   ServeQuery/clients:C   items_per_second = top-k queries answered / wall
+// Each entry also carries p50_us/p99_us request latency — informational
+// extras (the gate only compares items_per_second), tracked in
+// docs/SERVER.md.
+//
+// Flags:
+//   --clients=1,4      client-count scenarios (default "1,4")
+//   --items=N          stream items per client (default 262144)
+//   --chunk=N          items per ingest request (default 512)
+//   --reps=N           repetitions per scenario, best-of kept (default 3)
+//   --json FILE        write the trajectory JSON for bench_gate.py
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "stream/types.h"
+#include "stream/zipf.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace streamfreq {
+namespace {
+
+struct ServeFlags {
+  std::vector<uint64_t> client_counts = {1, 4};
+  uint64_t items_per_client = 262144;
+  uint64_t chunk = 512;
+  uint64_t reps = 3;
+  std::string json_path;  // empty = no trajectory JSON
+};
+
+ServeFlags ParseServeFlags(int argc, char** argv) {
+  ServeFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      flags.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      flags.json_path = arg.substr(7);
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      flags.client_counts.clear();
+      std::string list = arg.substr(10);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        const long v = std::strtol(tok.c_str(), nullptr, 10);
+        if (v > 0) flags.client_counts.push_back(static_cast<uint64_t>(v));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (flags.client_counts.empty()) flags.client_counts = {1};
+    } else if (arg.rfind("--items=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 8, nullptr, 10);
+      if (v > 0) flags.items_per_client = static_cast<uint64_t>(v);
+    } else if (arg.rfind("--chunk=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 8, nullptr, 10);
+      if (v > 0) flags.chunk = static_cast<uint64_t>(v);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 7, nullptr, 10);
+      if (v > 0) flags.reps = static_cast<uint64_t>(v);
+    } else {
+      std::fprintf(stderr, "bench_serve: unknown flag '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+/// One closed-loop client's tallies; merged after join.
+struct ClientTally {
+  std::vector<uint64_t> ingest_us;
+  std::vector<uint64_t> query_us;
+  uint64_t items = 0;
+};
+
+/// p-th percentile (nearest-rank) of an unsorted latency sample, in µs.
+uint64_t Percentile(std::vector<uint64_t>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+/// One scenario's results, ready for the console table and the JSON.
+struct ScenarioResult {
+  uint64_t clients = 0;
+  double items_per_second = 0;
+  double queries_per_second = 0;
+  uint64_t ingest_p50_us = 0, ingest_p99_us = 0;
+  uint64_t query_p50_us = 0, query_p99_us = 0;
+};
+
+/// Runs one closed-loop scenario against a fresh server instance. A fresh
+/// server per scenario keeps the tenant's queue state and snapshot cadence
+/// identical across client counts, so the entries are comparable.
+ScenarioResult RunScenario(const ServeFlags& flags, uint64_t clients,
+                           const Stream& stream) {
+  const std::string socket_path = "/tmp/sfq_bench_serve_" +
+                                  std::to_string(::getpid()) + "_" +
+                                  std::to_string(clients) + ".sock";
+  std::remove(socket_path.c_str());
+  ServerOptions options;
+  options.socket_path = socket_path;
+  auto server = SfqServer::Start(options);
+  SFQ_CHECK_OK(server.status());
+
+  // One tenant shared by every client: the contended path is the point.
+  // Generous queue depth + kBlock keeps the bench loss-free — admission
+  // shedding would make items_per_second measure the policy, not the
+  // server.
+  TenantSpec spec;
+  spec.depth = 5;
+  spec.width = 4096;
+  spec.seed = 3;
+  spec.threads = 2;
+  spec.batch_items = 2048;
+  spec.queue_batches = 64;
+  spec.policy = OverflowPolicy::kBlock;
+  spec.tracked = 256;
+  {
+    auto admin = SfqClient::Connect(socket_path);
+    SFQ_CHECK_OK(admin.status());
+    SFQ_CHECK_OK(admin->CreateTenant("bench", spec));
+  }
+
+  std::vector<ClientTally> tallies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (uint64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = SfqClient::Connect(socket_path);
+      SFQ_CHECK_OK(client.status());
+      ClientTally& tally = tallies[c];
+      // Disjoint stride-sliced view: every client ingests items/client
+      // items, all clients together cover the stream exactly once.
+      std::vector<ItemId> slice;
+      slice.reserve(flags.items_per_client);
+      for (uint64_t i = c; slice.size() < flags.items_per_client;
+           i += clients) {
+        slice.push_back(stream[i % stream.size()]);
+      }
+      uint64_t requests = 0;
+      for (size_t off = 0; off < slice.size(); off += flags.chunk) {
+        const size_t n = std::min<size_t>(flags.chunk, slice.size() - off);
+        const auto t0 = std::chrono::steady_clock::now();
+        SFQ_CHECK_OK(client->Ingest(
+            "bench", std::span<const ItemId>(slice.data() + off, n)));
+        const auto t1 = std::chrono::steady_clock::now();
+        tally.ingest_us.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()));
+        tally.items += n;
+        // The YCSB-style mix: every 8th request is a read.
+        if (++requests % 8 == 0) {
+          const auto q0 = std::chrono::steady_clock::now();
+          auto top = client->TopK("bench", 10);
+          SFQ_CHECK_OK(top.status());
+          const auto q1 = std::chrono::steady_clock::now();
+          tally.query_us.push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(q1 - q0)
+                  .count()));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  (*server)->RequestStop();
+  server->reset();
+  std::remove(socket_path.c_str());
+
+  ScenarioResult result;
+  result.clients = clients;
+  std::vector<uint64_t> ingest_us, query_us;
+  uint64_t items = 0;
+  for (ClientTally& tally : tallies) {
+    ingest_us.insert(ingest_us.end(), tally.ingest_us.begin(),
+                     tally.ingest_us.end());
+    query_us.insert(query_us.end(), tally.query_us.begin(),
+                    tally.query_us.end());
+    items += tally.items;
+  }
+  result.items_per_second = static_cast<double>(items) / wall_s;
+  result.queries_per_second = static_cast<double>(query_us.size()) / wall_s;
+  result.ingest_p50_us = Percentile(ingest_us, 0.50);
+  result.ingest_p99_us = Percentile(ingest_us, 0.99);
+  result.query_p50_us = Percentile(query_us, 0.50);
+  result.query_p99_us = Percentile(query_us, 0.99);
+  return result;
+}
+
+bool WriteJson(const std::string& path, const ServeFlags& flags,
+               const std::vector<ScenarioResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"streamfreq-bench-v1\",\n"
+               "  \"bench\": \"bench_serve\",\n"
+               "  \"entries\": [");
+  bool first = true;
+  for (const ScenarioResult& r : results) {
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"ServeIngest/clients:%llu\", "
+                 "\"label\": \"chunk=%llu mix=8:1\", "
+                 "\"items_per_second\": %.6e, "
+                 "\"p50_us\": %llu, \"p99_us\": %llu}",
+                 first ? "" : ",",
+                 static_cast<unsigned long long>(r.clients),
+                 static_cast<unsigned long long>(flags.chunk),
+                 r.items_per_second,
+                 static_cast<unsigned long long>(r.ingest_p50_us),
+                 static_cast<unsigned long long>(r.ingest_p99_us));
+    std::fprintf(f,
+                 ",\n    {\"name\": \"ServeQuery/clients:%llu\", "
+                 "\"label\": \"topk10\", "
+                 "\"items_per_second\": %.6e, "
+                 "\"p50_us\": %llu, \"p99_us\": %llu}",
+                 static_cast<unsigned long long>(r.clients),
+                 r.queries_per_second,
+                 static_cast<unsigned long long>(r.query_p50_us),
+                 static_cast<unsigned long long>(r.query_p99_us));
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+int Run(int argc, char** argv) {
+  const ServeFlags flags = ParseServeFlags(argc, argv);
+  // Shared zipf workload, same shape as bench_throughput's (zipf 1.1 over
+  // 100k items) so server-side numbers sit next to the in-process ones.
+  auto gen = ZipfGenerator::Make(100000, 1.1, 42);
+  SFQ_CHECK_OK(gen.status());
+  const uint64_t max_clients = *std::max_element(flags.client_counts.begin(),
+                                                flags.client_counts.end());
+  const Stream stream =
+      gen->Take(static_cast<size_t>(flags.items_per_client * max_clients));
+
+  std::vector<ScenarioResult> results;
+  results.reserve(flags.client_counts.size());
+  std::printf("%-24s %14s %12s %10s %10s %10s %10s\n", "scenario", "items/s",
+              "queries/s", "ing p50", "ing p99", "qry p50", "qry p99");
+  for (const uint64_t clients : flags.client_counts) {
+    // Best-of-N, the same policy as bench_throughput's reporter: on a
+    // loaded single-core box interference only ever slows a run down, so
+    // the max rate is the least noisy estimate and keeps the regression
+    // gate from tripping on transient load. Latency percentiles come from
+    // the same (fastest) repetition so rate and latency stay consistent.
+    ScenarioResult r = RunScenario(flags, clients, stream);
+    for (uint64_t rep = 1; rep < flags.reps; ++rep) {
+      const ScenarioResult again = RunScenario(flags, clients, stream);
+      if (again.items_per_second > r.items_per_second) r = again;
+    }
+    results.push_back(r);
+    std::printf("%-24s %14.3e %12.1f %8lluus %8lluus %8lluus %8lluus\n",
+                ("serve/clients:" + std::to_string(clients)).c_str(),
+                r.items_per_second, r.queries_per_second,
+                static_cast<unsigned long long>(r.ingest_p50_us),
+                static_cast<unsigned long long>(r.ingest_p99_us),
+                static_cast<unsigned long long>(r.query_p50_us),
+                static_cast<unsigned long long>(r.query_p99_us));
+  }
+
+  if (!flags.json_path.empty()) {
+    if (!WriteJson(flags.json_path, flags, results)) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   flags.json_path.c_str());
+      return 1;
+    }
+    std::printf("bench_serve: trajectory written to %s\n",
+                flags.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamfreq
+
+int main(int argc, char** argv) { return streamfreq::Run(argc, argv); }

@@ -3,16 +3,19 @@
 #
 #   scripts/check.sh --quick    lint + build + ctest + TSan concurrent
 #                               re-check + 200-iteration chaos profile
+#                               (incl. server failpoints) + server smoke
 #   scripts/check.sh            the above, plus benchmarks, examples, an
 #                               ASan/UBSan build running the full suite,
 #                               a failpoints-compiled-out sanity build,
 #                               and nightly-scale `sfq verify` + `sfq chaos`
 #                               campaigns
-#   scripts/check.sh --bench    build bench_throughput only, regenerate the
-#                               ingest trajectory, and gate it against the
-#                               committed BENCH_throughput.json via
-#                               tools/bench_gate.py (>15% regression fails;
-#                               see docs/PERFORMANCE.md)
+#   scripts/check.sh --bench    build bench_throughput + bench_serve,
+#                               regenerate the ingest trajectory and the
+#                               server latency/qps profile, and gate both
+#                               against the committed BENCH_throughput.json
+#                               and BENCH_serve.json via tools/bench_gate.py
+#                               (>15% regression fails; see
+#                               docs/PERFORMANCE.md and docs/SERVER.md)
 #
 # Environment:
 #   SFQ_FUZZ_SEED    master seed for the nightly fuzz campaign (default 42)
@@ -21,6 +24,8 @@
 #   SFQ_CHAOS_ITERS  nightly chaos iterations (default 2000; quick is 200)
 #   SFQ_BENCH_BUDGET fractional throughput regression allowed by --bench
 #                    (default 0.15)
+#   SFQ_SERVE_BENCH_BUDGET  budget for the bench_serve gate (default 0.35;
+#                    socket RPC latency is noisier than in-process kernels)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,16 +53,24 @@ fi
 # the budget.
 if [[ "$BENCH" -eq 1 ]]; then
   cmake -B build "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build build --target bench_throughput
+  cmake --build build --target bench_throughput bench_serve
   out="$(mktemp /tmp/sfq_bench.XXXXXX.json)"
-  trap 'rm -f "$out"' EXIT
+  serve_out="$(mktemp /tmp/sfq_bench_serve.XXXXXX.json)"
+  trap 'rm -f "$out" "$serve_out"' EXIT
   build/bench/bench_throughput \
-    --benchmark_filter='BatchAddBackend' \
+    --benchmark_filter='BatchAddBackend|BM_Update' \
     --benchmark_min_time=0.1 \
     --benchmark_repetitions=5 \
     --json "$out"
   python3 tools/bench_gate.py "$out" BENCH_throughput.json \
     --budget "${SFQ_BENCH_BUDGET:-0.15}"
+  # The serve gate gets a wider default budget: request latency over a
+  # unix socket is far more load-sensitive than the in-process kernels
+  # (best-of-3 inside bench_serve absorbs most of it, but run-to-run
+  # spread on a busy box still exceeds 15%).
+  build/bench/bench_serve --json "$serve_out"
+  python3 tools/bench_gate.py "$serve_out" BENCH_serve.json \
+    --budget "${SFQ_SERVE_BENCH_BUDGET:-0.35}"
   echo "check.sh --bench: OK"
   exit 0
 fi
@@ -85,14 +98,20 @@ cmake -B build-tsan "${GEN[@]}" \
   -DCMAKE_CXX_FLAGS=-fsanitize=thread \
   -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread
 cmake --build build-tsan --target parallel_ingestor_test batch_add_test \
-  batch_queue_test failpoint_test chaos_test
+  batch_queue_test failpoint_test chaos_test server_e2e_test
 ctest --test-dir build-tsan -L concurrent --output-on-failure
+
+# Server smoke: boot `sfq serve`, run one tenant through its lifecycle,
+# check export bit-identity and clean errors (docs/SERVER.md).
+scripts/serve_smoke.sh build/tools/sfq
 
 # Chaos quick profile: seeded fuzz programs replayed under randomized
 # failpoint schedules (docs/ROBUSTNESS.md). Every iteration must end in a
 # clean error Status or a sketch passing its guarantee checker over the
 # effective stream; a failure prints a replayable seed/schedule/program.
+# --server folds the serve-path failpoints into the campaign.
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 200
+build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 40 --server true
 
 if [[ "$QUICK" -eq 1 ]]; then
   echo "check.sh --quick: OK"
@@ -133,5 +152,7 @@ build/tools/sfq verify --seed="${SFQ_FUZZ_SEED:-42}" \
 # Nightly chaos campaign: same contract as the quick profile, at scale.
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
   --iters "${SFQ_CHAOS_ITERS:-2000}"
+build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
+  --iters "$(( ${SFQ_CHAOS_ITERS:-2000} / 10 ))" --server true
 
 echo "check.sh: OK"

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Server smoke test: boot `sfq serve` on a scratch Unix socket, drive one
+# tenant through its whole lifecycle with `sfq client`, and check the
+# answers line up (export must estimate bit-identically to the server).
+#
+#   scripts/serve_smoke.sh [path/to/sfq]
+#
+# Used by scripts/check.sh (--quick and full). See docs/SERVER.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SFQ="${1:-build/tools/sfq}"
+if [[ ! -x "$SFQ" ]]; then
+  echo "serve_smoke: $SFQ not built" >&2
+  exit 2
+fi
+
+DIR="$(mktemp -d /tmp/sfq_serve_smoke.XXXXXX)"
+SOCK="$DIR/serve.sock"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+"$SFQ" generate --kind zipf --n 20000 --m 500 --z 1.2 --seed 7 \
+  --out "$DIR/trace.bin" >/dev/null
+
+"$SFQ" serve --socket "$SOCK" >"$DIR/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK" ]] && break
+  sleep 0.05
+done
+if [[ ! -S "$SOCK" ]]; then
+  echo "serve_smoke: server never bound $SOCK" >&2
+  cat "$DIR/serve.log" >&2
+  exit 1
+fi
+
+client() { "$SFQ" client --socket "$SOCK" "$@"; }
+
+client --op ping >/dev/null
+client --op create --tenant smoke --threads 2 --overflow shed >/dev/null
+client --op ingest --tenant smoke --trace "$DIR/trace.bin" >/dev/null
+client --op mark --tenant smoke >/dev/null
+client --op ingest --tenant smoke --trace "$DIR/trace.bin" >/dev/null
+client --op topk --tenant smoke --k 5 >"$DIR/topk.txt"
+client --op maxchange --tenant smoke --k 5 >"$DIR/maxchange.txt"
+client --op seal --tenant smoke >/dev/null
+client --op export --tenant smoke --out "$DIR/export.bin" >/dev/null
+remote="$(client --op estimate --tenant smoke --item 42)"
+local_est="$("$SFQ" estimate --sketch "$DIR/export.bin" --item 42)"
+if [[ "$remote" != "$local_est" ]]; then
+  echo "serve_smoke: exported sketch disagrees with server" \
+       "(server=$remote export=$local_est)" >&2
+  exit 1
+fi
+statsz="$(client --op statsz)"
+case "$statsz" in
+  *'"tenants":'*'"smoke"'*'"sealed":true'*) ;;
+  *) echo "serve_smoke: statsz missing sealed tenant: $statsz" >&2; exit 1 ;;
+esac
+
+# Unknown tenant and bad opcode must come back as clean errors, not hangs.
+if client --op topk --tenant missing --k 1 >/dev/null 2>&1; then
+  echo "serve_smoke: query for missing tenant unexpectedly succeeded" >&2
+  exit 1
+fi
+
+client --op shutdown >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "serve_smoke: OK"

@@ -1,0 +1,145 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace streamfreq {
+
+namespace {
+
+// Items per ingest request: frames stay well under kMaxPayloadBytes and
+// the server applies each request atomically enough for per-request acks
+// to be meaningful.
+constexpr size_t kIngestChunkItems = 1 << 16;
+
+}  // namespace
+
+Result<SfqClient> SfqClient::Connect(const std::string& socket_path) {
+  STREAMFREQ_ASSIGN_OR_RETURN(OwnedFd fd, ConnectUnix(socket_path));
+  return SfqClient(std::move(fd));
+}
+
+Result<Response> SfqClient::Call(const Request& request) {
+  std::string payload;
+  request.EncodeTo(&payload);
+  STREAMFREQ_RETURN_NOT_OK(SendFrame(fd_.get(), payload));
+  STREAMFREQ_ASSIGN_OR_RETURN(std::string reply, RecvFrame(fd_.get()));
+  return Response::Decode(reply);
+}
+
+Result<Response> SfqClient::CallChecked(const Request& request) {
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, Call(request));
+  STREAMFREQ_RETURN_NOT_OK(response.ToStatus());
+  return response;
+}
+
+Status SfqClient::Ping() {
+  Request request;
+  request.op = Opcode::kPing;
+  return CallChecked(request).status();
+}
+
+Status SfqClient::CreateTenant(const std::string& tenant,
+                               const TenantSpec& spec) {
+  Request request;
+  request.op = Opcode::kCreateTenant;
+  request.tenant = tenant;
+  request.spec = spec;
+  return CallChecked(request).status();
+}
+
+Status SfqClient::DropTenant(const std::string& tenant) {
+  Request request;
+  request.op = Opcode::kDropTenant;
+  request.tenant = tenant;
+  return CallChecked(request).status();
+}
+
+Status SfqClient::Ingest(const std::string& tenant,
+                         std::span<const ItemId> items) {
+  while (!items.empty()) {
+    const size_t take = std::min(items.size(), kIngestChunkItems);
+    Request request;
+    request.op = Opcode::kIngest;
+    request.tenant = tenant;
+    request.items.assign(items.begin(), items.begin() + take);
+    STREAMFREQ_RETURN_NOT_OK(CallChecked(request).status());
+    items = items.subspan(take);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> SfqClient::Seal(const std::string& tenant) {
+  Request request;
+  request.op = Opcode::kSeal;
+  request.tenant = tenant;
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
+  return response.epoch;
+}
+
+Result<std::vector<ItemCount>> SfqClient::TopK(const std::string& tenant,
+                                               uint64_t k, uint64_t* epoch) {
+  Request request;
+  request.op = Opcode::kTopK;
+  request.tenant = tenant;
+  request.k = k;
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
+  if (epoch != nullptr) *epoch = response.epoch;
+  return std::move(response.entries);
+}
+
+Result<Count> SfqClient::Estimate(const std::string& tenant, ItemId item,
+                                  uint64_t* epoch) {
+  Request request;
+  request.op = Opcode::kEstimate;
+  request.tenant = tenant;
+  request.item = item;
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
+  if (epoch != nullptr) *epoch = response.epoch;
+  return response.value;
+}
+
+Result<uint64_t> SfqClient::MarkEpoch(const std::string& tenant) {
+  Request request;
+  request.op = Opcode::kMarkEpoch;
+  request.tenant = tenant;
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
+  return response.epoch;
+}
+
+Result<std::vector<ItemCount>> SfqClient::MaxChange(const std::string& tenant,
+                                                    uint64_t k) {
+  Request request;
+  request.op = Opcode::kMaxChange;
+  request.tenant = tenant;
+  request.k = k;
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
+  return std::move(response.entries);
+}
+
+Result<CountSketch> SfqClient::Export(const std::string& tenant,
+                                      uint64_t* epoch) {
+  Request request;
+  request.op = Opcode::kExport;
+  request.tenant = tenant;
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
+  if (epoch != nullptr) *epoch = response.epoch;
+  return CountSketch::Deserialize(response.blob);
+}
+
+Result<std::string> SfqClient::Statsz() {
+  Request request;
+  request.op = Opcode::kStatsz;
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
+  return std::move(response.blob);
+}
+
+Status SfqClient::Shutdown() {
+  Request request;
+  request.op = Opcode::kShutdown;
+  return CallChecked(request).status();
+}
+
+}  // namespace streamfreq

@@ -1,0 +1,231 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "server/protocol.h"
+#include "util/failpoint.h"
+
+namespace streamfreq {
+
+Result<std::unique_ptr<SfqServer>> SfqServer::Start(
+    const ServerOptions& options) {
+  if (options.socket_path.empty()) {
+    return Status::InvalidArgument("serve: socket_path is required");
+  }
+  STREAMFREQ_ASSIGN_OR_RETURN(OwnedFd listener,
+                              ListenUnix(options.socket_path,
+                                         options.backlog));
+  return std::unique_ptr<SfqServer>(
+      new SfqServer(options, std::move(listener)));
+}
+
+SfqServer::SfqServer(ServerOptions options, OwnedFd listener)
+    : options_(std::move(options)),
+      listener_(std::move(listener)),
+      started_(std::chrono::steady_clock::now()) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+SfqServer::~SfqServer() {
+  RequestStop();
+  Stop();
+}
+
+void SfqServer::Wait() {
+  {
+    MutexLock lock(mu_);
+    while (!stop_requested_) stop_cv_.Wait(mu_);
+  }
+  Stop();
+}
+
+void SfqServer::RequestStop() {
+  MutexLock lock(mu_);
+  stop_requested_ = true;
+  stop_cv_.NotifyAll();
+}
+
+ServerStats SfqServer::Stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.accept_faults = accept_faults_.load(std::memory_order_relaxed);
+  stats.read_faults = read_faults_.load(std::memory_order_relaxed);
+  stats.write_faults = write_faults_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void SfqServer::AcceptLoop() {
+  for (;;) {
+    Result<OwnedFd> conn = AcceptConn(listener_);
+    if (!conn.ok()) {
+      // Severed listener (shutdown path) or a fatal accept error. Either
+      // way the server cannot serve new connections; make sure Wait()
+      // wakes instead of hanging on a silently dead listener.
+      RequestStop();
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (const FailDecision fp = SFQ_FAILPOINT("server.accept");
+        fp.action == FailAction::kError) {
+      // Drop the just-accepted connection on the floor: the client sees
+      // an immediate EOF, exactly like an overloaded accept queue.
+      accept_faults_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = std::move(*conn);
+    Connection* raw = connection.get();
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_) break;  // drop the connection; we are closing
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { HandleConnection(raw); });
+    Reap(/*all=*/false);
+  }
+}
+
+void SfqServer::HandleConnection(Connection* conn) {
+  const int fd = conn->fd.get();
+  for (;;) {
+    if (const FailDecision fp = SFQ_FAILPOINT("server.read");
+        fp.action == FailAction::kError) {
+      // Simulated read-side network failure: sever at a frame boundary.
+      read_faults_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    Result<std::string> payload = RecvFrame(fd);
+    if (!payload.ok()) {
+      if (!payload.status().IsNotFound()) {
+        // Damaged framing: after a bad header or checksum the stream may
+        // not be frame-aligned anymore, so answer (best effort) and close.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        std::string out;
+        Response::FromStatus(payload.status()).EncodeTo(&out);
+        const Status sent = SendFrame(fd, out);
+        (void)sent;  // the connection is being torn down regardless
+      }
+      break;
+    }
+
+    Response response;
+    bool close_after = false;
+    Result<Request> request = Request::Decode(*payload);
+    if (!request.ok()) {
+      // CRC-valid frame, undecodable payload: the client sent a bad
+      // request but framing is still synced — answer and keep serving.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      response = Response::FromStatus(request.status());
+    } else {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      switch (request->op) {
+        case Opcode::kStatsz:
+          response.blob = StatszJson();
+          break;
+        case Opcode::kShutdown:
+          close_after = true;
+          break;
+        default:
+          response = service_.Handle(*request);
+          break;
+      }
+    }
+
+    if (const FailDecision fp = SFQ_FAILPOINT("server.write");
+        fp.action == FailAction::kError) {
+      // Sever before the ack leaves: the request may already be applied,
+      // which is exactly the ambiguity reconciliation must tolerate.
+      write_faults_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    std::string out;
+    response.EncodeTo(&out);
+    if (const Status sent = SendFrame(fd, out); !sent.ok()) break;
+    if (close_after) {
+      RequestStop();
+      break;
+    }
+  }
+  // Sever now so the peer sees EOF immediately — the fd itself stays open
+  // until Reap destroys the Connection (closing here would race Stop's
+  // ::shutdown against kernel fd reuse).
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void SfqServer::Reap(bool all) {
+  std::list<std::unique_ptr<Connection>> finished;
+  {
+    MutexLock lock(mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        const auto next = std::next(it);
+        finished.splice(finished.end(), connections_, it);
+        it = next;
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside mu_: a handler may be blocked in RequestStop.
+  for (const std::unique_ptr<Connection>& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void SfqServer::Stop() {
+  // Serialize whole teardowns (Wait and the destructor may race); the
+  // second caller blocks until the first has fully joined everything.
+  MutexLock stop_lock(stop_mu_);
+  {
+    MutexLock lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+    stop_cv_.NotifyAll();
+  }
+  // Sever the listener so the accept thread unblocks, and join it BEFORE
+  // severing connections — after the join no new connection can appear.
+  ::shutdown(listener_.get(), SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    MutexLock lock(mu_);
+    for (const std::unique_ptr<Connection>& conn : connections_) {
+      if (!conn->done.load(std::memory_order_acquire)) {
+        ::shutdown(conn->fd.get(), SHUT_RDWR);
+      }
+    }
+  }
+  Reap(/*all=*/true);
+  listener_.Reset();
+  // Drain every tenant so the post-shutdown stats are exact.
+  service_.SealAll();
+}
+
+std::string SfqServer::StatszJson() const {
+  const ServerStats stats = Stats();
+  const uint64_t uptime_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+  std::string out = "{\"server\":{";
+  out += "\"uptime_ms\":" + std::to_string(uptime_ms);
+  out += ",\"tenants\":" + std::to_string(service_.TenantCount());
+  out += ",\"connections_accepted\":" +
+         std::to_string(stats.connections_accepted);
+  out += ",\"requests\":" + std::to_string(stats.requests);
+  out += ",\"protocol_errors\":" + std::to_string(stats.protocol_errors);
+  out += ",\"accept_faults\":" + std::to_string(stats.accept_faults);
+  out += ",\"read_faults\":" + std::to_string(stats.read_faults);
+  out += ",\"write_faults\":" + std::to_string(stats.write_faults);
+  out += "},\"tenants\":" + service_.TenantsJson();
+  out += "}";
+  return out;
+}
+
+}  // namespace streamfreq

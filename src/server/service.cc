@@ -1,0 +1,426 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/failpoint.h"
+
+namespace streamfreq {
+
+namespace {
+
+// Bounds on per-tenant knobs: a hostile or confused client must not be able
+// to ask one tenant for unbounded threads or candidate slots.
+constexpr uint64_t kMaxTenantThreads = 16;
+constexpr uint64_t kMaxTracked = 4096;
+constexpr uint64_t kMaxBatchItems = uint64_t{1} << 20;
+
+void AppendJsonKey(std::string* out, const char* key, uint64_t value) {
+  out->append("\"");
+  out->append(key);
+  out->append("\":");
+  out->append(std::to_string(value));
+}
+
+}  // namespace
+
+/// One tenant namespace. The ingestor pointer is set once at construction
+/// and never reassigned (the ingestor itself is internally synchronized);
+/// everything mutable sits behind the tenant mutex.
+struct SketchService::Tenant {
+  Tenant(TenantSpec spec_in, CountSketchParams params_in,
+         std::unique_ptr<ParallelIngestor<CountSketch>> ingestor_in,
+         std::unique_ptr<SpaceSaving> candidates_in)
+      : spec(std::move(spec_in)),
+        params(params_in),
+        ingestor(std::move(ingestor_in)) {
+    MutexLock lock(mu);
+    candidates = std::move(candidates_in);
+  }
+
+  const TenantSpec spec;
+  const CountSketchParams params;  ///< resolved geometry (defaults applied)
+  const std::unique_ptr<ParallelIngestor<CountSketch>> ingestor;
+
+  mutable Mutex mu;
+  /// All-time heavy-hitter candidates; top-k scores them on the snapshot.
+  std::unique_ptr<SpaceSaving> candidates SFQ_GUARDED_BY(mu);
+  /// Marked snapshot for max-change (kMarkEpoch copies, kMaxChange
+  /// subtracts — the paper's two-pass algorithm across live epochs).
+  std::unique_ptr<CountSketch> marked SFQ_GUARDED_BY(mu);
+  uint64_t marked_epoch SFQ_GUARDED_BY(mu) = 0;
+  /// Serving cache backing the server.publish degraded path.
+  const CountSketch* served SFQ_GUARDED_BY(mu) = nullptr;
+  uint64_t served_epoch SFQ_GUARDED_BY(mu) = 0;
+  /// Admission bookkeeping (see the header's conservation contract).
+  uint64_t offered_items SFQ_GUARDED_BY(mu) = 0;
+  uint64_t rejected_items SFQ_GUARDED_BY(mu) = 0;
+  uint64_t rejected_requests SFQ_GUARDED_BY(mu) = 0;
+  uint64_t queries SFQ_GUARDED_BY(mu) = 0;
+  uint64_t stale_serves SFQ_GUARDED_BY(mu) = 0;
+  bool sealed SFQ_GUARDED_BY(mu) = false;
+
+  /// The snapshot a query answers from: refreshes the serving cache unless
+  /// the server.publish failpoint holds it back (stale is fine, wrong
+  /// never is — the cached pointer stays valid for the ingestor's
+  /// lifetime).
+  const CountSketch* Serving(uint64_t* epoch) SFQ_REQUIRES(mu) {
+    if (const FailDecision fp = SFQ_FAILPOINT("server.publish");
+        fp.action == FailAction::kError && served != nullptr) {
+      ++stale_serves;
+      *epoch = served_epoch;
+      return served;
+    }
+    served = ingestor->Snapshot();
+    served_epoch = ingestor->SnapshotEpoch();
+    *epoch = served_epoch;
+    return served;
+  }
+};
+
+Response SketchService::Handle(const Request& request) {
+  if (OpcodeNeedsTenant(request.op) && !ValidTenantName(request.tenant)) {
+    return Response::FromStatus(Status::InvalidArgument(
+        std::string(OpcodeName(request.op)) + ": missing or invalid tenant"));
+  }
+  switch (request.op) {
+    case Opcode::kPing:
+      return Response{};
+    case Opcode::kCreateTenant:
+      return CreateTenant(request);
+    case Opcode::kDropTenant:
+      return DropTenant(request);
+    case Opcode::kStatsz:
+    case Opcode::kShutdown:
+      return Response::FromStatus(Status::Unimplemented(
+          std::string(OpcodeName(request.op)) + ": server-level request"));
+    default:
+      break;
+  }
+  const std::shared_ptr<Tenant> tenant = Find(request.tenant);
+  if (tenant == nullptr) {
+    return Response::FromStatus(
+        Status::NotFound("unknown tenant: " + request.tenant));
+  }
+  switch (request.op) {
+    case Opcode::kIngest:
+      return Ingest(*tenant, request);
+    case Opcode::kSeal:
+      return Seal(*tenant);
+    case Opcode::kTopK:
+      return TopK(*tenant, request);
+    case Opcode::kEstimate:
+      return Estimate(*tenant, request);
+    case Opcode::kMarkEpoch:
+      return MarkEpoch(*tenant);
+    case Opcode::kMaxChange:
+      return MaxChange(*tenant, request);
+    case Opcode::kExport:
+      return Export(*tenant);
+    default:
+      return Response::FromStatus(Status::Internal(
+          std::string("unhandled opcode: ") + OpcodeName(request.op)));
+  }
+}
+
+Response SketchService::CreateTenant(const Request& request) {
+  const TenantSpec& spec = request.spec;
+  if (spec.threads == 0 || spec.threads > kMaxTenantThreads) {
+    return Response::FromStatus(Status::InvalidArgument(
+        "create: threads must be in [1, " +
+        std::to_string(kMaxTenantThreads) + "]"));
+  }
+  if (spec.batch_items == 0 || spec.batch_items > kMaxBatchItems) {
+    return Response::FromStatus(
+        Status::InvalidArgument("create: batch_items out of range"));
+  }
+  if (spec.queue_batches == 0) {
+    return Response::FromStatus(
+        Status::InvalidArgument("create: queue_batches must be >= 1"));
+  }
+  if (spec.tracked == 0 || spec.tracked > kMaxTracked) {
+    return Response::FromStatus(Status::InvalidArgument(
+        "create: tracked must be in [1, " + std::to_string(kMaxTracked) +
+        "]"));
+  }
+
+  // Resolve geometry: zero means the library default, so the wire never
+  // carries magic dimensions.
+  CountSketchParams params;
+  if (spec.depth > 0) params.depth = static_cast<size_t>(spec.depth);
+  if (spec.width > 0) params.width = static_cast<size_t>(spec.width);
+  params.seed = spec.seed;
+
+  IngestOptions options;
+  options.threads = static_cast<size_t>(spec.threads);
+  options.batch_items = static_cast<size_t>(spec.batch_items);
+  options.queue_batches = static_cast<size_t>(spec.queue_batches);
+  options.publish_every_batches =
+      static_cast<size_t>(spec.publish_every_batches);
+  options.push_timeout_ms = spec.push_timeout_ms;
+  options.overflow_policy = spec.policy;
+  options.sample_keep_one_in = static_cast<size_t>(spec.sample_keep_one_in);
+
+  auto ingestor = ParallelIngestor<CountSketch>::Make(
+      [params]() { return CountSketch::Make(params); }, options);
+  if (!ingestor.ok()) return Response::FromStatus(ingestor.status());
+  auto candidates = SpaceSaving::Make(static_cast<size_t>(spec.tracked));
+  if (!candidates.ok()) return Response::FromStatus(candidates.status());
+
+  auto tenant = std::make_shared<Tenant>(
+      spec, params, std::move(*ingestor),
+      std::make_unique<SpaceSaving>(std::move(*candidates)));
+
+  MutexLock lock(mu_);
+  const auto [it, inserted] = tenants_.emplace(request.tenant, tenant);
+  if (!inserted) {
+    // The losing ingestor drains its (empty) workers on destruction.
+    return Response::FromStatus(
+        Status::InvalidArgument("tenant already exists: " + request.tenant));
+  }
+  Response resp;
+  resp.epoch = tenant->ingestor->SnapshotEpoch();
+  return resp;
+}
+
+Response SketchService::DropTenant(const Request& request) {
+  std::shared_ptr<Tenant> tenant;
+  {
+    MutexLock lock(mu_);
+    const auto it = tenants_.find(request.tenant);
+    if (it == tenants_.end()) {
+      return Response::FromStatus(
+          Status::NotFound("unknown tenant: " + request.tenant));
+    }
+    tenant = it->second;
+    tenants_.erase(it);
+  }
+  // Drain outside the registry lock; in-flight handlers still hold valid
+  // shared_ptrs and finish against the sealed ingestor.
+  Result<CountSketch> merged = tenant->ingestor->Finish();
+  if (!merged.ok()) return Response::FromStatus(merged.status());
+  return Response{};
+}
+
+Response SketchService::Ingest(Tenant& tenant, const Request& request) {
+  {
+    MutexLock lock(tenant.mu);
+    tenant.offered_items += request.items.size();
+    if (tenant.sealed) {
+      tenant.rejected_items += request.items.size();
+      ++tenant.rejected_requests;
+      return Response::FromStatus(
+          Status::InvalidArgument("ingest: tenant is sealed"));
+    }
+  }
+  const Status status =
+      tenant.ingestor->Ingest(std::span<const ItemId>(request.items));
+  MutexLock lock(tenant.mu);
+  if (!status.ok()) {
+    tenant.rejected_items += request.items.size();
+    ++tenant.rejected_requests;
+    return Response::FromStatus(status);
+  }
+  tenant.candidates->BatchAdd(std::span<const ItemId>(request.items));
+  Response resp;
+  resp.value = static_cast<Count>(request.items.size());
+  return resp;
+}
+
+Response SketchService::Seal(Tenant& tenant) {
+  // Finish drains the queue and publishes the final fold; afterwards the
+  // tenant serves read-only traffic from an exact snapshot.
+  Result<CountSketch> merged = tenant.ingestor->Finish();
+  MutexLock lock(tenant.mu);
+  tenant.sealed = true;
+  // Pin the serving cache to the final snapshot so post-seal queries are
+  // exact even when server.publish withholds refreshes.
+  tenant.served = tenant.ingestor->Snapshot();
+  tenant.served_epoch = tenant.ingestor->SnapshotEpoch();
+  if (!merged.ok()) return Response::FromStatus(merged.status());
+  Response resp;
+  resp.epoch = tenant.served_epoch;
+  return resp;
+}
+
+Response SketchService::TopK(Tenant& tenant, const Request& request) {
+  if (request.k == 0) {
+    return Response::FromStatus(
+        Status::InvalidArgument("topk: k must be >= 1"));
+  }
+  MutexLock lock(tenant.mu);
+  ++tenant.queries;
+  Response resp;
+  const CountSketch* snapshot = tenant.Serving(&resp.epoch);
+  // Score a wider candidate slate than k on the snapshot, then keep the
+  // best k: Space-Saving's own counts are upper bounds with merge slack,
+  // the sketch estimates are the paper's unbiased median.
+  const size_t slate = static_cast<size_t>(request.k) * 3;
+  std::vector<ItemCount> candidates = tenant.candidates->Candidates(slate);
+  for (ItemCount& candidate : candidates) {
+    candidate.count = snapshot->Estimate(candidate.item);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const ItemCount& a, const ItemCount& b) {
+                     return a.count > b.count;
+                   });
+  if (candidates.size() > request.k) {
+    candidates.resize(static_cast<size_t>(request.k));
+  }
+  resp.entries = std::move(candidates);
+  return resp;
+}
+
+Response SketchService::Estimate(Tenant& tenant, const Request& request) {
+  MutexLock lock(tenant.mu);
+  ++tenant.queries;
+  Response resp;
+  const CountSketch* snapshot = tenant.Serving(&resp.epoch);
+  resp.value = snapshot->Estimate(request.item);
+  return resp;
+}
+
+Response SketchService::MarkEpoch(Tenant& tenant) {
+  MutexLock lock(tenant.mu);
+  ++tenant.queries;
+  Response resp;
+  const CountSketch* snapshot = tenant.Serving(&resp.epoch);
+  tenant.marked = std::make_unique<CountSketch>(*snapshot);
+  tenant.marked_epoch = resp.epoch;
+  return resp;
+}
+
+Response SketchService::MaxChange(Tenant& tenant, const Request& request) {
+  if (request.k == 0) {
+    return Response::FromStatus(
+        Status::InvalidArgument("maxchange: k must be >= 1"));
+  }
+  MutexLock lock(tenant.mu);
+  ++tenant.queries;
+  if (tenant.marked == nullptr) {
+    return Response::FromStatus(Status::InvalidArgument(
+        "maxchange: no marked epoch (send mark first)"));
+  }
+  Response resp;
+  const CountSketch* snapshot = tenant.Serving(&resp.epoch);
+  // The paper's two-pass max-change via the group structure: subtract the
+  // marked sketch from the current one and rank candidates by |delta|.
+  CountSketch delta = *snapshot;
+  const Status status = delta.Subtract(*tenant.marked);
+  if (!status.ok()) return Response::FromStatus(status);
+  const size_t slate = static_cast<size_t>(request.k) * 3;
+  std::vector<ItemCount> candidates = tenant.candidates->Candidates(slate);
+  for (ItemCount& candidate : candidates) {
+    candidate.count = delta.Estimate(candidate.item);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const ItemCount& a, const ItemCount& b) {
+                     return std::llabs(a.count) > std::llabs(b.count);
+                   });
+  if (candidates.size() > request.k) {
+    candidates.resize(static_cast<size_t>(request.k));
+  }
+  resp.entries = std::move(candidates);
+  return resp;
+}
+
+Response SketchService::Export(Tenant& tenant) {
+  MutexLock lock(tenant.mu);
+  ++tenant.queries;
+  Response resp;
+  const CountSketch* snapshot = tenant.Serving(&resp.epoch);
+  snapshot->SerializeTo(&resp.blob);
+  return resp;
+}
+
+std::shared_ptr<SketchService::Tenant> SketchService::Find(
+    const std::string& name) const {
+  MutexLock lock(mu_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::string SketchService::TenantsJson() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Tenant>>> tenants;
+  {
+    MutexLock lock(mu_);
+    tenants.assign(tenants_.begin(), tenants_.end());
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, tenant] : tenants) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{";
+    const IngestStats stats = tenant->ingestor->Stats();
+    out += "\"policy\":\"";
+    out += PolicyName(tenant->spec.policy);
+    out += "\",";
+    AppendJsonKey(&out, "depth", tenant->params.depth);
+    out += ",";
+    AppendJsonKey(&out, "width", tenant->params.width);
+    out += ",";
+    AppendJsonKey(&out, "seed", tenant->params.seed);
+    out += ",";
+    AppendJsonKey(&out, "threads", tenant->spec.threads);
+    out += ",";
+    AppendJsonKey(&out, "epoch", tenant->ingestor->SnapshotEpoch());
+    out += ",";
+    AppendJsonKey(&out, "items_ingested", stats.items_ingested);
+    out += ",";
+    AppendJsonKey(&out, "dropped_items", stats.DroppedItems());
+    out += ",";
+    AppendJsonKey(&out, "shed_items", stats.shed_items);
+    out += ",";
+    AppendJsonKey(&out, "sampled_items_dropped", stats.sampled_items_dropped);
+    out += ",";
+    AppendJsonKey(&out, "abandoned_items", stats.abandoned_items);
+    out += ",";
+    AppendJsonKey(&out, "deadline_misses", stats.deadline_misses);
+    out += ",";
+    AppendJsonKey(&out, "worker_respawns", stats.worker_respawns);
+    out += ",";
+    AppendJsonKey(&out, "publish_failures", stats.publish_failures);
+    out += ",";
+    MutexLock lock(tenant->mu);
+    AppendJsonKey(&out, "offered_items", tenant->offered_items);
+    out += ",";
+    AppendJsonKey(&out, "rejected_items", tenant->rejected_items);
+    out += ",";
+    AppendJsonKey(&out, "rejected_requests", tenant->rejected_requests);
+    out += ",";
+    AppendJsonKey(&out, "queries", tenant->queries);
+    out += ",";
+    AppendJsonKey(&out, "stale_serves", tenant->stale_serves);
+    out += ",";
+    out += "\"sealed\":";
+    out += tenant->sealed ? "true" : "false";
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void SketchService::SealAll() {
+  std::vector<std::shared_ptr<Tenant>> tenants;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [name, tenant] : tenants_) tenants.push_back(tenant);
+  }
+  for (const std::shared_ptr<Tenant>& tenant : tenants) {
+    const Response resp = Seal(*tenant);
+    // Shutdown-path drain: an already-sealed tenant or a degraded drain is
+    // fine here; the per-tenant counters carry the detail.
+    (void)resp;
+  }
+}
+
+size_t SketchService::TenantCount() const {
+  MutexLock lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace streamfreq

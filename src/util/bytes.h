@@ -34,6 +34,13 @@ class ByteWriter {
     out_->append(static_cast<const char*>(data), len);
   }
 
+  /// Length-prefixed byte string: u64 length + raw bytes. The wire form of
+  /// every variable-length field (server protocol, manifests).
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    PutBytes(s.data(), s.size());
+  }
+
  private:
   std::string* out_;
 };
@@ -62,6 +69,25 @@ class ByteReader {
     uint64_t bits;
     STREAMFREQ_RETURN_NOT_OK(GetU64(&bits));
     std::memcpy(v, &bits, 8);
+    return Status::OK();
+  }
+
+  /// Reads a PutString-encoded byte string. The declared length is checked
+  /// against the bytes actually remaining BEFORE any allocation, so a
+  /// corrupt length cannot trigger a giant resize; `max_len` additionally
+  /// caps well-formed-but-absurd fields (protocol decoders pass their
+  /// frame bound).
+  Status GetString(std::string* v, size_t max_len = SIZE_MAX) {
+    uint64_t len;
+    STREAMFREQ_RETURN_NOT_OK(GetU64(&len));
+    if (len > data_.size()) {
+      return Status::Corruption("byte string length exceeds buffer");
+    }
+    if (len > max_len) {
+      return Status::Corruption("byte string length exceeds field bound");
+    }
+    v->assign(data_.data(), static_cast<size_t>(len));
+    data_.remove_prefix(static_cast<size_t>(len));
     return Status::OK();
   }
 

@@ -18,6 +18,10 @@ const std::vector<std::string>* BuildKnownSites() {
       "sketch_io.write",         // payload write (error, torn)
       "sketch_io.rename",        // atomic-rename commit (error)
       "sketch_io.read",          // load path (error, bitflip)
+      "server.accept",           // drop a just-accepted connection (error)
+      "server.read",             // sever before reading a frame (error)
+      "server.write",            // sever before writing a response (error)
+      "server.publish",          // withhold a snapshot refresh (error)
   };
 }
 

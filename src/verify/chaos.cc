@@ -1,8 +1,12 @@
 #include "verify/chaos.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,7 +15,11 @@
 #include "core/count_sketch.h"
 #include "core/sketch_io.h"
 #include "hash/random.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "stream/types.h"
+#include "stream/zipf.h"
 #include "util/failpoint.h"
 #include "util/macros.h"
 #include "verify/checkers.h"
@@ -188,6 +196,305 @@ Result<IterationResult> RunIteration(const ChaosOptions& options,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Server campaign (`sfq chaos --server`): the same contract, but the fault
+// surface is a real SfqServer behind real client connections.
+// ---------------------------------------------------------------------------
+
+// Any of these on a request means the connection died under us (the server
+// severed it at a failpoint, or accept dropped it). In this harness every
+// tenant exists before ingest starts, so NotFound can only be net.cc's
+// "connection closed".
+bool IsSever(const Status& status) {
+  return status.IsNotFound() || status.IsCorruption() || status.IsIoError();
+}
+
+// Pulls `"field":<integer>` out of one tenant's flat object inside the
+// TenantsJson()/statsz JSON.
+int64_t TenantJsonField(const std::string& json, const std::string& tenant,
+                        const std::string& field) {
+  const size_t tenant_at = json.find("\"" + tenant + "\":{");
+  if (tenant_at == std::string::npos) return -1;
+  const size_t scope_end = json.find('}', tenant_at);
+  const size_t field_at = json.find("\"" + field + "\":", tenant_at);
+  if (field_at == std::string::npos || field_at > scope_end) return -1;
+  return std::strtoll(json.c_str() + field_at + field.size() + 3, nullptr,
+                      10);
+}
+
+struct ServerIterationResult {
+  ChaosOutcome outcome = ChaosOutcome::kVerified;
+  std::string detail;
+  uint64_t fires = 0;
+  uint64_t requests = 0;
+  uint64_t severs = 0;
+  uint64_t stale_serves = 0;
+  uint64_t dropped_items = 0;
+  uint64_t worker_respawns = 0;
+};
+
+// One tenant's client-side ingest state: its own connection (SfqClient is
+// single-threaded by contract) plus the ack ledger the reconciliation
+// checks against.
+struct TenantDriver {
+  std::string name;
+  std::unique_ptr<SfqClient> client;
+  uint64_t acked_items = 0;
+  uint64_t last_epoch = 0;
+};
+
+// (Re)connects a driver. Connect only fails if the listener is gone —
+// which no schedule in this campaign does on purpose, so that IS a dead
+// server and the caller turns it into a guarantee failure.
+Status Reconnect(const std::string& socket_path, TenantDriver* driver) {
+  auto client = SfqClient::Connect(socket_path);
+  STREAMFREQ_RETURN_NOT_OK(client.status());
+  driver->client = std::make_unique<SfqClient>(std::move(*client));
+  return Status::OK();
+}
+
+Result<ServerIterationResult> RunServerIteration(const ChaosOptions& options,
+                                                 const std::string& io_dir,
+                                                 uint64_t index) {
+  ServerIterationResult result;
+  const auto fail = [&result](std::string detail) {
+    result.outcome = ChaosOutcome::kGuaranteeFailure;
+    result.detail = std::move(detail);
+    return result;
+  };
+
+  // Seeded workload: one zipf stream, every tenant receives all of it.
+  Xoshiro256 rng(options.seed ^ ((index + 3) * kMix));
+  const size_t n = 16384 + static_cast<size_t>(rng.UniformBelow(16384));
+  auto gen = ZipfGenerator::Make(2000, 1.0, options.seed ^ (index * kMix));
+  STREAMFREQ_RETURN_NOT_OK(gen.status());
+  const Stream stream = gen->Take(n);
+  const Oracle oracle(stream);
+  const VerifySetup setup = MakeVerifySetup(
+      /*k=*/10, /*epsilon=*/0.2, /*width_scale=*/1.0,
+      options.seed ^ ((index + 11) * kMix), oracle);
+  STREAMFREQ_ASSIGN_OR_RETURN(VerifySketchPlan plan,
+                              PlanVerifyCountSketch(setup));
+
+  ServerOptions server_options;
+  server_options.socket_path = io_dir + "/sfq_chaos_srv_" +
+                               std::to_string(options.seed) + "_" +
+                               std::to_string(index) + ".sock";
+  auto server = SfqServer::Start(server_options);
+  if (!server.ok()) {
+    result.outcome = ChaosOutcome::kCleanError;
+    result.detail = server.status().ToString();
+    return result;
+  }
+
+  TenantSpec spec;
+  spec.depth = plan.params.depth;
+  spec.width = plan.params.width;
+  spec.seed = plan.params.seed;
+  spec.threads = 2;
+  spec.batch_items = 512;
+  spec.queue_batches = 4;
+  spec.push_timeout_ms = 2;
+  spec.tracked = 256;
+  std::vector<TenantDriver> drivers;
+  {
+    TenantDriver shed;
+    shed.name = "shed";
+    drivers.push_back(std::move(shed));
+    TenantDriver sample;
+    sample.name = "sample";
+    drivers.push_back(std::move(sample));
+  }
+
+  const std::string schedule =
+      options.failpoints.empty()
+          ? ServerChaosScheduleForIteration(options.seed, index)
+          : options.failpoints;
+
+  {
+    ScopedFailpoints failpoints(schedule,
+                                options.seed ^ ((index + 1) * kMix));
+    STREAMFREQ_RETURN_NOT_OK(failpoints.status());
+
+    // Tenant creation must survive severs: a create can be applied and
+    // then severed before the ack, so "already exists" on the retry is
+    // success.
+    for (TenantDriver& driver : drivers) {
+      TenantSpec tenant_spec = spec;
+      tenant_spec.policy = driver.name == "shed" ? OverflowPolicy::kShed
+                                                 : OverflowPolicy::kSample;
+      bool created = false;
+      for (int attempt = 0; attempt < 16 && !created; ++attempt) {
+        const Status conn = Reconnect(server_options.socket_path, &driver);
+        if (!conn.ok()) {
+          return fail("server died during create: " + conn.ToString());
+        }
+        const Status status =
+            driver.client->CreateTenant(driver.name, tenant_spec);
+        if (status.ok() ||
+            (status.IsInvalidArgument() &&
+             status.message().find("already exists") != std::string::npos)) {
+          created = true;
+        } else if (IsSever(status)) {
+          ++result.severs;
+        } else {
+          return fail("create failed: " + status.ToString());
+        }
+      }
+      if (!created) return fail("create never succeeded through the faults");
+    }
+
+    // Ingest in chunks, at most once each: after a sever the client cannot
+    // know whether the chunk was applied (server.write) or lost before the
+    // read (server.read), so it moves on and reconciliation trusts the
+    // server-side ledger, never the ack count.
+    constexpr size_t kChunkItems = 1024;
+    for (TenantDriver& driver : drivers) {
+      size_t chunk_index = 0;
+      for (size_t begin = 0; begin < stream.size();
+           begin += kChunkItems, ++chunk_index) {
+        const size_t len = std::min(kChunkItems, stream.size() - begin);
+        const std::span<const ItemId> chunk(stream.data() + begin, len);
+        const Status status = driver.client->Ingest(driver.name, chunk);
+        if (status.ok()) {
+          driver.acked_items += len;
+        } else if (IsSever(status)) {
+          ++result.severs;
+          const Status conn = Reconnect(server_options.socket_path, &driver);
+          if (!conn.ok()) {
+            return fail("server died mid-ingest: " + conn.ToString());
+          }
+        } else {
+          // Admission control speaking (e.g. a kBlock timeout): an
+          // explicit rejection, counted server-side as rejected_items.
+          ++result.severs;
+        }
+        // Interleave snapshot reads so server.publish staleness is
+        // actually exercised; epochs must never move backwards.
+        if (chunk_index % 8 == 7) {
+          uint64_t epoch = 0;
+          auto top = driver.client->TopK(driver.name, 5, &epoch);
+          if (top.ok()) {
+            if (epoch < driver.last_epoch) {
+              return fail("epoch went backwards on " + driver.name);
+            }
+            driver.last_epoch = epoch;
+          } else if (IsSever(top.status())) {
+            ++result.severs;
+            const Status conn =
+                Reconnect(server_options.socket_path, &driver);
+            if (!conn.ok()) {
+              return fail("server died mid-query: " + conn.ToString());
+            }
+          } else {
+            return fail("query failed: " + top.status().ToString());
+          }
+        }
+      }
+    }
+
+    // Seal in-process (the harness owns the server), then reconcile the
+    // per-tenant ledgers while the faults are still armed — the numbers
+    // must already be exact.
+    (*server)->service().SealAll();
+    const std::string tenants_json = (*server)->service().TenantsJson();
+    for (TenantDriver& driver : drivers) {
+      const int64_t offered =
+          TenantJsonField(tenants_json, driver.name, "offered_items");
+      const int64_t rejected =
+          TenantJsonField(tenants_json, driver.name, "rejected_items");
+      const int64_t ingested =
+          TenantJsonField(tenants_json, driver.name, "items_ingested");
+      const int64_t dropped =
+          TenantJsonField(tenants_json, driver.name, "dropped_items");
+      const int64_t respawns =
+          TenantJsonField(tenants_json, driver.name, "worker_respawns");
+      const int64_t stale =
+          TenantJsonField(tenants_json, driver.name, "stale_serves");
+      if (offered < 0 || rejected < 0 || ingested < 0 || dropped < 0) {
+        return fail("tenant " + driver.name + " missing from statsz: " +
+                    tenants_json);
+      }
+      result.dropped_items += static_cast<uint64_t>(dropped);
+      result.worker_respawns += static_cast<uint64_t>(respawns);
+      result.stale_serves += static_cast<uint64_t>(stale);
+      if (offered - rejected != ingested + dropped) {
+        return fail("conservation broken on " + driver.name + ": offered " +
+                    std::to_string(offered) + " - rejected " +
+                    std::to_string(rejected) + " != ingested " +
+                    std::to_string(ingested) + " + dropped " +
+                    std::to_string(dropped));
+      }
+      if (static_cast<int64_t>(driver.acked_items) > offered) {
+        return fail("acks exceed offers on " + driver.name + ": acked " +
+                    std::to_string(driver.acked_items) + ", offered " +
+                    std::to_string(offered));
+      }
+      if (offered > static_cast<int64_t>(stream.size())) {
+        return fail("offers exceed the stream on " + driver.name);
+      }
+    }
+    result.fires = FailpointRegistry::Global().TotalFires();
+  }  // failpoints disarm here; the server itself is still up
+
+  // Fault-free epilogue: sealed tenants must answer, and when nothing made
+  // the applied multiset ambiguous the served sketch must be bit-identical
+  // to a sequential reference and clean under the Lemma 4/5 check.
+  const std::string tenants_json = (*server)->service().TenantsJson();
+  auto epilogue = SfqClient::Connect(server_options.socket_path);
+  if (!epilogue.ok()) {
+    return fail("server dead after disarm: " + epilogue.status().ToString());
+  }
+  for (TenantDriver& driver : drivers) {
+    uint64_t epoch = 0;
+    auto top = epilogue->TopK(driver.name, 10, &epoch);
+    if (!top.ok()) {
+      return fail("sealed " + driver.name +
+                  " stopped answering: " + top.status().ToString());
+    }
+    if (epoch < driver.last_epoch) {
+      return fail("sealed epoch went backwards on " + driver.name);
+    }
+    const int64_t offered =
+        TenantJsonField(tenants_json, driver.name, "offered_items");
+    const int64_t rejected =
+        TenantJsonField(tenants_json, driver.name, "rejected_items");
+    const int64_t dropped =
+        TenantJsonField(tenants_json, driver.name, "dropped_items");
+    const bool unambiguous = offered == static_cast<int64_t>(stream.size()) &&
+                             rejected == 0 && dropped == 0;
+    if (!unambiguous) continue;
+    auto exported = epilogue->Export(driver.name);
+    if (!exported.ok()) {
+      return fail("export failed on " + driver.name + ": " +
+                  exported.status().ToString());
+    }
+    auto reference = CountSketch::Make(plan.params);
+    STREAMFREQ_RETURN_NOT_OK(reference.status());
+    for (const ItemId q : stream) reference->Add(q, 1);
+    std::string exported_bytes;
+    std::string reference_bytes;
+    exported->SerializeTo(&exported_bytes);
+    reference->SerializeTo(&reference_bytes);
+    if (exported_bytes != reference_bytes) {
+      return fail("served sketch is not bit-identical to the sequential "
+                  "reference on " + driver.name);
+    }
+    const std::vector<Violation> violations = CheckCountSketchAgainstOracle(
+        *exported, oracle, setup, plan.lemma_width);
+    if (!violations.empty()) {
+      return fail(violations.front().guarantee + std::string(": ") +
+                  violations.front().detail);
+    }
+  }
+
+  result.requests = (*server)->Stats().requests;
+  (*server)->RequestStop();
+  server->reset();
+  std::remove(server_options.socket_path.c_str());
+  return result;
+}
+
 }  // namespace
 
 std::string ChaosScheduleForIteration(uint64_t seed, uint64_t index) {
@@ -266,6 +573,86 @@ Result<ChaosReport> RunChaosCampaign(const ChaosOptions& options) {
         failure.schedule = options.failpoints.empty()
                                ? ChaosScheduleForIteration(options.seed, index)
                                : options.failpoints;
+        failure.detail = iteration.detail;
+        report.failures.push_back(std::move(failure));
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+std::string ServerChaosScheduleForIteration(uint64_t seed, uint64_t index) {
+  Xoshiro256 rng(seed ^ kScheduleSalt ^ ((index + 5) * kMix));
+  const auto chance = [&rng](uint64_t percent) {
+    return rng.UniformBelow(100) < percent;
+  };
+  std::vector<std::string> clauses;
+  // Connection-level faults: each severs one conversation; the drivers
+  // reconnect and reconciliation trusts the server-side ledger.
+  if (chance(40)) clauses.push_back("server.accept=error@0.1");
+  if (chance(40)) clauses.push_back("server.read=error@0.03");
+  if (chance(40)) clauses.push_back("server.write=error@0.03");
+  // Staleness: snapshot refreshes withheld on a coin flip.
+  if (chance(40)) clauses.push_back("server.publish=error@0.5");
+  // Back-pressure behind the protocol: stalled queues arm the tenants'
+  // shed/sample admission control, crashed workers force respawns.
+  if (chance(25)) {
+    clauses.push_back("ingestor.worker_batch=crash*" +
+                      std::to_string(1 + rng.UniformBelow(2)));
+  }
+  if (chance(20)) clauses.push_back("batch_queue.pop=stall:1@0.02");
+  if (chance(20)) clauses.push_back("ingestor.publish=error@0.5");
+  if (clauses.empty()) clauses.push_back("server.write=error@0.05");
+
+  std::string spec;
+  for (const std::string& clause : clauses) {
+    if (!spec.empty()) spec += ';';
+    spec += clause;
+  }
+  return spec;
+}
+
+Result<ChaosReport> RunServerChaosCampaign(const ChaosOptions& options) {
+  if (options.iterations == 0) {
+    return Status::InvalidArgument("chaos: iterations must be >= 1");
+  }
+  std::string io_dir = options.io_dir;
+  if (io_dir.empty()) {
+    std::error_code ec;
+    const std::filesystem::path tmp =
+        std::filesystem::temp_directory_path(ec);
+    if (ec) return Status::IoError("chaos: no temp directory: " + ec.message());
+    io_dir = tmp.string();
+  }
+
+  ChaosReport report;
+  for (uint64_t index = 0; index < options.iterations; ++index) {
+    STREAMFREQ_ASSIGN_OR_RETURN(ServerIterationResult iteration,
+                                RunServerIteration(options, io_dir, index));
+    ++report.iterations;
+    report.fault_fires += iteration.fires;
+    if (iteration.fires > 0) ++report.faulted_iterations;
+    report.worker_respawns += iteration.worker_respawns;
+    report.dropped_items += iteration.dropped_items;
+    report.server_requests += iteration.requests;
+    report.server_severs += iteration.severs;
+    report.stale_serves += iteration.stale_serves;
+    switch (iteration.outcome) {
+      case ChaosOutcome::kVerified:
+        ++report.verified;
+        break;
+      case ChaosOutcome::kCleanError:
+        ++report.clean_errors;
+        break;
+      case ChaosOutcome::kGuaranteeFailure: {
+        ++report.guarantee_failures;
+        ChaosFailure failure;
+        failure.index = index;
+        failure.schedule =
+            options.failpoints.empty()
+                ? ServerChaosScheduleForIteration(options.seed, index)
+                : options.failpoints;
         failure.detail = iteration.detail;
         report.failures.push_back(std::move(failure));
         break;

@@ -78,6 +78,9 @@ struct ChaosReport {
   uint64_t dropped_items = 0;     ///< shed + sampled-away + abandoned mass
   uint64_t io_round_trips = 0;    ///< sketch_io round trips attempted
   uint64_t io_faults = 0;         ///< round trips that failed cleanly
+  uint64_t server_requests = 0;   ///< requests processed (server campaign)
+  uint64_t server_severs = 0;     ///< client-visible connection severs
+  uint64_t stale_serves = 0;      ///< queries served a withheld snapshot
   std::vector<ChaosFailure> failures;  ///< guarantee failures only
 
   bool Passed() const { return guarantee_failures == 0; }
@@ -92,5 +95,27 @@ std::string ChaosScheduleForIteration(uint64_t seed, uint64_t index);
 /// (e.g. an unmaterializable program), not injected faults — those are
 /// tallied in the report.
 Result<ChaosReport> RunChaosCampaign(const ChaosOptions& options);
+
+/// The deterministic schedule for the server campaign: the four server.*
+/// sites plus ingestor back-pressure faults, all probability-bounded.
+std::string ServerChaosScheduleForIteration(uint64_t seed, uint64_t index);
+
+/// The server campaign (`sfq chaos --server`): each iteration boots an
+/// in-process SfqServer on a socket under io_dir, pushes a seeded stream
+/// into shed- and sample-policy tenants through real client connections
+/// while server.accept/read/write/publish faults sever connections and
+/// withhold snapshots, then seals and reconciles. The invariant:
+///
+///   per tenant, offered - rejected == items_ingested + dropped (the
+///   admission-control conservation law), client-acked items never exceed
+///   server-offered items (write faults make acks an undercount, never an
+///   overcount), query epochs never move backwards, and when no fault
+///   created ambiguity the exported sketch is bit-identical to a
+///   sequential reference and passes the Lemma 4/5 check.
+///
+/// A severed connection is the expected fault surface, not a failure;
+/// the campaign fails only on broken accounting, epoch regression, a dead
+/// server, or a bad surviving sketch.
+Result<ChaosReport> RunServerChaosCampaign(const ChaosOptions& options);
 
 }  // namespace streamfreq

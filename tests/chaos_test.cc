@@ -100,6 +100,47 @@ TEST(ChaosTest, InjectedIoFaultsSurfaceAsCleanStatuses) {
   EXPECT_EQ(report->guarantee_failures, 0u);
 }
 
+TEST(ChaosTest, ServerSchedulesAreDeterministicBoundedAndParseable) {
+  for (uint64_t index = 0; index < 64; ++index) {
+    const std::string a = ServerChaosScheduleForIteration(11, index);
+    EXPECT_EQ(a, ServerChaosScheduleForIteration(11, index));
+    EXPECT_FALSE(a.empty());
+    for (size_t pos = a.find("crash"); pos != std::string::npos;
+         pos = a.find("crash", pos + 1)) {
+      EXPECT_EQ(a[pos + 5], '*') << a;
+    }
+    ScopedFailpoints fp(a, 1);
+    EXPECT_TRUE(fp.status().ok()) << a << ": " << fp.status().ToString();
+  }
+}
+
+// The server-side acceptance campaign: real connections severed at
+// accept/read/write, snapshots withheld, workers crashed — and every
+// iteration must still reconcile per-tenant mass accounting exactly and
+// serve verifiable sealed sketches.
+TEST(ChaosTest, ServerCampaignReconcilesUnderFaults) {
+#if defined(__SANITIZE_THREAD__)
+  constexpr uint64_t kServerIterations = 6;
+#else
+  constexpr uint64_t kServerIterations = 12;
+#endif
+  ChaosOptions options;
+  options.seed = 2026;
+  options.iterations = kServerIterations;
+  auto report = RunServerChaosCampaign(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->iterations, kServerIterations);
+  EXPECT_TRUE(report->Passed());
+  for (const ChaosFailure& failure : report->failures) {
+    ADD_FAILURE() << "iteration " << failure.index << " ["
+                  << failure.schedule << "]: " << failure.detail;
+  }
+  // Not vacuous: faults really fired and requests really flowed.
+  EXPECT_GT(report->faulted_iterations, 0u);
+  EXPECT_GT(report->server_requests, 0u);
+  EXPECT_GT(report->verified, 0u);
+}
+
 TEST(ChaosTest, RejectsZeroIterations) {
   ChaosOptions options;
   options.iterations = 0;

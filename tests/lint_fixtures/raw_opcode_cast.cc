@@ -1,0 +1,20 @@
+// sfq-lint-path: src/server/bad_dispatch.cc
+// sfq-lint-expect: server-opcode
+//
+// An Opcode minted from a raw numeric literal bypasses LookupOpcode()'s
+// range check: the value 13 names no kOpcodeTable row, so a Request
+// carrying it would frame, checksum, and decode cleanly and then dispatch
+// nowhere. Only the registry (src/server/protocol.cc) may convert numbers
+// to opcodes.
+#include "server/protocol.h"
+
+namespace streamfreq {
+
+Opcode GuessOpcode(uint64_t raw) {
+  if (raw < kOpcodeCount) {
+    return static_cast<Opcode>(13);
+  }
+  return Opcode::kPing;
+}
+
+}  // namespace streamfreq

@@ -16,7 +16,14 @@
 //   chaos      replay seeded fuzz programs under randomized failpoint
 //              schedules (src/verify/chaos.h): every iteration must end in
 //              a clean error Status or a sketch passing its guarantee
-//              checker over the effective stream (docs/ROBUSTNESS.md)
+//              checker over the effective stream (docs/ROBUSTNESS.md);
+//              --server runs the campaign against an in-process sketch
+//              server instead (the server.* failpoint sites)
+//   serve      run the long-lived multi-tenant sketch server on a local
+//              socket (src/server/; protocol in docs/SERVER.md)
+//   client     one request against a running server (ping, create, ingest,
+//              topk, estimate, mark, maxchange, seal, export, statsz,
+//              shutdown)
 //
 // Examples:
 //   sfq generate --kind zipf --z 1.1 --m 100000 --n 1000000 --out q.trace
@@ -43,6 +50,9 @@
 #include "stream/trace.h"
 #include "stream/zipf.h"
 #include "eval/report.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
@@ -85,8 +95,16 @@ void PrintUsage() {
       "            [--shrink BOOL] [--json FILE] [--program \"LINE\"]\n"
       "            (differential guarantee fuzzing; see docs/VERIFICATION.md)\n"
       "  chaos     [--seed S] [--iters N] [--failpoints SPEC] [--io BOOL]\n"
-      "            [--json FILE]\n"
-      "            (fault-injection campaign; see docs/ROBUSTNESS.md)\n";
+      "            [--server BOOL] [--json FILE]\n"
+      "            (fault-injection campaign; see docs/ROBUSTNESS.md)\n"
+      "  serve     --socket PATH [--failpoints SPEC] [--seed S]\n"
+      "            (multi-tenant sketch server; see docs/SERVER.md)\n"
+      "  client    --socket PATH --op OP [--tenant T] [--trace FILE]\n"
+      "            [--k K] [--item ID] [--depth T] [--width B] [--seed S]\n"
+      "            [--threads N] [--overflow block|shed|sample]\n"
+      "            [--push-timeout-ms MS] [--tracked L] [--out FILE]\n"
+      "            (OP: ping create drop ingest seal topk estimate mark\n"
+      "             maxchange export statsz shutdown)\n";
 }
 
 Result<CountSketchParams> SketchParamsFromFlags(const Flags& flags) {
@@ -540,7 +558,9 @@ int CmdChaos(const Flags& flags) {
   auto seed = flags.GetInt("seed", 42);
   auto iters = flags.GetInt("iters", 200);
   auto io = flags.GetBool("io", true);
-  for (const Status& s : {seed.status(), iters.status(), io.status()}) {
+  auto server = flags.GetBool("server", false);
+  for (const Status& s :
+       {seed.status(), iters.status(), io.status(), server.status()}) {
     if (!s.ok()) return Fail(s);
   }
   if (*iters <= 0) {
@@ -552,7 +572,8 @@ int CmdChaos(const Flags& flags) {
   options.iterations = static_cast<uint64_t>(*iters);
   options.failpoints = flags.GetString("failpoints", "");
   options.exercise_io = *io;
-  auto report = RunChaosCampaign(options);
+  auto report = *server ? RunServerChaosCampaign(options)
+                        : RunChaosCampaign(options);
   if (!report.ok()) return Fail(report.status());
 
   TablePrinter table({"metric", "value"});
@@ -564,14 +585,20 @@ int CmdChaos(const Flags& flags) {
   table.AddRowValues("faulted iterations", report->faulted_iterations);
   table.AddRowValues("worker respawns", report->worker_respawns);
   table.AddRowValues("dropped items", report->dropped_items);
-  table.AddRowValues("io round trips", report->io_round_trips);
-  table.AddRowValues("io faults", report->io_faults);
+  if (*server) {
+    table.AddRowValues("server requests", report->server_requests);
+    table.AddRowValues("connection severs", report->server_severs);
+    table.AddRowValues("stale serves", report->stale_serves);
+  } else {
+    table.AddRowValues("io round trips", report->io_round_trips);
+    table.AddRowValues("io faults", report->io_faults);
+  }
   EmitTable(table, "chaos", std::cout);
   for (const ChaosFailure& failure : report->failures) {
     std::cout << "FAIL iteration " << failure.index << ": " << failure.detail
               << "\n  schedule: " << failure.schedule
               << "\n  replay: sfq chaos --seed " << *seed
-              << " --iters " << (failure.index + 1)
+              << " --iters " << (failure.index + 1) << (*server ? " --server true" : "")
               << (options.failpoints.empty()
                       ? ""
                       : " --failpoints \"" + options.failpoints + "\"")
@@ -606,6 +633,14 @@ int CmdChaos(const Flags& flags) {
       "io_round_trips", static_cast<int64_t>(report->io_round_trips)));
   fields.push_back(JsonField::Integer(
       "io_faults", static_cast<int64_t>(report->io_faults)));
+  if (*server) {
+    fields.push_back(JsonField::Integer(
+        "server_requests", static_cast<int64_t>(report->server_requests)));
+    fields.push_back(JsonField::Integer(
+        "server_severs", static_cast<int64_t>(report->server_severs)));
+    fields.push_back(JsonField::Integer(
+        "stale_serves", static_cast<int64_t>(report->stale_serves)));
+  }
   const std::string json_path = flags.GetString("json", "");
   if (!json_path.empty()) {
     const Status s = WriteJsonReport(json_path, "chaos", fields);
@@ -614,6 +649,168 @@ int CmdChaos(const Flags& flags) {
   }
   EmitJsonReport("chaos", fields, std::cout);
   return report->Passed() ? 0 : 1;
+}
+
+int CmdServe(const Flags& flags) {
+  const std::string socket = flags.GetString("socket", "");
+  if (socket.empty()) {
+    return Fail(Status::InvalidArgument("--socket is required"));
+  }
+  auto seed = flags.GetInt("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  // Optional fault drills: arm the server.* (and any other) sites for the
+  // whole serving session, same spec grammar as `sfq chaos`.
+  ScopedFailpoints failpoints(flags.GetString("failpoints", ""),
+                              static_cast<uint64_t>(*seed));
+  if (!failpoints.status().ok()) return Fail(failpoints.status());
+
+  ServerOptions options;
+  options.socket_path = socket;
+  auto server = SfqServer::Start(options);
+  if (!server.ok()) return Fail(server.status());
+  std::cout << "sfq serve: listening on " << socket << std::endl;
+  (*server)->Wait();
+  const ServerStats stats = (*server)->Stats();
+  std::cout << "sfq serve: shut down after " << stats.requests
+            << " requests over " << stats.connections_accepted
+            << " connections (" << stats.protocol_errors
+            << " protocol errors)\n";
+  return 0;
+}
+
+int CmdClient(const Flags& flags) {
+  const std::string socket = flags.GetString("socket", "");
+  if (socket.empty()) {
+    return Fail(Status::InvalidArgument("--socket is required"));
+  }
+  auto op = OpcodeFromName(flags.GetString("op", "ping"));
+  if (!op.ok()) return Fail(op.status());
+  const std::string tenant = flags.GetString("tenant", "");
+  auto k = flags.GetInt("k", 10);
+  auto item = flags.GetInt("item", 0);
+  if (!k.ok()) return Fail(k.status());
+  if (!item.ok()) return Fail(item.status());
+
+  auto client = SfqClient::Connect(socket);
+  if (!client.ok()) return Fail(client.status());
+
+  switch (*op) {
+    case Opcode::kPing: {
+      const Status status = client->Ping();
+      if (!status.ok()) return Fail(status);
+      std::cout << "PONG\n";
+      return 0;
+    }
+    case Opcode::kCreateTenant: {
+      TenantSpec spec;
+      auto depth = flags.GetInt("depth", 0);
+      auto width = flags.GetInt("width", 0);
+      auto seed = flags.GetInt("seed", 1);
+      auto threads = flags.GetInt("threads", 2);
+      auto timeout = flags.GetInt("push-timeout-ms", 0);
+      auto tracked = flags.GetInt("tracked", 64);
+      for (const Status& s :
+           {depth.status(), width.status(), seed.status(), threads.status(),
+            timeout.status(), tracked.status()}) {
+        if (!s.ok()) return Fail(s);
+      }
+      auto policy = PolicyFromName(flags.GetString("overflow", "block"));
+      if (!policy.ok()) return Fail(policy.status());
+      spec.depth = static_cast<uint64_t>(*depth);
+      spec.width = static_cast<uint64_t>(*width);
+      spec.seed = static_cast<uint64_t>(*seed);
+      spec.threads = static_cast<uint64_t>(*threads);
+      spec.push_timeout_ms = static_cast<uint64_t>(*timeout);
+      spec.policy = *policy;
+      spec.tracked = static_cast<uint64_t>(*tracked);
+      const Status status = client->CreateTenant(tenant, spec);
+      if (!status.ok()) return Fail(status);
+      std::cout << "created tenant " << tenant << "\n";
+      return 0;
+    }
+    case Opcode::kDropTenant: {
+      const Status status = client->DropTenant(tenant);
+      if (!status.ok()) return Fail(status);
+      std::cout << "dropped tenant " << tenant << "\n";
+      return 0;
+    }
+    case Opcode::kIngest: {
+      auto stream = LoadTrace(flags, "trace");
+      if (!stream.ok()) return Fail(stream.status());
+      const Status status =
+          client->Ingest(tenant, std::span<const ItemId>(*stream));
+      if (!status.ok()) return Fail(status);
+      std::cout << "ingested " << stream->size() << " items into " << tenant
+                << "\n";
+      return 0;
+    }
+    case Opcode::kSeal: {
+      auto epoch = client->Seal(tenant);
+      if (!epoch.ok()) return Fail(epoch.status());
+      std::cout << "sealed " << tenant << " at epoch " << *epoch << "\n";
+      return 0;
+    }
+    case Opcode::kTopK: {
+      uint64_t epoch = 0;
+      auto entries =
+          client->TopK(tenant, static_cast<uint64_t>(*k), &epoch);
+      if (!entries.ok()) return Fail(entries.status());
+      std::cout << "top-" << *k << " of " << tenant << " (epoch " << epoch
+                << "):\n";
+      for (const ItemCount& entry : *entries) {
+        std::cout << "  " << entry.item << "\t" << entry.count << "\n";
+      }
+      return 0;
+    }
+    case Opcode::kEstimate: {
+      uint64_t epoch = 0;
+      auto estimate = client->Estimate(
+          tenant, static_cast<ItemId>(*item), &epoch);
+      if (!estimate.ok()) return Fail(estimate.status());
+      std::cout << *estimate << "\n";
+      return 0;
+    }
+    case Opcode::kMarkEpoch: {
+      auto epoch = client->MarkEpoch(tenant);
+      if (!epoch.ok()) return Fail(epoch.status());
+      std::cout << "marked " << tenant << " at epoch " << *epoch << "\n";
+      return 0;
+    }
+    case Opcode::kMaxChange: {
+      auto entries = client->MaxChange(tenant, static_cast<uint64_t>(*k));
+      if (!entries.ok()) return Fail(entries.status());
+      std::cout << "max-change top-" << *k << " of " << tenant << ":\n";
+      for (const ItemCount& entry : *entries) {
+        std::cout << "  " << entry.item << "\t" << entry.count << "\n";
+      }
+      return 0;
+    }
+    case Opcode::kExport: {
+      const std::string out = flags.GetString("out", "");
+      if (out.empty()) {
+        return Fail(Status::InvalidArgument("--out is required for export"));
+      }
+      auto sketch = client->Export(tenant);
+      if (!sketch.ok()) return Fail(sketch.status());
+      const Status status = WriteSketchFile(out, *sketch);
+      if (!status.ok()) return Fail(status);
+      std::cout << "exported " << tenant << " to " << out << "\n";
+      return 0;
+    }
+    case Opcode::kStatsz: {
+      auto statsz = client->Statsz();
+      if (!statsz.ok()) return Fail(statsz.status());
+      std::cout << *statsz << "\n";
+      return 0;
+    }
+    case Opcode::kShutdown: {
+      const Status status = client->Shutdown();
+      if (!status.ok()) return Fail(status);
+      std::cout << "server shutting down\n";
+      return 0;
+    }
+  }
+  return Fail(Status::InvalidArgument("unsupported --op"));
 }
 
 int Main(int argc, char** argv) {
@@ -635,6 +832,8 @@ int Main(int argc, char** argv) {
   if (command == "hh") return CmdHeavyHitters(*flags);
   if (command == "verify") return CmdVerify(*flags);
   if (command == "chaos") return CmdChaos(*flags);
+  if (command == "serve") return CmdServe(*flags);
+  if (command == "client") return CmdClient(*flags);
   PrintUsage();
   return Fail(Status::InvalidArgument("unknown command: " + command));
 }

@@ -44,6 +44,15 @@ This checker mechanizes them:
                     (src/util/failpoint.cc) so --failpoints specs naming
                     it validate, and it must appear in the site table in
                     docs/ROBUSTNESS.md.
+  server-opcode     The wire protocol's opcode registry (kOpcodeTable in
+                    src/server/protocol.cc) must enumerate every Opcode
+                    enumerator exactly once and kOpcodeCount must match --
+                    a registered-but-unhandled opcode would decode and then
+                    dispatch nowhere. And no file other than the registry
+                    may conjure an Opcode from a raw numeric literal
+                    (static_cast<Opcode>(3)): unregistered opcodes must
+                    stay unrepresentable so the corruption matrix in
+                    tests/server_protocol_test.cc covers the whole space.
   simd-ifdef        Instruction-set conditionals (__AVX512F__, __AVX2__,
                     __SSE2__, __ARM_NEON), <immintrin.h>-style includes,
                     raw _mm*/vld* intrinsics, and vector_size declarations
@@ -82,6 +91,7 @@ RULE_IDS = [
     "concurrent-label",
     "nodiscard-decl",
     "failpoint-site",
+    "server-opcode",
     "simd-ifdef",
 ]
 
@@ -163,6 +173,8 @@ class FileLinter:
                 self.check_raw_mutex()
             if not self.path.startswith("src/util/failpoint"):
                 self.check_failpoint_site()
+            if not self.path.startswith("src/server/protocol"):
+                self.check_server_opcode_cast()
         if (
             in_src or in_tools or self.path.startswith("bench/")
         ) and self.path != "src/util/simd.h":
@@ -290,7 +302,18 @@ class FileLinter:
         pat = re.compile(
             rf"^\s*[A-Za-z_][\w.\[\]]*(?:->[\w.\[\]]+)*(?:\.|->)({names})\(.*\)\s*;\s*$"
         )
+        # A line that is really the tail of a wrapped statement
+        # (`const Status s =\n    foo.Bar();`) is consumed by whatever the
+        # previous line ends with, not dropped.
+        continuation = re.compile(r"(=|\(|,|\+|\?|:|\|\||&&|\breturn)\s*$")
         for idx, code in enumerate(self.code):
+            prev = ""
+            for back in range(idx - 1, -1, -1):
+                if self.code[back].strip():
+                    prev = self.code[back]
+                    break
+            if continuation.search(prev):
+                continue
             if pat.match(code):
                 m = pat.match(code)
                 self.report(
@@ -367,6 +390,29 @@ class FileLinter:
                     "direct FailpointRegistry Evaluate() call; plant faults "
                     'via SFQ_FAILPOINT("site") so they compile out when '
                     "STREAMFREQ_FAILPOINTS=OFF and the site stays auditable.",
+                )
+
+    # -- server-opcode (per-file half) -------------------------------------
+    def check_server_opcode_cast(self):
+        """Only the registry may materialize an Opcode from a raw number.
+
+        LookupOpcode() is the one blessed number->Opcode conversion: it
+        rejects unregistered values, so every Opcode in flight names a row
+        of kOpcodeTable. A static_cast<Opcode>(literal) elsewhere can mint
+        values the dispatch switch has never heard of.
+        """
+        pat = re.compile(
+            r"static_cast\s*<\s*(?:streamfreq\s*::\s*)?Opcode\s*>\s*\(\s*"
+            r"(?:0[xX][0-9a-fA-F']+|\d[\d']*)"
+        )
+        for idx, code in enumerate(self.code):
+            if pat.search(code):
+                self.report(
+                    idx,
+                    "server-opcode",
+                    "Opcode minted from a raw numeric literal; go through "
+                    "LookupOpcode() (src/server/protocol.cc) so unregistered "
+                    "opcodes stay unrepresentable.",
                 )
 
     # -- simd-ifdef --------------------------------------------------------
@@ -545,6 +591,80 @@ def check_concurrent_label(cmake_path, src_dir, relprefix):
     return findings
 
 
+def check_server_opcode_registry(root):
+    """kOpcodeTable must cover the Opcode enum exactly, kOpcodeCount too.
+
+    The wire protocol's invariants (dense opcodes, name round-trips, the
+    per-opcode corruption matrix) all quantify over OpcodeTable(); an
+    enumerator missing from the table would decode via the enum but
+    dispatch nowhere, and a stale kOpcodeCount silently truncates the
+    registry span. Both files absent disables the rule (pre-server trees).
+    """
+    findings = []
+    header = os.path.join(root, "src", "server", "protocol.h")
+    source = os.path.join(root, "src", "server", "protocol.cc")
+    try:
+        with open(header, encoding="utf-8") as f:
+            header_text = f.read()
+        with open(source, encoding="utf-8") as f:
+            source_text = f.read()
+    except OSError:
+        return findings
+
+    enum_match = re.search(
+        r"enum\s+class\s+Opcode[^{]*\{(.*?)\};", header_text, re.S
+    )
+    table_match = re.search(
+        r"kOpcodeTable\s*\[[^\]]*\]\s*=\s*\{(.*?)\};", source_text, re.S
+    )
+    count_match = re.search(r"kOpcodeCount\s*=\s*(\d+)", header_text)
+    if not enum_match:
+        findings.append(
+            Finding("src/server/protocol.h", 1, "server-opcode",
+                    "cannot find the `enum class Opcode` definition the "
+                    "opcode-registry check quantifies over."))
+        return findings
+    if not table_match:
+        findings.append(
+            Finding("src/server/protocol.cc", 1, "server-opcode",
+                    "cannot find the kOpcodeTable registry the wire "
+                    "protocol dispatches through."))
+        return findings
+
+    enumerators = re.findall(r"\b(k[A-Z]\w*)\s*=\s*\d+", enum_match.group(1))
+    table_rows = re.findall(r"Opcode\s*::\s*(k[A-Z]\w*)", table_match.group(1))
+    enum_line = 1 + header_text[: enum_match.start()].count("\n")
+    table_line = 1 + source_text[: table_match.start()].count("\n")
+
+    for name in sorted(set(enumerators) - set(table_rows)):
+        findings.append(
+            Finding("src/server/protocol.cc", table_line, "server-opcode",
+                    f"Opcode::{name} is declared in protocol.h but has no "
+                    "kOpcodeTable row: it would decode and then dispatch "
+                    "nowhere. Register it (name + needs_tenant)."))
+    for name in sorted(set(table_rows) - set(enumerators)):
+        findings.append(
+            Finding("src/server/protocol.cc", table_line, "server-opcode",
+                    f"kOpcodeTable row Opcode::{name} has no matching "
+                    "enumerator in protocol.h."))
+    seen = set()
+    for name in table_rows:
+        if name in seen:
+            findings.append(
+                Finding("src/server/protocol.cc", table_line, "server-opcode",
+                        f"kOpcodeTable registers Opcode::{name} twice; "
+                        "LookupOpcode/OpcodeName take the first hit and the "
+                        "duplicate row is dead."))
+        seen.add(name)
+    if count_match and int(count_match.group(1)) != len(enumerators):
+        findings.append(
+            Finding("src/server/protocol.h", enum_line, "server-opcode",
+                    f"kOpcodeCount = {count_match.group(1)} but the enum "
+                    f"declares {len(enumerators)} opcodes; the registry "
+                    "span and the dense-range checks are sized wrong."))
+    return findings
+
+
 def check_nodiscard_decl(root):
     """The enforcement layer must not be quietly disarmed."""
     findings = []
@@ -597,6 +717,7 @@ def lint_repo(root):
         os.path.join(root, "tests"),
         "tests/",
     )
+    findings += check_server_opcode_registry(root)
     findings += check_nodiscard_decl(root)
     return findings
 
