@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Installs the repository's git pre-commit hook: a fast lint pass over the
+# files the commit actually touches (scripts/lint.sh --changed --quick).
+#
+#   scripts/install-hooks.sh            install (refuses to clobber a
+#                                       foreign pre-commit hook)
+#   scripts/install-hooks.sh --force    overwrite whatever is there
+#
+# The hook is a small shim, so pulling a newer lint.sh updates the checks
+# without reinstalling. Bypass a single commit with `git commit --no-verify`
+# (the CI gate still runs the full lint).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FORCE=0
+for arg in "$@"; do
+  case "$arg" in
+    --force) FORCE=1 ;;
+    *) echo "usage: scripts/install-hooks.sh [--force]" >&2; exit 2 ;;
+  esac
+done
+
+HOOKS_DIR=$(git rev-parse --git-path hooks)
+HOOK="$HOOKS_DIR/pre-commit"
+MARKER="installed by scripts/install-hooks.sh"
+
+if [[ -e "$HOOK" && "$FORCE" -ne 1 ]] && ! grep -q "$MARKER" "$HOOK"; then
+  echo "error: $HOOK exists and was not installed by this script." >&2
+  echo "       Re-run with --force to overwrite it." >&2
+  exit 1
+fi
+
+mkdir -p "$HOOKS_DIR"
+cat > "$HOOK" <<'EOF'
+#!/usr/bin/env bash
+# installed by scripts/install-hooks.sh -- fast lint over changed files.
+# Bypass once with: git commit --no-verify
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+exec scripts/lint.sh --changed --quick
+EOF
+chmod +x "$HOOK"
+echo "install-hooks.sh: pre-commit hook installed at $HOOK"

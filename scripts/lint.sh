@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # Static-analysis gate (see docs/STATIC_ANALYSIS.md).
 #
-#   scripts/lint.sh           sfq-lint + clang-format drift + clang-tidy +
-#                             clang -Werror=thread-safety build
-#   scripts/lint.sh --quick   skips clang-tidy (the slow AST pass)
+#   scripts/lint.sh            sfq-lint + clang-format drift + clang-tidy +
+#                              clang --analyze + clang -Werror=thread-safety
+#   scripts/lint.sh --quick    skips clang-tidy and clang --analyze (the
+#                              slow AST passes)
+#   scripts/lint.sh --changed  fast mode: per-file sfq-lint rules run only
+#                              on files changed vs. the merge-base with
+#                              ${SFQ_LINT_BASE:-origin/main} (plus working-
+#                              tree changes); whole-program passes always
+#                              see the full tree. Used by the pre-commit
+#                              hook (scripts/install-hooks.sh).
 #
 # The sfq-lint invariant checker always runs (pure python). The clang-based
 # layers are skipped with a notice when the tool is not installed -- the
@@ -14,15 +21,42 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
+CHANGED=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
-    *) echo "usage: scripts/lint.sh [--quick]" >&2; exit 2 ;;
+    --changed) CHANGED=1 ;;
+    *) echo "usage: scripts/lint.sh [--quick] [--changed]" >&2; exit 2 ;;
   esac
 done
 
-echo "== sfq-lint (domain invariants) =="
-python3 tools/sfq_lint.py
+if [[ "$CHANGED" -eq 1 ]]; then
+  # Changed = diff vs the merge-base with the upstream branch, plus any
+  # staged/unstaged/untracked files, deduplicated. Falls back to a plain
+  # local base when no remote exists.
+  BASE="${SFQ_LINT_BASE:-}"
+  if [[ -z "$BASE" ]]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      BASE=origin/main
+    else
+      BASE=main
+    fi
+  fi
+  MERGE_BASE=$(git merge-base "$BASE" HEAD 2>/dev/null || echo HEAD)
+  mapfile -t CHANGED_FILES < <(
+    {
+      git diff --name-only --diff-filter=d "$MERGE_BASE"
+      git diff --name-only --diff-filter=d --cached
+      git ls-files --others --exclude-standard
+    } | sort -u
+  )
+  echo "== sfq-lint (--changed: ${#CHANGED_FILES[@]} file(s) vs $BASE) =="
+  # --files with an empty list still runs every whole-program pass.
+  python3 tools/sfq_lint.py --files "${CHANGED_FILES[@]}"
+else
+  echo "== sfq-lint (domain invariants) =="
+  python3 tools/sfq_lint.py
+fi
 
 echo "== sfq-lint fixture self-check =="
 python3 tools/sfq_lint.py --fixtures tests/lint_fixtures
@@ -38,8 +72,8 @@ else
 fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  if [[ "$QUICK" -eq 1 ]]; then
-    echo "notice: --quick skips clang-tidy"
+  if [[ "$QUICK" -eq 1 || "$CHANGED" -eq 1 ]]; then
+    echo "notice: --quick/--changed skips clang-tidy"
   else
     echo "== clang-tidy (.clang-tidy profile) =="
     # The compilation database comes from the primary build tree
@@ -55,6 +89,26 @@ else
 fi
 
 if command -v clang++ >/dev/null 2>&1; then
+  if [[ "$QUICK" -eq 1 || "$CHANGED" -eq 1 ]]; then
+    echo "notice: --quick/--changed skips clang --analyze"
+  else
+    echo "== clang --analyze (static analyzer over compile_commands.json) =="
+    if [[ ! -f build/compile_commands.json ]]; then
+      cmake -B build -DCMAKE_BUILD_TYPE=Release >/dev/null
+    fi
+    # Diffs analyzer warnings against the committed (empty) baseline in
+    # tools/clang_analyze_baseline.txt; any new warning fails.
+    python3 tools/run_clang_analyze.py \
+      --compdb build/compile_commands.json \
+      --baseline tools/clang_analyze_baseline.txt
+  fi
+else
+  echo "notice: clang++ not installed; skipping clang --analyze"
+fi
+
+if [[ "$CHANGED" -eq 1 ]]; then
+  echo "notice: --changed skips the thread-safety build (fast pre-commit mode)"
+elif command -v clang++ >/dev/null 2>&1; then
   echo "== clang -Werror=thread-safety (annotated concurrent subsystem) =="
   # Dedicated analysis tree: the SFQ_* capability annotations only bite
   # under clang. Building the concurrent-labelled tests instantiates the

@@ -45,6 +45,7 @@ void CountMin::Add(ItemId item, Count weight) noexcept {
   }
 }
 
+// sfq-hot-path
 void CountMin::BatchAddDispatch(std::span<const ItemId> items, Count weight,
                                 batch_hash::Backend backend) noexcept {
   SFQ_DCHECK_GE(weight, 0);
@@ -71,10 +72,12 @@ void CountMin::BatchAddDispatch(std::span<const ItemId> items, Count weight,
   }
 }
 
+// sfq-hot-path
 void CountMin::BatchAdd(std::span<const ItemId> items, Count weight) noexcept {
   BatchAddDispatch(items, weight, batch_hash::Backend::kVectorized);
 }
 
+// sfq-hot-path
 void CountMin::BatchAddScalar(std::span<const ItemId> items,
                               Count weight) noexcept {
   BatchAddDispatch(items, weight, batch_hash::Backend::kScalar);

@@ -79,6 +79,7 @@ void CountSketch::Add(ItemId item, Count weight) noexcept {
 }
 
 template <typename HashT>
+// sfq-hot-path
 void CountSketch::BatchAddRows(const std::vector<HashT>& bucket,
                                const std::vector<HashT>& sign,
                                std::span<const ItemId> items, Count weight,
@@ -107,6 +108,7 @@ void CountSketch::BatchAddRows(const std::vector<HashT>& bucket,
   }
 }
 
+// sfq-hot-path
 void CountSketch::BatchAddDispatch(std::span<const ItemId> items, Count weight,
                                    batch_hash::Backend backend) noexcept {
   switch (params_.family) {
@@ -122,11 +124,13 @@ void CountSketch::BatchAddDispatch(std::span<const ItemId> items, Count weight,
   }
 }
 
+// sfq-hot-path
 void CountSketch::BatchAdd(std::span<const ItemId> items,
                            Count weight) noexcept {
   BatchAddDispatch(items, weight, batch_hash::Backend::kVectorized);
 }
 
+// sfq-hot-path
 void CountSketch::BatchAddScalar(std::span<const ItemId> items,
                                  Count weight) noexcept {
   BatchAddDispatch(items, weight, batch_hash::Backend::kScalar);

@@ -72,21 +72,27 @@ class CounterMatrix {
   size_t stride() const { return stride_; }
 
   /// First counter of row i (64-byte aligned).
+  // sfq-hot-path
   int64_t* Row(size_t i) noexcept { return data_.get() + i * stride_; }
+  // sfq-hot-path
   const int64_t* Row(size_t i) const noexcept {
     return data_.get() + i * stride_;
   }
 
+  // sfq-hot-path
   int64_t& At(size_t row, size_t col) noexcept { return Row(row)[col]; }
+  // sfq-hot-path
   int64_t At(size_t row, size_t col) const noexcept { return Row(row)[col]; }
 
   /// Zeroes every cell, padding included.
+  // sfq-hot-path
   void Clear() noexcept {
     std::memset(data_.get(), 0, depth_ * stride_ * sizeof(int64_t));
   }
 
   /// this += other, over the whole padded buffer (padding stays zero).
   /// Caller guarantees equal dimensions (the sketches' CompatibleWith).
+  // sfq-hot-path
   void AddAll(const CounterMatrix& other) noexcept {
     int64_t* a = data_.get();
     const int64_t* b = other.data_.get();
@@ -95,6 +101,7 @@ class CounterMatrix {
   }
 
   /// this -= other, same contract as AddAll.
+  // sfq-hot-path
   void SubtractAll(const CounterMatrix& other) noexcept {
     int64_t* a = data_.get();
     const int64_t* b = other.data_.get();

@@ -19,6 +19,7 @@ using simd::U64x8;
 ///                                         conditional subtract)
 /// Each lane's arithmetic is the scalar arithmetic, so the result is
 /// bit-identical to h.Eval(x) for every key.
+// sfq-hot-path
 inline U64x8 CwEval(U64x8 x, U64x8 a, U64x8 b, U64x8 p) {
   const U64x8 xr = simd::SubWhereGe(x, p);
   // One widening multiply yields both halves of a*xr from shared partial
@@ -36,16 +37,19 @@ inline U64x8 CwEval(U64x8 x, U64x8 a, U64x8 b, U64x8 p) {
 }
 
 /// Lane-wise MultiplyShiftHash::Mix: a*x + b mod 2^64.
+// sfq-hot-path
 inline U64x8 MsMix(U64x8 x, U64x8 a, U64x8 b) { return a * x + b; }
 
 /// ±1 from bit `shift` of the lane-wise hash value: bit set -> +1, clear
 /// -> -1 (matches CarterWegmanHash::Sign / MultiplyShiftHash::Sign).
+// sfq-hot-path
 inline U64x8 SignFromBit(U64x8 v, int shift) {
   const U64x8 bit = (v >> shift) & Broadcast(1);
   return (bit << 1) - Broadcast(1);  // 1 -> +1, 0 -> ~0 (== -1 as int64)
 }
 
 /// Stores a U64x8 of ±1 lanes into an int64_t output block.
+// sfq-hot-path
 inline void StoreSigns(int64_t* out, U64x8 s) {
   StoreUnaligned(reinterpret_cast<uint64_t*>(out), s);
 }
@@ -55,6 +59,7 @@ inline void StoreSigns(int64_t* out, U64x8 s) {
 /// backend must measure (and replicate) the historical one-key-at-a-time
 /// path, not an accidental second SIMD path. Also used for the sub-bundle
 /// tails of the vectorized kernels.
+// sfq-hot-path
 template <typename HashT>
 SFQ_SIMD_NO_AUTOVEC void ScalarBuckets(const HashT& h, const uint64_t* keys,
                                        size_t n, uint64_t range,
@@ -62,6 +67,7 @@ SFQ_SIMD_NO_AUTOVEC void ScalarBuckets(const HashT& h, const uint64_t* keys,
   for (size_t i = 0; i < n; ++i) out_bucket[i] = h.Bucket(keys[i], range);
 }
 
+// sfq-hot-path
 template <typename HashT>
 SFQ_SIMD_NO_AUTOVEC void ScalarBucketsAndSigns(const HashT& hb,
                                                const HashT& hs,
@@ -81,6 +87,7 @@ const char* BackendName() { return simd::kSimdBackend; }
 
 // -- CarterWegman ----------------------------------------------------------
 
+// sfq-hot-path
 void Buckets(const CarterWegmanHash& h, std::span<const uint64_t> keys,
              uint64_t range, uint64_t* out_bucket, Backend backend) {
   const size_t n = keys.size();
@@ -106,6 +113,7 @@ void Buckets(const CarterWegmanHash& h, std::span<const uint64_t> keys,
   ScalarBuckets(h, keys.data() + i, n - i, range, out_bucket + i);
 }
 
+// sfq-hot-path
 void BucketsAndSigns(const CarterWegmanHash& hb, const CarterWegmanHash& hs,
                      std::span<const uint64_t> keys, uint64_t range,
                      uint64_t* out_bucket, int64_t* out_sign,
@@ -133,6 +141,7 @@ void BucketsAndSigns(const CarterWegmanHash& hb, const CarterWegmanHash& hs,
 
 // -- MultiplyShift ---------------------------------------------------------
 
+// sfq-hot-path
 void Buckets(const MultiplyShiftHash& h, std::span<const uint64_t> keys,
              uint64_t range, uint64_t* out_bucket, Backend backend) {
   const size_t n = keys.size();
@@ -149,6 +158,7 @@ void Buckets(const MultiplyShiftHash& h, std::span<const uint64_t> keys,
   ScalarBuckets(h, keys.data() + i, n - i, range, out_bucket + i);
 }
 
+// sfq-hot-path
 void BucketsAndSigns(const MultiplyShiftHash& hb, const MultiplyShiftHash& hs,
                      std::span<const uint64_t> keys, uint64_t range,
                      uint64_t* out_bucket, int64_t* out_sign,
@@ -173,11 +183,13 @@ void BucketsAndSigns(const MultiplyShiftHash& hb, const MultiplyShiftHash& hs,
 
 // -- Tabulation (scalar on every backend; see header) ----------------------
 
+// sfq-hot-path
 void Buckets(const TabulationHash& h, std::span<const uint64_t> keys,
              uint64_t range, uint64_t* out_bucket, Backend /*backend*/) {
   ScalarBuckets(h, keys.data(), keys.size(), range, out_bucket);
 }
 
+// sfq-hot-path
 void BucketsAndSigns(const TabulationHash& hb, const TabulationHash& hs,
                      std::span<const uint64_t> keys, uint64_t range,
                      uint64_t* out_bucket, int64_t* out_sign,

@@ -122,7 +122,7 @@ class SfqServer {
   /// stop_mu_ is always taken before mu_, never the other way.
   Mutex stop_mu_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ SFQ_ACQUIRED_AFTER(stop_mu_);
   CondVar stop_cv_;
   bool stop_requested_ SFQ_GUARDED_BY(mu_) = false;
   bool stopped_ SFQ_GUARDED_BY(mu_) = false;

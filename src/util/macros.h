@@ -49,6 +49,11 @@
 #define SFQ_GUARDED_BY(x) SFQ_THREAD_ANNOTATION_IMPL(guarded_by(x))
 /// The pointee of the annotated pointer is protected by `x`.
 #define SFQ_PT_GUARDED_BY(x) SFQ_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+/// The annotated mutex must be acquired after the listed mutexes. This both
+/// feeds clang's analysis and declares a lock-graph edge sfq-lint's
+/// lock-order pass checks the lexical nesting against.
+#define SFQ_ACQUIRED_AFTER(...) \
+  SFQ_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
 /// The annotated function must be called with the capability held.
 #define SFQ_REQUIRES(...) \
   SFQ_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))

@@ -1,0 +1,22 @@
+// sfq-lint-path: src/server/blocking_probe.cc
+// sfq-lint-expect: blocking-under-lock
+//
+// A socket write while the connection mutex is held: every other thread
+// that needs g_conn_mu now waits on a peer's TCP receive window. The
+// blocking-call-under-lock pass must flag the write(); the fix is to copy
+// the response out under the lock and block outside it.
+
+#include <unistd.h>
+
+#include "util/mutex.h"
+
+namespace streamfreq {
+
+Mutex g_conn_mu;
+
+void RespondLocked(int fd, const char* buf, unsigned long n) {
+  MutexLock lock(g_conn_mu);
+  (void)write(fd, buf, n);
+}
+
+}  // namespace streamfreq

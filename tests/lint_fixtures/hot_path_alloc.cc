@@ -1,0 +1,24 @@
+// sfq-lint-path: src/hash/hot_alloc_probe.cc
+// sfq-lint-expect: hot-path
+//
+// An allocation inside a function declared // sfq-hot-path: the
+// per-batch scratch vector reallocates in the ingest inner loop, exactly
+// the regression class the purity rule exists to reject (use a fixed
+// stack buffer like the real kernels' uint64_t bkt[kChunk]).
+
+#include <cstdint>
+#include <vector>
+
+namespace streamfreq {
+
+// sfq-hot-path
+void BucketsWithScratch(const uint64_t* keys, unsigned long n,
+                        uint64_t* out) {
+  std::vector<uint64_t> scratch;
+  for (unsigned long i = 0; i < n; ++i) {
+    scratch.push_back(keys[i] >> 1);
+    out[i] = scratch[i];
+  }
+}
+
+}  // namespace streamfreq

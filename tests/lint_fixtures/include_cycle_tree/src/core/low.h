@@ -1,0 +1,9 @@
+// The deliberate back-edge: core (layer 2) including server (layer 3).
+#ifndef FIXTURE_CORE_LOW_H_
+#define FIXTURE_CORE_LOW_H_
+
+#include "server/high.h"
+
+inline int LowValue() { return HighValue(); }
+
+#endif  // FIXTURE_CORE_LOW_H_

@@ -1,0 +1,7 @@
+// Top-layer header; nothing wrong with this file itself.
+#ifndef FIXTURE_SERVER_HIGH_H_
+#define FIXTURE_SERVER_HIGH_H_
+
+inline int HighValue() { return 3; }
+
+#endif  // FIXTURE_SERVER_HIGH_H_

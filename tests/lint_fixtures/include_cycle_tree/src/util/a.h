@@ -1,0 +1,9 @@
+// Half of the deliberate include cycle: a.h -> b.h -> a.h.
+#ifndef FIXTURE_UTIL_A_H_
+#define FIXTURE_UTIL_A_H_
+
+#include "util/b.h"
+
+inline int AValue() { return 1; }
+
+#endif  // FIXTURE_UTIL_A_H_

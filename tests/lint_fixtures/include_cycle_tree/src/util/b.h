@@ -1,0 +1,9 @@
+// The other half of the deliberate include cycle: b.h -> a.h.
+#ifndef FIXTURE_UTIL_B_H_
+#define FIXTURE_UTIL_B_H_
+
+#include "util/a.h"
+
+inline int BValue() { return 2; }
+
+#endif  // FIXTURE_UTIL_B_H_

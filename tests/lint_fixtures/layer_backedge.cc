@@ -1,0 +1,14 @@
+// sfq-lint-path: src/core/backedge_probe.cc
+// sfq-lint-expect: layer-dag
+//
+// A core-layer file reaching *up* into the server layer: the declared
+// order in tools/layers.toml puts server above core, so this include is a
+// back-edge and must fail the layer-DAG pass.
+
+#include "server/protocol.h"
+
+namespace streamfreq {
+
+int UsesServerFromCore() { return kOpcodeCount; }
+
+}  // namespace streamfreq

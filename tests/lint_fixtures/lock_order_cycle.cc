@@ -1,0 +1,27 @@
+// sfq-lint-path: src/server/lock_cycle_probe.cc
+// sfq-lint-expect: lock-order
+//
+// Two paths acquire the same two mutexes in opposite orders: thread A in
+// RegistryThenTenant holds g_registry_mu and waits for g_tenant_mu while
+// thread B in TenantThenRegistry holds g_tenant_mu and waits for
+// g_registry_mu -- a textbook deadlock. The lock-order pass must report
+// the cycle g_registry_mu -> g_tenant_mu -> g_registry_mu.
+
+#include "util/mutex.h"
+
+namespace streamfreq {
+
+Mutex g_registry_mu;
+Mutex g_tenant_mu;
+
+void RegistryThenTenant() {
+  MutexLock outer(g_registry_mu);
+  MutexLock inner(g_tenant_mu);
+}
+
+void TenantThenRegistry() {
+  MutexLock outer(g_tenant_mu);
+  MutexLock inner(g_registry_mu);
+}
+
+}  // namespace streamfreq

@@ -1,11 +1,18 @@
-// Self-check for the sfq-lint static checker (tools/sfq_lint.py).
+// Self-check for the sfq-lint static checker (tools/sfq_lint.py, whose
+// implementation is the tools/sfq_lint/ package).
 //
-// Proves the two properties scripts/lint.sh depends on:
-//   1. the real tree is clean (lint exits 0), and
+// Proves the properties scripts/lint.sh depends on:
+//   1. the real tree is clean (lint exits 0) under all 15 rules,
 //   2. the linter is *sensitive*: each deliberately broken fixture in
 //      tests/lint_fixtures/, linted as if it lived at its pretend src/
 //      path, makes lint exit non-zero with the expected rule id -- i.e.
-//      flipping any fixture into the tree would fail the lint gate.
+//      flipping any fixture into the tree would fail the lint gate. This
+//      covers the whole-program analyses (layer-dag, lock-order,
+//      blocking-under-lock, hot-path) as well as the per-file rules,
+//   3. the include-graph pass reports the *exact* defect edges on a
+//      synthetic tree with a known cycle and a known back-edge, and
+//   4. --json output obeys the schema documented in
+//      docs/STATIC_ANALYSIS.md.
 // The suppression fixture additionally proves that a justified
 // NOLINT(sfq-*) silences a rule without disabling it globally.
 #include <cstdio>
@@ -13,6 +20,7 @@
 #include <filesystem>
 #include <fstream>
 #include <regex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -95,7 +103,7 @@ TEST(LintSelfcheck, FixtureExpectationsAllHold) {
 
 TEST(LintSelfcheck, EachBrokenFixtureFailsAsTreeSource) {
   const std::vector<Fixture> fixtures = LoadFixtures();
-  ASSERT_GE(fixtures.size(), 8u);  // 7 broken + 1 suppressed control
+  ASSERT_GE(fixtures.size(), 12u);  // 11+ broken + 1 suppressed control
   int broken = 0;
   for (const Fixture& f : fixtures) {
     ASSERT_FALSE(f.pretend_path.empty()) << f.file;
@@ -115,7 +123,7 @@ TEST(LintSelfcheck, EachBrokenFixtureFailsAsTreeSource) {
           << r.output;
     }
   }
-  EXPECT_GE(broken, 7);
+  EXPECT_GE(broken, 11);
 }
 
 TEST(LintSelfcheck, ListRulesMatchesDocumentedSet) {
@@ -124,9 +132,70 @@ TEST(LintSelfcheck, ListRulesMatchesDocumentedSet) {
   for (const char* rule :
        {"sfq-row-seed", "sfq-raw-geometry", "sfq-nondet-random",
         "sfq-dropped-status", "sfq-raw-mutex", "sfq-unguarded-member",
-        "sfq-concurrent-label", "sfq-nodiscard-decl", "sfq-failpoint-site"}) {
+        "sfq-concurrent-label", "sfq-nodiscard-decl", "sfq-failpoint-site",
+        "sfq-server-opcode", "sfq-simd-ifdef", "sfq-layer-dag",
+        "sfq-lock-order", "sfq-blocking-under-lock", "sfq-hot-path"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
+}
+
+// The include-graph fixture tree contains exactly one include cycle
+// (util/a.h <-> util/b.h) and one layer back-edge (core/low.h ->
+// server/high.h). The pass must report both with the precise edge path,
+// not merely "something is wrong".
+TEST(LintSelfcheck, IncludeGraphReportsExactCycleAndBackEdge) {
+  const RunResult r = Exec(LintCmd(
+      "--include-graph-root '" + std::string(kRoot) +
+      "/tests/lint_fixtures/include_cycle_tree'"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(
+                "src/core/low.h:5: [sfq-layer-dag] include of "
+                "\"server/high.h\" is a layer back-edge: core -> server"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("include cycle: src/util/a.h -> src/util/b.h -> "
+                          "src/util/a.h"),
+            std::string::npos)
+      << r.output;
+  // Exactly the two planted defects, nothing else.
+  EXPECT_NE(r.output.find("sfq-lint: 2 finding(s)"), std::string::npos)
+      << r.output;
+}
+
+// --json emits one object per line with exactly the documented keys:
+// path (string), line (number), rule ("sfq-" id), message (string).
+TEST(LintSelfcheck, JsonOutputMatchesDocumentedSchema) {
+  const RunResult r = Exec(LintCmd(
+      "--json --check-file '" + std::string(kRoot) +
+      "/tests/lint_fixtures/lock_order_cycle.cc' --as "
+      "src/server/lock_cycle_probe.cc"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  ASSERT_FALSE(r.output.empty());
+  const std::regex schema_re(
+      R"(^\{"path": "[^"]+", "line": [0-9]+, "rule": "sfq-[a-z-]+", )"
+      R"("message": ".*"\}$)");
+  std::istringstream lines(r.output);
+  std::string line;
+  int objects = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++objects;
+    EXPECT_TRUE(std::regex_match(line, schema_re)) << line;
+    EXPECT_NE(line.find("\"rule\": \"sfq-lock-order\""), std::string::npos)
+        << line;
+  }
+  EXPECT_GE(objects, 1);
+}
+
+// On a clean tree --json prints nothing at all (no summary line), so CI
+// annotation consumers can treat every output line as a finding object.
+TEST(LintSelfcheck, JsonOutputSilentWhenClean) {
+  const RunResult r = Exec(LintCmd(
+      "--json --check-file '" + std::string(kRoot) +
+      "/tests/lint_fixtures/suppressed_ok.h' --as "
+      "src/concurrent/suppressed_counter.h"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
 }
 
 }  // namespace

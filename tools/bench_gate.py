@@ -51,6 +51,12 @@ def load_trajectory(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
+    except FileNotFoundError:
+        fail(
+            f"{path} does not exist; regenerate it with "
+            "`scripts/check.sh --bench` (which runs the benchmark and "
+            "appends via `bench_gate.py --update`), see docs/PERFORMANCE.md"
+        )
     except (OSError, json.JSONDecodeError) as err:
         fail(f"{path}: unreadable or not JSON: {err}")
     if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Runs the clang static analyzer over the compilation database and diffs
+the warnings against a committed baseline.
+
+scripts/lint.sh wires this in as an optional layer (skipped when clang++
+is absent, like the tidy and thread-safety steps). Per translation unit in
+compile_commands.json (src/ and tools/ only -- tests and benches are not
+shipped code), the TU is re-driven with `--analyze` and the analyzer's
+`warning:` lines are collected, normalized (absolute paths made
+repo-relative, line/column numbers kept), and compared with the baseline
+file. Any warning not in the baseline fails; baseline entries that no
+longer fire are reported as stale so the file shrinks over time instead of
+fossilizing.
+
+The committed baseline (tools/clang_analyze_baseline.txt) is empty: the
+tree currently analyzes clean, and the bar is to keep it that way. If the
+analyzer ever reports a false positive that cannot be restructured away,
+append the normalized warning line to the baseline with a comment.
+
+Usage:
+  python3 tools/run_clang_analyze.py \
+      --compdb build/compile_commands.json \
+      --baseline tools/clang_analyze_baseline.txt [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+WARNING_RE = re.compile(r"^(.*?):(\d+):(\d+): warning: (.*)$")
+
+# Driver flags the analyzer invocation must not inherit (output control and
+# codegen have no meaning under --analyze).
+STRIP_FLAGS = {"-c", "-o"}
+
+
+def analyze_tu(entry, root):
+    """Runs clang --analyze for one compdb entry; returns warning lines."""
+    args = (shlex.split(entry["command"])
+            if "command" in entry else list(entry["arguments"]))
+    cmd = [args[0], "--analyze", "-Xclang", "-analyzer-output=text"]
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in STRIP_FLAGS:
+            skip_next = a == "-o"
+            continue
+        cmd.append(a)
+    proc = subprocess.run(
+        cmd, cwd=entry.get("directory", root),
+        capture_output=True, text=True)
+    warnings = []
+    for line in proc.stderr.splitlines():
+        m = WARNING_RE.match(line)
+        if not m:
+            continue
+        path = os.path.relpath(
+            os.path.normpath(
+                os.path.join(entry.get("directory", root), m.group(1))
+            ), root).replace(os.sep, "/")
+        warnings.append(f"{path}:{m.group(2)}:{m.group(3)}: {m.group(4)}")
+    return warnings
+
+
+def load_baseline(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return {
+                line.strip()
+                for line in f
+                if line.strip() and not line.startswith("#")
+            }
+    except OSError:
+        print(f"run_clang_analyze: baseline {path} missing; "
+              "treating as empty", file=sys.stderr)
+        return set()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compdb", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    root = os.getcwd()
+    try:
+        with open(args.compdb, encoding="utf-8") as f:
+            compdb = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"run_clang_analyze: cannot read {args.compdb}: {err}",
+              file=sys.stderr)
+        return 1
+
+    entries = []
+    for entry in compdb:
+        rel = os.path.relpath(entry["file"], root).replace(os.sep, "/")
+        if rel.startswith(("src/", "tools/")):
+            entries.append(entry)
+    if not entries:
+        print("run_clang_analyze: no src/ or tools/ entries in the "
+              "compilation database")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    found = set()
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for warnings in pool.map(lambda e: analyze_tu(e, root), entries):
+            found.update(warnings)
+
+    new = sorted(found - baseline)
+    stale = sorted(baseline - found)
+    for w in new:
+        print(f"NEW  {w}")
+    for w in stale:
+        print(f"stale baseline entry (analyzer no longer reports): {w}")
+    if new:
+        print(f"run_clang_analyze: {len(new)} new analyzer warning(s); fix "
+              f"them or (for a justified false positive) append to "
+              f"{args.baseline}")
+        return 1
+    print(f"run_clang_analyze: OK ({len(entries)} TU(s), "
+          f"{len(baseline)} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

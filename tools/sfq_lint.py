@@ -1,824 +1,25 @@
 #!/usr/bin/env python3
-"""sfq-lint: streamfreq's domain-invariant static checker.
+"""sfq-lint: streamfreq's domain-invariant static checker (entry point).
 
-Generic tools (clang-tidy, -Werror=thread-safety) cannot see the library's
-*domain* invariants -- the ones the paper's analysis actually depends on.
-This checker mechanizes them:
+The implementation lives in the tools/sfq_lint/ package: a C++-aware
+tokenizer, the 11 per-file rules ported from the original single-file
+linter, and the whole-program passes (layer-DAG enforcement over the
+include graph, lock-order deadlock detection, blocking-call-under-lock,
+and // sfq-hot-path purity). Run `--list-rules` for the rule ids and see
+docs/STATIC_ANALYSIS.md for the catalog, the suppression protocol, and
+the --json output schema.
 
-  row-seed          Per-row hash functions must draw parameters from one
-                    shared advancing seeder. Constructing a fresh
-                    SplitMix64 inside a row loop hands every row the same
-                    (a, b) parameters, which silently voids the pairwise-
-                    independence assumption behind Lemma 5's error bound.
-  raw-geometry      Sketch width/depth in library/tool code must come from
-                    the sketch_params.h sizing rules or a named constant,
-                    never a bare integer literal (tests and benches sweep
-                    arbitrary geometries and are exempt).
-  nondet-random     No rand()/srand()/std::random_device in deterministic-
-                    replay paths (src/verify/, src/stream/): fuzz
-                    reproducers and generated workloads must replay
-                    bit-identically from a seed.
-  dropped-status    A statement-level call to a Status-returning method
-                    discards the error. The [[nodiscard]] attribute already
-                    makes this a compile error in C++; this rule also covers
-                    non-compiled snippets and keeps fixtures honest.
-  raw-mutex         std::mutex / std::lock_guard / std::unique_lock /
-                    std::condition_variable are invisible to clang's
-                    thread-safety analysis; use the annotated wrappers in
-                    util/mutex.h instead.
-  unguarded-member  In a class that owns a Mutex, every data member must be
-                    SFQ_GUARDED_BY one, be inherently thread-safe (atomic,
-                    internally-synchronized type), be const, or carry a
-                    justified suppression.
-  concurrent-label  Every test whose source uses src/concurrent/ must carry
-                    the `concurrent` ctest label, or the TSan step in
-                    scripts/check.sh (ctest -L concurrent) silently skips it.
-  nodiscard-decl    status.h/result.h must keep their class-level
-                    [[nodiscard]], and util/macros.h must keep the
-                    SFQ_GUARDED_BY annotation macros -- removing either
-                    disarms a whole enforcement layer.
-  failpoint-site    Fault injection in library/tool code must go through
-                    the SFQ_FAILPOINT("literal") macro (so sites compile
-                    out when STREAMFREQ_FAILPOINTS=OFF), the literal must
-                    be registered in FailpointRegistry::KnownSites()
-                    (src/util/failpoint.cc) so --failpoints specs naming
-                    it validate, and it must appear in the site table in
-                    docs/ROBUSTNESS.md.
-  server-opcode     The wire protocol's opcode registry (kOpcodeTable in
-                    src/server/protocol.cc) must enumerate every Opcode
-                    enumerator exactly once and kOpcodeCount must match --
-                    a registered-but-unhandled opcode would decode and then
-                    dispatch nowhere. And no file other than the registry
-                    may conjure an Opcode from a raw numeric literal
-                    (static_cast<Opcode>(3)): unregistered opcodes must
-                    stay unrepresentable so the corruption matrix in
-                    tests/server_protocol_test.cc covers the whole space.
-  simd-ifdef        Instruction-set conditionals (__AVX512F__, __AVX2__,
-                    __SSE2__, __ARM_NEON), <immintrin.h>-style includes,
-                    raw _mm*/vld* intrinsics, and vector_size declarations
-                    are allowed ONLY in src/util/simd.h. Everything else
-                    programs against the simd::U64x8 bundle, so the
-                    kernels are compiled once (in streamfreq_hash, the one
-                    target that gets STREAMFREQ_SIMD flags) and the
-                    scalar/vector bit-identity argument in
-                    docs/PERFORMANCE.md stays auditable in a single file.
+This shim only keeps the historical invocation working:
 
-Suppression: append `// NOLINT(sfq-<rule>): <reason>` to the offending line
-or put `// NOLINTNEXTLINE(sfq-<rule>): <reason>` on the line above. The
-reason is mandatory; a bare suppression is itself a finding.
-
-Modes:
-  sfq_lint.py [--root DIR]                 lint the repository (exit 1 on findings)
-  sfq_lint.py --check-file F --as PATH     lint one file as if it lived at PATH
-  sfq_lint.py --fixtures DIR               self-check against expectation-annotated
-                                           fixtures (tests/lint_fixtures/)
-  sfq_lint.py --list-rules                 print the rule ids
+    python3 tools/sfq_lint.py [args...]
 """
 
-import argparse
 import os
-import re
 import sys
-from dataclasses import dataclass
 
-RULE_IDS = [
-    "row-seed",
-    "raw-geometry",
-    "nondet-random",
-    "dropped-status",
-    "raw-mutex",
-    "unguarded-member",
-    "concurrent-label",
-    "nodiscard-decl",
-    "failpoint-site",
-    "server-opcode",
-    "simd-ifdef",
-]
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# Directories deliberately outside the normal scan: fixtures are broken on
-# purpose, probes deliberately drop a Status to prove the compiler rejects it.
-EXCLUDED_DIRS = ("tests/lint_fixtures", "tests/nodiscard_probes")
-
-CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
-
-# Member types that need no lock: atomics, the synchronization primitives
-# themselves, joined-thread handles, and internally-synchronized classes.
-THREADSAFE_TYPE_PREFIXES = (
-    "std::atomic",
-    "Mutex",
-    "CondVar",
-    "std::thread",
-    "std::vector<std::thread>",
-    "BatchQueue",
-    "SnapshotCell",
-)
-
-
-@dataclass
-class Finding:
-    path: str
-    line: int  # 1-based
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: [sfq-{self.rule}] {self.message}"
-
-
-def strip_code(line: str) -> str:
-    """Removes // comments and the contents of string/char literals."""
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and line[i] != quote:
-                i += 2 if line[i] == "\\" else 1
-            if i < n:
-                out.append(quote)
-                i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-class FileLinter:
-    """Runs the per-file rules on one file at a (possibly pretend) path."""
-
-    def __init__(self, relpath, lines, status_methods, failpoint_sites=None):
-        self.path = relpath.replace(os.sep, "/")
-        self.lines = lines
-        self.code = [strip_code(l) for l in lines]
-        self.status_methods = status_methods
-        self.failpoint_sites = failpoint_sites or (frozenset(), frozenset())
-        self.findings = []
-
-    def run(self):
-        if not self.path.endswith(CXX_EXTENSIONS):
-            return []
-        in_src = self.path.startswith("src/")
-        in_tools = self.path.startswith("tools/")
-        if in_src:
-            self.check_row_seed()
-            self.check_unguarded_member()
-        if in_src or in_tools:
-            self.check_raw_geometry()
-            if self.path != "src/util/mutex.h":
-                self.check_raw_mutex()
-            if not self.path.startswith("src/util/failpoint"):
-                self.check_failpoint_site()
-            if not self.path.startswith("src/server/protocol"):
-                self.check_server_opcode_cast()
-        if (
-            in_src or in_tools or self.path.startswith("bench/")
-        ) and self.path != "src/util/simd.h":
-            self.check_simd_ifdef()
-        if self.path.startswith(("src/verify/", "src/stream/")):
-            self.check_nondet_random()
-        self.check_dropped_status()
-        return self.findings
-
-    def report(self, idx, rule, message):
-        """Records a finding at 0-based line idx unless suppressed."""
-        line = self.lines[idx]
-        prev = self.lines[idx - 1] if idx > 0 else ""
-        for text, tag in ((line, "NOLINT"), (prev, "NOLINTNEXTLINE")):
-            m = re.search(rf"//\s*{tag}\(sfq-([\w-]+)\)(.*)", text)
-            if m and m.group(1) == rule:
-                if not m.group(2).lstrip().startswith(":") or not m.group(2).lstrip(
-                    ": "
-                ).strip():
-                    self.findings.append(
-                        Finding(
-                            self.path,
-                            idx + 1,
-                            rule,
-                            "suppression without a reason -- write "
-                            f"NOLINT(sfq-{rule}): <why this is safe>",
-                        )
-                    )
-                return
-        self.findings.append(Finding(self.path, idx + 1, rule, message))
-
-    # -- row-seed ----------------------------------------------------------
-    def check_row_seed(self):
-        """Flags SplitMix64 construction inside a hash-row loop.
-
-        The blessed idiom constructs one seeder before the loop and lets
-        each emplace_back(seeder) advance it, giving every row fresh
-        parameters. A SplitMix64 built inside the loop restarts the stream
-        each iteration: all rows share one seed.
-        """
-        i = 0
-        while i < len(self.code):
-            line = self.code[i]
-            m = re.search(r"\bfor\s*\(", line)
-            if not m:
-                i += 1
-                continue
-            body_lines = self._loop_body(i)
-            has_emplace = any(
-                re.search(r"\b(emplace_back|push_back)\s*\(", b)
-                for _, b in body_lines
-            )
-            for idx, b in body_lines:
-                if has_emplace and re.search(r"\bSplitMix64\b", b):
-                    self.report(
-                        idx,
-                        "row-seed",
-                        "SplitMix64 constructed inside a per-row loop: every "
-                        "row hashes with the same seed, voiding pairwise "
-                        "independence (Lemma 5). Construct one seeder before "
-                        "the loop and pass it to each row's constructor.",
-                    )
-            i = body_lines[-1][0] + 1 if body_lines else i + 1
-
-    def _loop_body(self, start):
-        """Returns [(idx, code)] for the loop whose `for` is on line start."""
-        depth = 0
-        seen_open = False
-        out = []
-        for idx in range(start, min(start + 200, len(self.code))):
-            code = self.code[idx]
-            seg = code[code.index("for") :] if idx == start and "for" in code else code
-            out.append((idx, seg))
-            depth += seg.count("{") - seg.count("}")
-            if "{" in seg:
-                seen_open = True
-            if seen_open and depth <= 0:
-                break
-            if not seen_open and seg.rstrip().endswith(";") and idx > start:
-                break  # single-statement body
-        return out
-
-    # -- raw-geometry ------------------------------------------------------
-    def check_raw_geometry(self):
-        if self.path.startswith("src/core/sketch_params"):
-            return  # the sizing rules themselves
-        pat = re.compile(
-            r"[.>]\s*(width|depth)\s*=\s*(\d[\dxXa-fA-F']*)\s*(?:<<\s*\d+\s*)?;"
-        )
-        for idx, code in enumerate(self.code):
-            m = pat.search(code)
-            if not m:
-                continue
-            if m.group(2) in ("0",):  # zero-inits are validation defaults
-                continue
-            self.report(
-                idx,
-                "raw-geometry",
-                f"sketch {m.group(1)} set from a raw literal; derive it from "
-                "sketch_params.h (SizeForApproxTop/ZipfWidth) or a named "
-                "constant so the Lemma 5 sizing stays auditable.",
-            )
-
-    # -- nondet-random -----------------------------------------------------
-    def check_nondet_random(self):
-        pat = re.compile(r"std::random_device|\b(?:s?rand)\s*\(")
-        for idx, code in enumerate(self.code):
-            if pat.search(code):
-                self.report(
-                    idx,
-                    "nondet-random",
-                    "nondeterministic randomness in a deterministic-replay "
-                    "path; seed a SplitMix64/std::mt19937 from an explicit "
-                    "seed so fuzz reproducers replay bit-identically.",
-                )
-
-    # -- dropped-status ----------------------------------------------------
-    def check_dropped_status(self):
-        if not self.status_methods:
-            return
-        names = "|".join(sorted(self.status_methods))
-        # A whole statement of the form `receiver.Method(...);` (or ->) with
-        # nothing consuming the return value. Assignments, returns, (void)
-        # casts, and macro wrappers all fail this shape.
-        pat = re.compile(
-            rf"^\s*[A-Za-z_][\w.\[\]]*(?:->[\w.\[\]]+)*(?:\.|->)({names})\(.*\)\s*;\s*$"
-        )
-        # A line that is really the tail of a wrapped statement
-        # (`const Status s =\n    foo.Bar();`) is consumed by whatever the
-        # previous line ends with, not dropped.
-        continuation = re.compile(r"(=|\(|,|\+|\?|:|\|\||&&|\breturn)\s*$")
-        for idx, code in enumerate(self.code):
-            prev = ""
-            for back in range(idx - 1, -1, -1):
-                if self.code[back].strip():
-                    prev = self.code[back]
-                    break
-            if continuation.search(prev):
-                continue
-            if pat.match(code):
-                m = pat.match(code)
-                self.report(
-                    idx,
-                    "dropped-status",
-                    f"result of Status-returning {m.group(1)}() is discarded; "
-                    "check it, propagate it, or cast to (void) with a comment.",
-                )
-
-    # -- raw-mutex ---------------------------------------------------------
-    def check_raw_mutex(self):
-        pat = re.compile(
-            r"std::(mutex|lock_guard|unique_lock|scoped_lock|condition_variable)\b"
-        )
-        for idx, code in enumerate(self.code):
-            m = pat.search(code)
-            if m:
-                self.report(
-                    idx,
-                    "raw-mutex",
-                    f"std::{m.group(1)} is invisible to the thread-safety "
-                    "analysis; use streamfreq::Mutex/MutexLock/CondVar from "
-                    "util/mutex.h so SFQ_GUARDED_BY members stay checked.",
-                )
-
-    # -- failpoint-site ----------------------------------------------------
-    def check_failpoint_site(self):
-        """Failpoints are planted only via SFQ_FAILPOINT with a known literal.
-
-        The macro is what makes sites compile out under
-        STREAMFREQ_FAILPOINTS=OFF; the literal-site requirement is what lets
-        Configure() reject typo'd --failpoints specs and lets the chaos
-        scheduler enumerate every plantable fault.
-        """
-        registered, documented = self.failpoint_sites
-        lit = re.compile(r'SFQ_FAILPOINT\(\s*"([^"]*)"')
-        direct = re.compile(
-            r"FailpointRegistry\b.*\bEvaluate\s*\(|\bGlobal\(\)\s*\.\s*Evaluate\s*\("
-        )
-        for idx, code in enumerate(self.code):
-            if "SFQ_FAILPOINT" in code and "#define" not in code:
-                # self.code has literal contents blanked; re-read the raw
-                # line to recover the site name.
-                m = lit.search(self.lines[idx])
-                if not m:
-                    self.report(
-                        idx,
-                        "failpoint-site",
-                        "SFQ_FAILPOINT takes a string-literal site name; a "
-                        "computed name cannot be validated by Configure() or "
-                        "enumerated by the chaos scheduler.",
-                    )
-                elif registered and m.group(1) not in registered:
-                    self.report(
-                        idx,
-                        "failpoint-site",
-                        f"failpoint site '{m.group(1)}' is not registered in "
-                        "FailpointRegistry::KnownSites() "
-                        "(src/util/failpoint.cc); register it there so "
-                        "--failpoints specs naming it validate.",
-                    )
-                elif documented and m.group(1) not in documented:
-                    self.report(
-                        idx,
-                        "failpoint-site",
-                        f"failpoint site '{m.group(1)}' is missing from the "
-                        "site table in docs/ROBUSTNESS.md; document what it "
-                        "injects and which degraded path it exercises.",
-                    )
-            if direct.search(code):
-                self.report(
-                    idx,
-                    "failpoint-site",
-                    "direct FailpointRegistry Evaluate() call; plant faults "
-                    'via SFQ_FAILPOINT("site") so they compile out when '
-                    "STREAMFREQ_FAILPOINTS=OFF and the site stays auditable.",
-                )
-
-    # -- server-opcode (per-file half) -------------------------------------
-    def check_server_opcode_cast(self):
-        """Only the registry may materialize an Opcode from a raw number.
-
-        LookupOpcode() is the one blessed number->Opcode conversion: it
-        rejects unregistered values, so every Opcode in flight names a row
-        of kOpcodeTable. A static_cast<Opcode>(literal) elsewhere can mint
-        values the dispatch switch has never heard of.
-        """
-        pat = re.compile(
-            r"static_cast\s*<\s*(?:streamfreq\s*::\s*)?Opcode\s*>\s*\(\s*"
-            r"(?:0[xX][0-9a-fA-F']+|\d[\d']*)"
-        )
-        for idx, code in enumerate(self.code):
-            if pat.search(code):
-                self.report(
-                    idx,
-                    "server-opcode",
-                    "Opcode minted from a raw numeric literal; go through "
-                    "LookupOpcode() (src/server/protocol.cc) so unregistered "
-                    "opcodes stay unrepresentable.",
-                )
-
-    # -- simd-ifdef --------------------------------------------------------
-    SIMD_TOKEN_RE = re.compile(
-        r"__AVX512[A-Z0-9]*__|__AVX2?__|__SSE[0-9_]*__"
-        r"|__ARM_NEON(?:__)?|STREAMFREQ_FORCE_SCALAR_SIMD"
-        r"|\b(?:imm|x86|arm_ne|smm|emm|tmm)\w*intrin\.h|\barm_neon\.h"
-        r"|\b_mm(?:256|512)?_\w+|\bv(?:ld|st)[1-4]q?_\w+"
-        r"|vector_size\s*\("
-    )
-
-    def check_simd_ifdef(self):
-        """ISA conditionals and intrinsics live in src/util/simd.h only.
-
-        The whole bit-identity argument (docs/PERFORMANCE.md) rests on the
-        kernels being compiled once, against one lane-bundle abstraction,
-        in the one library target that receives STREAMFREQ_SIMD flags. A
-        stray __AVX2__ ifdef elsewhere reintroduces per-TU divergence.
-        """
-        for idx, code in enumerate(self.code):
-            m = self.SIMD_TOKEN_RE.search(code)
-            if m:
-                self.report(
-                    idx,
-                    "simd-ifdef",
-                    f"instruction-set token '{m.group(0).strip()}' outside "
-                    "src/util/simd.h; program against simd::U64x8 (or add a "
-                    "new primitive to simd.h) so SIMD stays confined to the "
-                    "one audited dispatch header.",
-                )
-
-    # -- unguarded-member --------------------------------------------------
-    MEMBER_RE = re.compile(
-        r"^\s*(?P<mutable>mutable\s+)?(?P<const>const\s+)?"
-        r"(?P<type>[\w:]+(?:<[^;=]*>)?(?:\s*[*&])?)\s+"
-        r"(?P<name>[a-z]\w*_)\s*"
-        r"(?P<guard>SFQ(?:_PT)?_GUARDED_BY\([^)]*\))?\s*"
-        r"(?:\{[^}]*\}|=[^;]*)?;\s*$"
-    )
-
-    def check_unguarded_member(self):
-        for body in self._class_bodies():
-            members = []
-            has_mutex = False
-            for idx in body:
-                m = self.MEMBER_RE.match(self.code[idx])
-                if not m:
-                    continue
-                members.append((idx, m))
-                if m.group("type") == "Mutex":
-                    has_mutex = True
-            if not has_mutex:
-                continue
-            for idx, m in members:
-                if m.group("guard") or m.group("const"):
-                    continue
-                mtype = m.group("type")
-                if any(mtype.startswith(p) for p in THREADSAFE_TYPE_PREFIXES):
-                    continue
-                self.report(
-                    idx,
-                    "unguarded-member",
-                    f"member '{m.group('name')}' of a mutex-owning class has "
-                    "no SFQ_GUARDED_BY annotation; annotate it, or suppress "
-                    "with a justification if it is thread-confined.",
-                )
-
-    def _class_bodies(self):
-        """Yields lists of 0-based line indices at each class-body depth."""
-        depth = 0
-        stack = []  # (class_body_depth, [line indices])
-        pending_class = False
-        for idx, code in enumerate(self.code):
-            if re.search(r"\b(class|struct)\s+\w+[^;]*$", code) and ";" not in code:
-                pending_class = True
-            for c in code:
-                if c == "{":
-                    depth += 1
-                    if pending_class:
-                        stack.append((depth, []))
-                        pending_class = False
-                elif c == "}":
-                    if stack and stack[-1][0] == depth:
-                        yield stack.pop()[1]
-                    depth -= 1
-            if stack and stack[-1][0] == depth:
-                stack[-1][1].append(idx)
-
-
-# -- repo-level rules ------------------------------------------------------
-
-
-def scan_status_methods(root):
-    """Derives the set of Status-returning method names from src/ headers."""
-    methods = set()
-    decl = re.compile(
-        r"(?:\[\[nodiscard\]\]\s+)?(?:virtual\s+)?Status\s+([A-Z]\w*)\s*\("
-    )
-    for path in walk_files(os.path.join(root, "src"), (".h",)):
-        with open(path, encoding="utf-8") as f:
-            for line in f:
-                m = decl.search(line)
-                # `static Status Foo(` lines in status.h are Status's own
-                # factories, not fallible operations.
-                if m and "static Status" not in line:
-                    methods.add(m.group(1))
-    return methods
-
-
-def scan_failpoint_sites(root):
-    """Returns (registered, documented) failpoint site-name sets.
-
-    Registered sites come from the BuildKnownSites() table in
-    src/util/failpoint.cc; documented sites are the backtick-quoted
-    `component.site` tokens in docs/ROBUSTNESS.md. Either set is empty when
-    its source file is missing, which disables that half of the rule rather
-    than flagging every planted site.
-    """
-    site_re = re.compile(r'"([a-z_]+\.[a-z_]+)"')
-    registered = set()
-    try:
-        with open(
-            os.path.join(root, "src", "util", "failpoint.cc"), encoding="utf-8"
-        ) as f:
-            m = re.search(r"BuildKnownSites\(\)\s*\{(.*?)\};", f.read(), re.S)
-            if m:
-                registered = set(site_re.findall(m.group(1)))
-    except OSError:
-        pass
-    documented = set()
-    try:
-        with open(
-            os.path.join(root, "docs", "ROBUSTNESS.md"), encoding="utf-8"
-        ) as f:
-            documented = set(re.findall(r"`([a-z_]+\.[a-z_]+)`", f.read()))
-    except OSError:
-        pass
-    return frozenset(registered), frozenset(documented)
-
-
-def check_concurrent_label(cmake_path, src_dir, relprefix):
-    """Tests using src/concurrent/ must carry the `concurrent` ctest label."""
-    findings = []
-    try:
-        with open(cmake_path, encoding="utf-8") as f:
-            text = f.read()
-    except OSError:
-        return findings
-    m = re.search(r"set\(STREAMFREQ_TESTS\s*(.*?)\)", text, re.S)
-    if not m:
-        return findings
-    tests = re.findall(r"[\w-]+", m.group(1))
-    labelled = set()
-    for props in re.finditer(r"set_tests_properties\((.*?)\)", text, re.S):
-        body = props.group(1)
-        if re.search(r"LABELS\s+\S*concurrent", body):
-            labelled.update(re.findall(r"[\w-]+", body.split("PROPERTIES")[0]))
-    for test in tests:
-        src = os.path.join(src_dir, test + ".cc")
-        if not os.path.exists(src):
-            continue
-        with open(src, encoding="utf-8") as f:
-            uses_concurrent = '#include "concurrent/' in f.read()
-        if uses_concurrent and test not in labelled:
-            line = 1 + text[: text.find(test)].count("\n")
-            findings.append(
-                Finding(
-                    relprefix + "CMakeLists.txt",
-                    line,
-                    "concurrent-label",
-                    f"{test} exercises src/concurrent/ but lacks the "
-                    "`concurrent` ctest label, so the TSan step "
-                    "(ctest -L concurrent) never runs it.",
-                )
-            )
-    return findings
-
-
-def check_server_opcode_registry(root):
-    """kOpcodeTable must cover the Opcode enum exactly, kOpcodeCount too.
-
-    The wire protocol's invariants (dense opcodes, name round-trips, the
-    per-opcode corruption matrix) all quantify over OpcodeTable(); an
-    enumerator missing from the table would decode via the enum but
-    dispatch nowhere, and a stale kOpcodeCount silently truncates the
-    registry span. Both files absent disables the rule (pre-server trees).
-    """
-    findings = []
-    header = os.path.join(root, "src", "server", "protocol.h")
-    source = os.path.join(root, "src", "server", "protocol.cc")
-    try:
-        with open(header, encoding="utf-8") as f:
-            header_text = f.read()
-        with open(source, encoding="utf-8") as f:
-            source_text = f.read()
-    except OSError:
-        return findings
-
-    enum_match = re.search(
-        r"enum\s+class\s+Opcode[^{]*\{(.*?)\};", header_text, re.S
-    )
-    table_match = re.search(
-        r"kOpcodeTable\s*\[[^\]]*\]\s*=\s*\{(.*?)\};", source_text, re.S
-    )
-    count_match = re.search(r"kOpcodeCount\s*=\s*(\d+)", header_text)
-    if not enum_match:
-        findings.append(
-            Finding("src/server/protocol.h", 1, "server-opcode",
-                    "cannot find the `enum class Opcode` definition the "
-                    "opcode-registry check quantifies over."))
-        return findings
-    if not table_match:
-        findings.append(
-            Finding("src/server/protocol.cc", 1, "server-opcode",
-                    "cannot find the kOpcodeTable registry the wire "
-                    "protocol dispatches through."))
-        return findings
-
-    enumerators = re.findall(r"\b(k[A-Z]\w*)\s*=\s*\d+", enum_match.group(1))
-    table_rows = re.findall(r"Opcode\s*::\s*(k[A-Z]\w*)", table_match.group(1))
-    enum_line = 1 + header_text[: enum_match.start()].count("\n")
-    table_line = 1 + source_text[: table_match.start()].count("\n")
-
-    for name in sorted(set(enumerators) - set(table_rows)):
-        findings.append(
-            Finding("src/server/protocol.cc", table_line, "server-opcode",
-                    f"Opcode::{name} is declared in protocol.h but has no "
-                    "kOpcodeTable row: it would decode and then dispatch "
-                    "nowhere. Register it (name + needs_tenant)."))
-    for name in sorted(set(table_rows) - set(enumerators)):
-        findings.append(
-            Finding("src/server/protocol.cc", table_line, "server-opcode",
-                    f"kOpcodeTable row Opcode::{name} has no matching "
-                    "enumerator in protocol.h."))
-    seen = set()
-    for name in table_rows:
-        if name in seen:
-            findings.append(
-                Finding("src/server/protocol.cc", table_line, "server-opcode",
-                        f"kOpcodeTable registers Opcode::{name} twice; "
-                        "LookupOpcode/OpcodeName take the first hit and the "
-                        "duplicate row is dead."))
-        seen.add(name)
-    if count_match and int(count_match.group(1)) != len(enumerators):
-        findings.append(
-            Finding("src/server/protocol.h", enum_line, "server-opcode",
-                    f"kOpcodeCount = {count_match.group(1)} but the enum "
-                    f"declares {len(enumerators)} opcodes; the registry "
-                    "span and the dense-range checks are sized wrong."))
-    return findings
-
-
-def check_nodiscard_decl(root):
-    """The enforcement layer must not be quietly disarmed."""
-    findings = []
-    wanted = [
-        ("src/util/status.h", r"class \[\[nodiscard\]\] Status",
-         "Status lost its class-level [[nodiscard]]: dropped errors compile "
-         "clean again."),
-        ("src/util/result.h", r"class \[\[nodiscard\]\] Result",
-         "Result lost its class-level [[nodiscard]]: dropped values/errors "
-         "compile clean again."),
-        ("src/util/macros.h", r"#define SFQ_GUARDED_BY\(",
-         "the SFQ_GUARDED_BY annotation macro is gone: the thread-safety "
-         "analysis has nothing to check."),
-    ]
-    for rel, pattern, message in wanted:
-        path = os.path.join(root, rel)
-        try:
-            with open(path, encoding="utf-8") as f:
-                text = f.read()
-        except OSError:
-            text = ""
-        if not re.search(pattern, text):
-            findings.append(Finding(rel, 1, "nodiscard-decl", message))
-    return findings
-
-
-def walk_files(top, extensions):
-    for dirpath, _, names in os.walk(top):
-        for name in sorted(names):
-            if name.endswith(extensions):
-                yield os.path.join(dirpath, name)
-
-
-def lint_repo(root):
-    status_methods = scan_status_methods(root)
-    failpoint_sites = scan_failpoint_sites(root)
-    findings = []
-    for sub in ("src", "tools", "tests", "bench", "examples"):
-        top = os.path.join(root, sub)
-        for path in walk_files(top, CXX_EXTENSIONS):
-            rel = os.path.relpath(path, root).replace(os.sep, "/")
-            if rel.startswith(EXCLUDED_DIRS):
-                continue
-            with open(path, encoding="utf-8") as f:
-                lines = f.read().splitlines()
-            findings += FileLinter(rel, lines, status_methods,
-                                   failpoint_sites).run()
-    findings += check_concurrent_label(
-        os.path.join(root, "tests", "CMakeLists.txt"),
-        os.path.join(root, "tests"),
-        "tests/",
-    )
-    findings += check_server_opcode_registry(root)
-    findings += check_nodiscard_decl(root)
-    return findings
-
-
-def lint_one_file(root, file_path, pretend_path):
-    status_methods = scan_status_methods(root)
-    failpoint_sites = scan_failpoint_sites(root)
-    with open(file_path, encoding="utf-8") as f:
-        lines = f.read().splitlines()
-    return FileLinter(pretend_path, lines, status_methods,
-                      failpoint_sites).run()
-
-
-def run_fixtures(root, fixtures_dir):
-    """Checks that every fixture fires exactly its declared findings.
-
-    Each fixture file declares where it pretends to live and what must fire:
-        // sfq-lint-path: src/core/broken.cc
-        // sfq-lint-expect: row-seed
-    A subdirectory with a CMakeLists.txt is a test-tree fixture for the
-    concurrent-label rule (expectations live in `# sfq-lint-expect:` there).
-    Exit status 0 means the linter behaved on every fixture -- both firing
-    on what is broken and staying silent on everything else.
-    """
-    ok = True
-    entries = sorted(os.listdir(fixtures_dir))
-    for entry in entries:
-        full = os.path.join(fixtures_dir, entry)
-        if os.path.isdir(full) and os.path.exists(
-            os.path.join(full, "CMakeLists.txt")
-        ):
-            with open(os.path.join(full, "CMakeLists.txt"), encoding="utf-8") as f:
-                text = f.read()
-            expected = set(re.findall(r"#\s*sfq-lint-expect:\s*([\w-]+)", text))
-            fired = {
-                f.rule
-                for f in check_concurrent_label(
-                    os.path.join(full, "CMakeLists.txt"), full, entry + "/"
-                )
-            }
-        elif entry.endswith(CXX_EXTENSIONS):
-            with open(full, encoding="utf-8") as f:
-                text = f.read()
-            pretend = re.search(r"sfq-lint-path:\s*(\S+)", text)
-            expected = set(re.findall(r"sfq-lint-expect:\s*([\w-]+)", text))
-            if not pretend:
-                print(f"FIXTURE ERROR {entry}: missing sfq-lint-path comment")
-                ok = False
-                continue
-            fired = {
-                f.rule for f in lint_one_file(root, full, pretend.group(1))
-            }
-        else:
-            continue
-        if fired == expected:
-            print(f"fixture OK   {entry}: {sorted(fired) or ['(silent)']}")
-        else:
-            print(
-                f"fixture FAIL {entry}: expected {sorted(expected)}, "
-                f"got {sorted(fired)}"
-            )
-            ok = False
-    return ok
-
-
-def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--root", default=None, help="repository root")
-    parser.add_argument("--check-file", help="lint a single file")
-    parser.add_argument(
-        "--as", dest="pretend", help="pretend path for --check-file"
-    )
-    parser.add_argument("--fixtures", help="run the fixture self-check")
-    parser.add_argument("--list-rules", action="store_true")
-    args = parser.parse_args()
-
-    if args.list_rules:
-        print("\n".join("sfq-" + r for r in RULE_IDS))
-        return 0
-
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__))
-    )
-
-    if args.fixtures:
-        return 0 if run_fixtures(root, args.fixtures) else 1
-
-    if args.check_file:
-        pretend = args.pretend or os.path.relpath(args.check_file, root)
-        findings = lint_one_file(root, args.check_file, pretend)
-    else:
-        findings = lint_repo(root)
-
-    for f in findings:
-        print(f.render())
-    if findings:
-        print(f"sfq-lint: {len(findings)} finding(s)")
-        return 1
-    print("sfq-lint: OK")
-    return 0
-
+from sfq_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,79 @@
+"""Finding record + the NOLINT-with-reason suppression protocol.
+
+Every line-anchored rule in the checker routes its report through
+`report_unless_suppressed`, so the suppression grammar is identical across
+the per-file rules and the whole-program passes:
+
+    offending();  // NOLINT(sfq-<rule>): <why this is safe>
+    // NOLINTNEXTLINE(sfq-<rule>): <why this is safe>
+    offending();
+
+The reason is mandatory; a bare suppression is itself a finding.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [sfq-{self.rule}] {self.message}"
+
+    def render_json(self) -> str:
+        """One finding as one JSON object (the --json schema; see
+        docs/STATIC_ANALYSIS.md)."""
+        return json.dumps(
+            {
+                "path": self.path,
+                "line": self.line,
+                "rule": "sfq-" + self.rule,
+                "message": self.message,
+            },
+            sort_keys=False,
+        )
+
+
+_SUPPRESS_RE_CACHE: dict[str, re.Pattern] = {}
+
+
+def _suppress_re(tag: str) -> re.Pattern:
+    if tag not in _SUPPRESS_RE_CACHE:
+        _SUPPRESS_RE_CACHE[tag] = re.compile(
+            rf"//\s*{tag}\(sfq-([\w-]+)\)(.*)")
+    return _SUPPRESS_RE_CACHE[tag]
+
+
+def report_unless_suppressed(findings, raw_lines, path, idx, rule, message):
+    """Appends a Finding at 0-based line `idx` unless a justified
+    NOLINT/NOLINTNEXTLINE for `rule` covers it. A suppression without a
+    reason is converted into its own finding (the gate must stay auditable).
+    """
+    line = raw_lines[idx] if idx < len(raw_lines) else ""
+    prev = raw_lines[idx - 1] if idx > 0 else ""
+    for text, tag in ((line, "NOLINT"), (prev, "NOLINTNEXTLINE")):
+        m = _suppress_re(tag).search(text)
+        if m and m.group(1) == rule:
+            rest = m.group(2)
+            if not rest.lstrip().startswith(":") or not rest.lstrip(
+                ": "
+            ).strip():
+                findings.append(
+                    Finding(
+                        path,
+                        idx + 1,
+                        rule,
+                        "suppression without a reason -- write "
+                        f"NOLINT(sfq-{rule}): <why this is safe>",
+                    )
+                )
+            return
+    findings.append(Finding(path, idx + 1, rule, message))

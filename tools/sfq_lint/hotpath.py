@@ -1,0 +1,105 @@
+"""Hot-path purity analysis (rule: hot-path).
+
+A function annotated with `// sfq-hot-path` on the line(s) above its
+signature is declared allocation- and exception-free: it runs per batch in
+the ingest inner loop, where the SIMD wins recorded in
+BENCH_throughput.json live or die by the loop staying malloc- and
+branch-miss-free (the DataSketches speed study attributes most of its
+throughput to exactly this). Inside the annotated body these are errors:
+
+  * `new` / `make_unique` / `make_shared`,
+  * C allocators (`malloc`, `calloc`, `realloc`, `aligned_alloc`, ...),
+  * growing container calls (`push_back`, `emplace_back`, `resize`,
+    `reserve`, `insert`, `append`, `emplace`),
+  * `throw`,
+  * `Status`-allocating factories (`Status::InvalidArgument(...)` etc. —
+    everything but `Status::OK()` builds a message string).
+
+The annotation is enforcement, not documentation: adding an allocation to
+a `// sfq-hot-path` function fails lint even though it would sail through
+the perf gate on a machine where the regression hides in run-to-run noise.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .findings import report_unless_suppressed
+
+ANNOTATION_RE = re.compile(r"//\s*sfq-hot-path\b")
+
+# How far below the annotation the function's opening brace may sit
+# (signatures wrap, but not indefinitely).
+MAX_SIGNATURE_SPAN = 15
+
+BANNED = [
+    (re.compile(r"\bnew\b"), "operator new allocates"),
+    (re.compile(
+        r"\b(?:malloc|calloc|realloc|aligned_alloc|strdup|posix_memalign)"
+        r"\s*\("),
+     "C allocator call"),
+    (re.compile(r"\bmake_(?:unique|shared)\b"), "heap allocation"),
+    (re.compile(
+        r"(?:\.|->)\s*(?:push_back|emplace_back|resize|reserve|insert|"
+        r"append|emplace)\s*\("),
+     "growing container call (may reallocate)"),
+    (re.compile(r"\bthrow\b"), "throw unwinds the hot loop"),
+    (re.compile(r"\bStatus\s*::\s*(?!OK\b)[A-Z]\w*\s*\("),
+     "Status factory allocates its message"),
+]
+
+
+def check_file(relpath, raw_lines, code):
+    """Hot-path findings for one file. Returns [Finding]."""
+    findings = []
+    idx = 0
+    n = len(code)
+    while idx < n:
+        if not ANNOTATION_RE.search(raw_lines[idx]):
+            idx += 1
+            continue
+        open_idx = _find_open_brace(code, idx)
+        if open_idx is None:
+            report_unless_suppressed(
+                findings, raw_lines, relpath, idx, "hot-path",
+                "// sfq-hot-path annotation with no function body within "
+                f"{MAX_SIGNATURE_SPAN} lines; attach it directly above the "
+                "function it constrains.")
+            idx += 1
+            continue
+        end_idx = _find_close(code, open_idx)
+        for body_idx in range(open_idx, end_idx + 1):
+            line = code[body_idx]
+            for pat, why in BANNED:
+                m = pat.search(line)
+                if m:
+                    report_unless_suppressed(
+                        findings, raw_lines, relpath, body_idx, "hot-path",
+                        f"'{m.group(0).strip()}' inside a // sfq-hot-path "
+                        f"function: {why}. The ingest inner loop must stay "
+                        "allocation- and exception-free (see "
+                        "docs/PERFORMANCE.md); hoist the allocation out or "
+                        "use a fixed stack buffer.")
+        idx = end_idx + 1
+    return findings
+
+
+def _find_open_brace(code, start):
+    """Line index of the function's opening `{`, or None."""
+    for idx in range(start, min(start + MAX_SIGNATURE_SPAN, len(code))):
+        line = code[idx]
+        if ";" in line.split("{")[0]:
+            return None  # a declaration ended before any body opened
+        if "{" in line:
+            return idx
+    return None
+
+
+def _find_close(code, open_idx):
+    """Line index of the matching closing brace (inclusive)."""
+    depth = 0
+    for idx in range(open_idx, len(code)):
+        depth += code[idx].count("{") - code[idx].count("}")
+        if depth <= 0:
+            return idx
+    return len(code) - 1

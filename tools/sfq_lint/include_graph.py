@@ -1,0 +1,275 @@
+"""Include-graph builder + layer-DAG enforcement (rule: layer-dag).
+
+The intended architecture is declared once, in `tools/layers.toml`, as an
+ordered list of layers, lowest first; each layer owns one or more directory
+prefixes. Two whole-program invariants are enforced over the `#include ""`
+graph of those directories:
+
+  * **no back-edges** — a file may only include files in its own layer or a
+    lower one. The finding is anchored at the offending include line, so
+    the usual NOLINT(sfq-layer-dag) protocol applies to it.
+  * **no include cycles** — any strongly connected component in the
+    file-level graph is reported with one concrete cycle path
+    (`a.h -> b.h -> a.h`), anchored at the include in the lexicographically
+    smallest file of the cycle.
+
+Only quoted includes are considered (system `<...>` includes are outside
+the architecture); a quoted target is resolved against the repository
+`src/` root, matching the tree's `#include "server/protocol.h"` idiom.
+Layer classification is purely textual (directory prefixes), so the
+back-edge half also works in single-file / fixture mode where the include
+target does not exist on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from .findings import Finding, report_unless_suppressed
+from .tokenizer import code_lines
+
+CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+# The code view blanks literal contents (`#include ""`), so live-ness of an
+# include line is checked against this prefix only.
+INCLUDE_CODE_RE = re.compile(r'^\s*#\s*include\s*"')
+
+LAYERS_SCHEMA = "sfq-layers-v1"
+
+
+class LayerSpec:
+    """The ordered layer list parsed from layers.toml."""
+
+    def __init__(self, names, dir_map):
+        self.names = names  # ordered, lowest layer first
+        self._rank = {n: i for i, n in enumerate(names)}
+        # dir prefix (no trailing slash) -> layer name; longest prefix wins.
+        self._dirs = sorted(dir_map.items(), key=lambda kv: -len(kv[0]))
+
+    def layer_of(self, relpath):
+        """Layer name owning `relpath`, or None if unclassified."""
+        for prefix, name in self._dirs:
+            if relpath == prefix or relpath.startswith(prefix + "/"):
+                return name
+        return None
+
+    def rank(self, layer_name):
+        return self._rank[layer_name]
+
+
+def load_layers(toml_path, rel_toml_path):
+    """Parses layers.toml. Returns (LayerSpec|None, [Finding])."""
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - python < 3.11
+        return None, []  # cannot parse; disable the rule rather than lie
+    try:
+        with open(toml_path, "rb") as f:
+            data = tomllib.load(f)
+    except OSError:
+        return None, [Finding(
+            rel_toml_path, 1, "layer-dag",
+            "tools/layers.toml is missing: the layer-DAG has nothing to "
+            "enforce. Restore the declared architecture (see "
+            "docs/STATIC_ANALYSIS.md).")]
+    except tomllib.TOMLDecodeError as err:
+        return None, [Finding(
+            rel_toml_path, 1, "layer-dag",
+            f"layers.toml does not parse: {err}")]
+    if data.get("schema") != LAYERS_SCHEMA:
+        return None, [Finding(
+            rel_toml_path, 1, "layer-dag",
+            f"layers.toml schema is {data.get('schema')!r}; expected "
+            f"{LAYERS_SCHEMA!r}.")]
+    names, dir_map = [], {}
+    for layer in data.get("layer", []):
+        name = layer.get("name")
+        dirs = layer.get("dirs")
+        if not name or not isinstance(dirs, list) or not dirs:
+            return None, [Finding(
+                rel_toml_path, 1, "layer-dag",
+                "every [[layer]] needs a `name` and a non-empty `dirs` "
+                "list.")]
+        names.append(name)
+        for d in dirs:
+            dir_map[d.rstrip("/")] = name
+    if len(names) < 2:
+        return None, [Finding(
+            rel_toml_path, 1, "layer-dag",
+            "layers.toml declares fewer than two layers; the DAG is "
+            "vacuous.")]
+    return LayerSpec(names, dir_map), []
+
+
+def classify_include(target):
+    """Repo-relative path an include target is judged as (textual)."""
+    if target.startswith(("src/", "tools/", "tests/", "bench/")):
+        return target
+    return "src/" + target
+
+
+def file_includes(raw_lines, code):
+    """Yields (0-based line idx, target) for real quoted includes.
+
+    The raw line carries the target (the code view blanks string contents);
+    the code view proves the line is live code, not a comment.
+    """
+    for idx, raw in enumerate(raw_lines):
+        m = INCLUDE_RE.match(raw)
+        if m and INCLUDE_CODE_RE.match(code[idx] if idx < len(code) else ""):
+            yield idx, m.group(1)
+
+
+def check_file_back_edges(relpath, raw_lines, code, spec):
+    """Back-edge findings for one file (also used by fixture mode)."""
+    findings = []
+    if spec is None or not relpath.endswith(CXX_EXTENSIONS):
+        return findings
+    from_layer = spec.layer_of(relpath)
+    if from_layer is None:
+        return findings
+    for idx, target in file_includes(raw_lines, code):
+        to_layer = spec.layer_of(classify_include(target))
+        if to_layer is None or to_layer == from_layer:
+            continue
+        if spec.rank(to_layer) > spec.rank(from_layer):
+            report_unless_suppressed(
+                findings, raw_lines, relpath, idx, "layer-dag",
+                f'include of "{target}" is a layer back-edge: '
+                f"{from_layer} -> {to_layer}, but the declared order in "
+                f"tools/layers.toml is {' -> '.join(spec.names)}. Move the "
+                "dependency down a layer or invert it behind an interface.")
+    return findings
+
+
+def analyze(root, spec, layer_findings, toml_rel="tools/layers.toml"):
+    """Runs both layer-DAG halves over the tree. Returns [Finding]."""
+    findings = list(layer_findings)
+    if spec is None:
+        return findings
+
+    # file -> (raw_lines, code_lines); edges: file -> [(idx, resolved)]
+    texts = {}
+    edges = {}
+    scan_dirs = sorted({prefix for prefix, _ in spec._dirs})
+    for top in scan_dirs:
+        for path in _walk(os.path.join(root, top)):
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            try:
+                with open(path, encoding="utf-8") as f:
+                    text = f.read()
+            except OSError:
+                continue
+            raw = text.splitlines()
+            code = code_lines(text)
+            texts[rel] = (raw, code)
+            findings += check_file_back_edges(rel, raw, code, spec)
+            edges[rel] = []
+            for idx, target in file_includes(raw, code):
+                resolved = classify_include(target)
+                if os.path.exists(os.path.join(root, resolved)):
+                    edges[rel].append((idx, resolved))
+
+    findings += _cycle_findings(edges, texts)
+    return findings
+
+
+def _walk(top):
+    for dirpath, _, names in os.walk(top):
+        for name in sorted(names):
+            if name.endswith(CXX_EXTENSIONS):
+                yield os.path.join(dirpath, name)
+
+
+def _cycle_findings(edges, texts):
+    """One finding per include SCC, with a concrete cycle path."""
+    adj = {f: sorted(t for _, t in targets if t in edges)
+           for f, targets in edges.items()}
+    findings = []
+    for scc in _tarjan(adj):
+        if len(scc) == 1 and scc[0] not in adj.get(scc[0], []):
+            continue
+        start = min(scc)
+        path = _cycle_path(adj, set(scc), start)
+        anchor_idx = 0
+        raw = texts.get(start, ([], []))[0]
+        next_hop = path[1] if len(path) > 1 else start
+        for idx, target in edges.get(start, []):
+            if target == next_hop:
+                anchor_idx = idx
+                break
+        report_unless_suppressed(
+            findings, raw, start, anchor_idx, "layer-dag",
+            "include cycle: " + " -> ".join(path) + " -> " + start +
+            ". Break it with a forward declaration or by extracting the "
+            "shared piece into a lower layer.")
+    return findings
+
+
+def _cycle_path(adj, scc, start):
+    """Deterministic cycle through `start` inside its SCC."""
+    stack = [(start, [start])]
+    seen = {start}
+    while stack:
+        node, path = stack.pop()
+        for nxt in sorted(adj.get(node, []), reverse=True):
+            if nxt == start and len(path) >= 1 and (len(path) > 1 or
+                                                    nxt in adj.get(node, [])):
+                return path
+            if nxt in scc and nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, path + [nxt]))
+    return [start]
+
+
+def _tarjan(adj):
+    """Iterative Tarjan SCC; deterministic (sorted roots and neighbors)."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    for root_node in sorted(adj):
+        if root_node in index:
+            continue
+        work = [(root_node, iter(sorted(adj.get(root_node, []))))]
+        index[root_node] = low[root_node] = counter[0]
+        counter[0] += 1
+        stack.append(root_node)
+        on_stack.add(root_node)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in adj:
+                    continue
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(adj.get(nxt, [])))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs

@@ -1,0 +1,138 @@
+"""Lightweight C++ tokenizer: the lexical substrate under every sfq-lint rule.
+
+sfq-lint v1 stripped comments and string contents with a per-line scanner
+(`strip_code`), which meant block comments leaked into the "code" view and a
+raw string containing `std::mutex` could fire raw-mutex. This module is a
+small state machine over the whole translation unit that produces a *code
+view* with the same shape as the source:
+
+  * `//` line comments and `/* ... */` block comments are removed (block
+    comments spanning lines leave the newlines in place, so line numbers in
+    the code view always match the source);
+  * string and character literals keep their delimiters but lose their
+    contents (`"abc"` -> `""`), so rule regexes can still see "a string
+    starts here" without matching inside it;
+  * raw strings `R"tag(...)tag"` are recognized and blanked the same way,
+    including multi-line bodies;
+  * digit separators (`1'000'000`, `0xFFFF'FFFF`) are kept verbatim — they
+    are part of a numeric token, not a character literal.
+
+Rules operate on `code_lines(text)`; suppression comments (`NOLINT`) and
+annotation comments (`sfq-hot-path`, `sfq-lint-path`) are read from the raw
+lines, which are never modified.
+"""
+
+from __future__ import annotations
+
+_HEX = set("0123456789abcdefABCDEF")
+
+
+def strip_to_code(text: str) -> str:
+    """Returns `text` with comments removed and literal contents blanked.
+
+    Newlines are preserved exactly (including the ones inside block comments
+    and raw strings), so `strip_to_code(t).splitlines()` lines up 1:1 with
+    `t.splitlines()`.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+
+        # -- comments ------------------------------------------------------
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2 if i < n else 0
+            continue
+
+        # -- raw strings ---------------------------------------------------
+        if c == "R" and nxt == '"' and _is_raw_string_start(out):
+            i += 2  # past R"
+            delim_end = i
+            while delim_end < n and text[delim_end] not in '(\n"\\':
+                delim_end += 1
+            if delim_end < n and text[delim_end] == "(":
+                closer = ")" + text[i:delim_end] + '"'
+                out.append('R"')
+                i = delim_end + 1
+                end = text.find(closer, i)
+                if end == -1:
+                    out.append("\n" * text.count("\n", i))
+                    out.append('"')
+                    return "".join(out)
+                out.append("\n" * text.count("\n", i, end))
+                out.append('"')
+                i = end + len(closer)
+                continue
+            # `R"` not followed by a raw-string delimiter: fall through and
+            # treat the quote as an ordinary string start.
+            out.append("R")
+            i -= 1  # reprocess the quote below
+            c, nxt = '"', (text[i + 1] if i + 1 < n else "")
+
+        # -- ordinary string literals -------------------------------------
+        if c == '"':
+            out.append('"')
+            i += 1
+            while i < n and text[i] not in '"\n':
+                i += 2 if text[i] == "\\" else 1
+            if i < n and text[i] == '"':
+                out.append('"')
+                i += 1
+            continue
+
+        # -- character literals vs digit separators ------------------------
+        if c == "'":
+            prev = out[-1][-1] if out and out[-1] else ""
+            if prev in _HEX and i + 1 < n and text[i + 1] in _HEX:
+                out.append("'")  # digit separator inside a numeric literal
+                i += 1
+                continue
+            out.append("'")
+            i += 1
+            while i < n and text[i] not in "'\n":
+                i += 2 if text[i] == "\\" else 1
+            if i < n and text[i] == "'":
+                out.append("'")
+                i += 1
+            continue
+
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _is_raw_string_start(out: list[str]) -> bool:
+    """True when a just-seen `R"` begins a raw string (not e.g. `STR"`)."""
+    if not out:
+        return True
+    tail = out[-1]
+    prev = tail[-1] if tail else ""
+    # An identifier character before the R would make it part of another
+    # identifier (FOO_R"..." is not a raw string; u8R/LR prefixes are rare
+    # enough in this tree to ignore).
+    return not (prev.isalnum() or prev == "_")
+
+
+def code_lines(text: str) -> list[str]:
+    """The comment-free, literal-blanked view of `text`, split into lines.
+
+    Guaranteed to have exactly as many lines as `text.splitlines()`.
+    """
+    raw = text.splitlines()
+    code = strip_to_code(text).splitlines()
+    # Defensive: trailing-newline differences must never desynchronize the
+    # views the rules index in parallel.
+    while len(code) < len(raw):
+        code.append("")
+    return code[: len(raw)]
