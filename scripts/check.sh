@@ -3,7 +3,9 @@
 #
 #   scripts/check.sh --quick    lint + build + ctest + TSan concurrent
 #                               re-check + 200-iteration chaos profile
-#                               (incl. server failpoints) + server smoke
+#                               (incl. server failpoints and the 200-
+#                               iteration kill-restart recovery campaign)
+#                               + server smoke
 #   scripts/check.sh            the above, plus benchmarks, examples, an
 #                               ASan/UBSan build running the full suite,
 #                               a failpoints-compiled-out sanity build,
@@ -98,7 +100,8 @@ cmake -B build-tsan "${GEN[@]}" \
   -DCMAKE_CXX_FLAGS=-fsanitize=thread \
   -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread
 cmake --build build-tsan --target parallel_ingestor_test batch_add_test \
-  batch_queue_test failpoint_test chaos_test server_e2e_test
+  batch_queue_test failpoint_test chaos_test server_e2e_test \
+  server_recovery_test
 ctest --test-dir build-tsan -L concurrent --output-on-failure
 
 # Server smoke: boot `sfq serve`, run one tenant through its lifecycle,
@@ -110,8 +113,13 @@ scripts/serve_smoke.sh build/tools/sfq
 # clean error Status or a sketch passing its guarantee checker over the
 # effective stream; a failure prints a replayable seed/schedule/program.
 # --server folds the serve-path failpoints into the campaign.
+# --server-restart SIGKILLs a real `sfq serve` daemon at armed crash
+# points and asserts WAL+snapshot recovery (conservation ledger, ack
+# durability, bit-identical sketches on loss-free runs; docs/SERVER.md).
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 200
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 40 --server true
+build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 200 \
+  --server-restart true
 
 if [[ "$QUICK" -eq 1 ]]; then
   echo "check.sh --quick: OK"
@@ -154,5 +162,7 @@ build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
   --iters "${SFQ_CHAOS_ITERS:-2000}"
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
   --iters "$(( ${SFQ_CHAOS_ITERS:-2000} / 10 ))" --server true
+build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
+  --iters "$(( ${SFQ_CHAOS_ITERS:-2000} / 4 ))" --server-restart true
 
 echo "check.sh: OK"

@@ -2,6 +2,8 @@
 # Server smoke test: boot `sfq serve` on a scratch Unix socket, drive one
 # tenant through its whole lifecycle with `sfq client`, and check the
 # answers line up (export must estimate bit-identically to the server).
+# Then reboot in durable mode (--data-dir), SIGKILL the daemon mid-life,
+# and check a restart recovers the tenant from WAL + snapshot.
 #
 #   scripts/serve_smoke.sh [path/to/sfq]
 #
@@ -18,29 +20,60 @@ fi
 DIR="$(mktemp -d /tmp/sfq_serve_smoke.XXXXXX)"
 SOCK="$DIR/serve.sock"
 SERVER_PID=""
+# One trap owns every resource the script can leak: whichever server
+# process is current (TERM first, then KILL if it lingers), the socket
+# file, and the scratch dir — on EXIT, INT, and TERM alike.
 cleanup() {
   if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
     kill "$SERVER_PID" 2>/dev/null || true
-    wait "$SERVER_PID" 2>/dev/null || true
+    for _ in $(seq 1 40); do
+      kill -0 "$SERVER_PID" 2>/dev/null || break
+      sleep 0.05
+    done
+    kill -9 "$SERVER_PID" 2>/dev/null || true
   fi
   rm -rf "$DIR"
 }
-trap cleanup EXIT
+trap cleanup EXIT INT TERM
+
+# Polls until $SERVER_PID is gone (the server is disowned, so `wait` does
+# not apply — and bash's async "Killed" notice stays out of the output).
+wait_gone() {
+  for _ in $(seq 1 200); do
+    kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=""; return 0; }
+    sleep 0.05
+  done
+  echo "serve_smoke: server $SERVER_PID did not exit" >&2
+  exit 1
+}
+
+# Boots `sfq serve $@` on $SOCK and waits for the bind. Any stale socket
+# file is removed first so a crashed predecessor cannot block the bind.
+start_server() {
+  rm -f "$SOCK"
+  "$SFQ" serve --socket "$SOCK" "$@" >>"$DIR/serve.log" 2>&1 &
+  SERVER_PID=$!
+  disown "$SERVER_PID"
+  for _ in $(seq 1 100); do
+    [[ -S "$SOCK" ]] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "serve_smoke: server died before binding $SOCK" >&2
+      cat "$DIR/serve.log" >&2
+      exit 1
+    fi
+    sleep 0.05
+  done
+  if [[ ! -S "$SOCK" ]]; then
+    echo "serve_smoke: server never bound $SOCK" >&2
+    cat "$DIR/serve.log" >&2
+    exit 1
+  fi
+}
 
 "$SFQ" generate --kind zipf --n 20000 --m 500 --z 1.2 --seed 7 \
   --out "$DIR/trace.bin" >/dev/null
 
-"$SFQ" serve --socket "$SOCK" >"$DIR/serve.log" 2>&1 &
-SERVER_PID=$!
-for _ in $(seq 1 100); do
-  [[ -S "$SOCK" ]] && break
-  sleep 0.05
-done
-if [[ ! -S "$SOCK" ]]; then
-  echo "serve_smoke: server never bound $SOCK" >&2
-  cat "$DIR/serve.log" >&2
-  exit 1
-fi
+start_server
 
 client() { "$SFQ" client --socket "$SOCK" "$@"; }
 
@@ -73,6 +106,50 @@ if client --op topk --tenant missing --k 1 >/dev/null 2>&1; then
 fi
 
 client --op shutdown >/dev/null
-wait "$SERVER_PID"
+wait_gone
+SERVER_PID=""
+
+# Durable mode: two tenants against --data-dir, then the daemon dies by
+# SIGKILL. "sealed" is sealed before the kill (its final snapshot is on
+# disk — answers must survive bit-for-bit); "live" is mid-ingest (it must
+# recover from WAL replay and keep accepting writes).
+DATA="$DIR/tenants"
+start_server --data-dir "$DATA"
+client --op create --tenant sealed --threads 2 --overflow shed >/dev/null
+client --op ingest --tenant sealed --trace "$DIR/trace.bin" >/dev/null
+client --op seal --tenant sealed >/dev/null
+before="$(client --op estimate --tenant sealed --item 42)"
+client --op create --tenant live --threads 2 --overflow shed >/dev/null
+client --op ingest --tenant live --trace "$DIR/trace.bin" >/dev/null
+kill -9 "$SERVER_PID"
+wait_gone
+SERVER_PID=""
+
+start_server --data-dir "$DATA"
+for t in sealed live; do
+  recovery="$(client --op recoveryinfo --tenant "$t")"
+  case "$recovery" in
+    *'"recovered":true'*) ;;
+    *) echo "serve_smoke: restart did not recover '$t': $recovery" >&2
+       exit 1 ;;
+  esac
+done
+after="$(client --op estimate --tenant sealed --item 42)"
+if [[ "$before" != "$after" ]]; then
+  echo "serve_smoke: sealed estimate changed across kill-restart" \
+       "(before=$before after=$after)" >&2
+  exit 1
+fi
+# Sealed stays read-only; live keeps accepting writes on the new journal.
+if client --op ingest --tenant sealed --trace "$DIR/trace.bin" \
+    >/dev/null 2>&1; then
+  echo "serve_smoke: sealed tenant accepted ingest after restart" >&2
+  exit 1
+fi
+client --op topk --tenant live --k 5 >/dev/null
+client --op ingest --tenant live --trace "$DIR/trace.bin" >/dev/null
+client --op seal --tenant live >/dev/null
+client --op shutdown >/dev/null
+wait_gone
 SERVER_PID=""
 echo "serve_smoke: OK"

@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <thread>
 #include <utility>
@@ -143,8 +144,16 @@ class ParallelIngestor {
   /// Validates options, builds the accumulator and every worker's private
   /// sketch up front (so factory errors surface here, not mid-stream),
   /// publishes an empty epoch-0 snapshot, and starts the workers.
-  static Result<std::unique_ptr<ParallelIngestor>> Make(Factory factory,
-                                                        IngestOptions options) {
+  ///
+  /// When `initial` is set it replaces the factory-built accumulator: the
+  /// epoch-0 snapshot and every later fold include that state. This is the
+  /// crash-recovery seam — the server seeds a recovered sketch here and
+  /// then replays only the journal tail (sketch linearity makes the result
+  /// identical to re-ingesting the whole stream). `initial` must be
+  /// mergeable with the factory's sketches (same geometry and seed).
+  static Result<std::unique_ptr<ParallelIngestor>> Make(
+      Factory factory, IngestOptions options,
+      std::optional<SketchT> initial = std::nullopt) {
     if (options.threads == 0) {
       return Status::InvalidArgument("ParallelIngestor: threads must be >= 1");
     }
@@ -157,6 +166,7 @@ class ParallelIngestor {
     }
     options.sample_keep_one_in = std::max<size_t>(2, options.sample_keep_one_in);
     STREAMFREQ_ASSIGN_OR_RETURN(SketchT accumulated, factory());
+    if (initial) accumulated = std::move(*initial);
     std::vector<SketchT> locals;
     locals.reserve(options.threads);
     for (size_t i = 0; i < options.threads; ++i) {

@@ -12,7 +12,6 @@ namespace streamfreq {
 
 namespace {
 
-constexpr uint64_t kFileMagic = 0x5346515346303153ULL;  // "SFQSKF01"-ish tag
 constexpr size_t kHeaderSize = 20;  // u64 magic + u64 length + u32 crc
 
 // Writes `blob` (or its first `len` bytes) to `path`, checking every stage:
@@ -30,12 +29,11 @@ Status WriteBlob(const std::string& path, const std::string& blob,
 
 }  // namespace
 
-Status WriteSketchFile(const std::string& path, const CountSketch& sketch) {
+Status WriteBlobFileAtomic(const std::string& path, uint64_t magic,
+                           const std::string& payload) {
   std::string blob;
   ByteWriter w(&blob);
-  w.PutU64(kFileMagic);
-  std::string payload;
-  sketch.SerializeTo(&payload);
+  w.PutU64(magic);
   w.PutU64(payload.size());
   const uint32_t crc =
       crc32c::Mask(crc32c::Value(payload.data(), payload.size()));
@@ -43,6 +41,7 @@ Status WriteSketchFile(const std::string& path, const CountSketch& sketch) {
   blob += payload;
 
   if (const FailDecision fp = SFQ_FAILPOINT("sketch_io.write"); fp) {
+    MaybeDieAtFailpoint(fp);  // power cut before any byte lands
     if (fp.action == FailAction::kTorn) {
       // Simulate a crash mid-write of a non-atomic writer: a prefix of the
       // blob lands at the *destination* path, bypassing the temp+rename
@@ -63,10 +62,12 @@ Status WriteSketchFile(const std::string& path, const CountSketch& sketch) {
     std::remove(tmp_path.c_str());
     return write_status;
   }
-  if (const FailDecision fp = SFQ_FAILPOINT("sketch_io.rename");
-      fp.action == FailAction::kError) {
-    std::remove(tmp_path.c_str());
-    return Status::IoError("injected failure: sketch_io.rename: " + path);
+  if (const FailDecision fp = SFQ_FAILPOINT("sketch_io.rename"); fp) {
+    MaybeDieAtFailpoint(fp);  // power cut with the temp written, not renamed
+    if (fp.action == FailAction::kError) {
+      std::remove(tmp_path.c_str());
+      return Status::IoError("injected failure: sketch_io.rename: " + path);
+    }
   }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
@@ -75,7 +76,8 @@ Status WriteSketchFile(const std::string& path, const CountSketch& sketch) {
   return Status::OK();
 }
 
-Result<CountSketch> ReadSketchFile(const std::string& path) {
+Result<std::string> ReadBlobFileVerified(const std::string& path,
+                                         uint64_t magic) {
   const FailDecision fp = SFQ_FAILPOINT("sketch_io.read");
   if (fp.action == FailAction::kError) {
     return Status::IoError("injected failure: sketch_io.read: " + path);
@@ -87,18 +89,18 @@ Result<CountSketch> ReadSketchFile(const std::string& path) {
   char header[kHeaderSize];
   in.read(header, sizeof(header));
   if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
-    return Status::Corruption("truncated sketch file header: " + path);
+    return Status::Corruption("truncated blob file header: " + path);
   }
-  uint64_t magic, payload_len;
+  uint64_t stored_magic, payload_len;
   uint32_t stored_crc;
-  std::memcpy(&magic, header, 8);
+  std::memcpy(&stored_magic, header, 8);
   std::memcpy(&payload_len, header + 8, 8);
   std::memcpy(&stored_crc, header + 16, 4);
-  if (magic != kFileMagic) {
-    return Status::Corruption("bad sketch file magic: " + path);
+  if (stored_magic != magic) {
+    return Status::Corruption("bad blob file magic: " + path);
   }
   if (payload_len > (1ull << 40)) {
-    return Status::Corruption("implausible sketch payload length: " + path);
+    return Status::Corruption("implausible blob payload length: " + path);
   }
   // Check the declared length against the actual file size BEFORE
   // allocating: a corrupted length field must not trigger a giant
@@ -109,21 +111,21 @@ Result<CountSketch> ReadSketchFile(const std::string& path) {
   in.seekg(payload_start);
   const uint64_t available = static_cast<uint64_t>(file_end - payload_start);
   if (payload_len > available) {
-    return Status::Corruption("truncated sketch payload: " + path);
+    return Status::Corruption("truncated blob payload: " + path);
   }
   if (payload_len < available) {
-    return Status::Corruption("trailing bytes after sketch payload: " + path);
+    return Status::Corruption("trailing bytes after blob payload: " + path);
   }
 
   std::string payload(payload_len, '\0');
   in.read(payload.data(), static_cast<std::streamsize>(payload_len));
   if (in.gcount() != static_cast<std::streamsize>(payload_len)) {
-    return Status::Corruption("truncated sketch payload: " + path);
+    return Status::Corruption("truncated blob payload: " + path);
   }
   // A complete file has nothing after the payload; trailing bytes mean the
   // length field and the contents disagree.
   if (in.peek() != std::ifstream::traits_type::eof()) {
-    return Status::Corruption("trailing bytes after sketch payload: " + path);
+    return Status::Corruption("trailing bytes after blob payload: " + path);
   }
 
   if (fp.action == FailAction::kBitFlip && !payload.empty()) {
@@ -135,8 +137,20 @@ Result<CountSketch> ReadSketchFile(const std::string& path) {
 
   const uint32_t actual = crc32c::Value(payload.data(), payload.size());
   if (crc32c::Unmask(stored_crc) != actual) {
-    return Status::Corruption("sketch payload checksum mismatch: " + path);
+    return Status::Corruption("blob payload checksum mismatch: " + path);
   }
+  return payload;
+}
+
+Status WriteSketchFile(const std::string& path, const CountSketch& sketch) {
+  std::string payload;
+  sketch.SerializeTo(&payload);
+  return WriteBlobFileAtomic(path, kSketchFileMagic, payload);
+}
+
+Result<CountSketch> ReadSketchFile(const std::string& path) {
+  STREAMFREQ_ASSIGN_OR_RETURN(std::string payload,
+                              ReadBlobFileVerified(path, kSketchFileMagic));
   return CountSketch::Deserialize(payload);
 }
 

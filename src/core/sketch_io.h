@@ -1,25 +1,28 @@
-// Checksummed on-disk persistence for Count-Sketches.
+// Checksummed on-disk persistence for Count-Sketches and other blobs.
 //
 // File format (little-endian):
-//   u64 magic "SFQSKF01"
+//   u64 magic (e.g. "SFQSKF01" for sketch checkpoints)
 //   u64 payload length
 //   u32 masked CRC-32C of the payload
-//   payload = CountSketch::SerializeTo bytes
+//   payload bytes
 //
-// The CRC catches torn writes and bit rot; Deserialize inside the payload
-// additionally validates structure. Use these for checkpointing long-lived
-// sketches or shipping them between nodes (the distributed-aggregation
-// pattern the paper's additivity enables).
+// The CRC catches torn writes and bit rot; the caller's decoder inside the
+// payload additionally validates structure. Use these for checkpointing
+// long-lived sketches or shipping them between nodes (the distributed-
+// aggregation pattern the paper's additivity enables). The server's
+// durability layer (src/server/wal.h, snapshotter.h) reuses the generic
+// blob entry points so every durable artifact shares one write discipline.
 //
-// Crash consistency: WriteSketchFile lands the bytes in `path + ".tmp"` and
-// publishes them with rename — atomic within a directory on POSIX — so a
-// crash mid-save leaves the previous checkpoint intact, never a prefix.
-// ReadSketchFile treats every adversarial input as data, not UB: short
-// reads, wrong magic, implausible lengths, trailing bytes, and checksum
-// mismatches all come back as Corruption (see the corruption-matrix cases
-// in tests/sketch_io_test.cc, exercised under ASan/UBSan by check.sh).
+// Crash consistency: writes land the bytes in `path + ".tmp"` and publish
+// them with rename — atomic within a directory on POSIX — so a crash
+// mid-save leaves the previous checkpoint intact, never a prefix. Reads
+// treat every adversarial input as data, not UB: short reads, wrong magic,
+// implausible lengths, trailing bytes, and checksum mismatches all come
+// back as Corruption (see the corruption-matrix cases in
+// tests/sketch_io_test.cc, exercised under ASan/UBSan by check.sh).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/count_sketch.h"
@@ -27,9 +30,26 @@
 
 namespace streamfreq {
 
-/// Writes `sketch` to `path` atomically: bytes land in `path + ".tmp"` and
-/// are published by rename, so concurrent readers and crash recovery see
-/// either the old file or the new one in full.
+/// Magic tag of sketch checkpoint files ("SFQSKF01").
+constexpr uint64_t kSketchFileMagic = 0x5346515346303153ULL;
+
+/// Writes `magic` + length + masked CRC-32C + `payload` to `path`
+/// atomically: bytes land in `path + ".tmp"` and are published by rename,
+/// so concurrent readers and crash recovery see either the old file or the
+/// new one in full. Carries the `sketch_io.write` / `sketch_io.rename`
+/// failpoints (including process-death mid-publish in crash-kills-process
+/// mode — see util/failpoint.h).
+Status WriteBlobFileAtomic(const std::string& path, uint64_t magic,
+                           const std::string& payload);
+
+/// Reads and verifies a file written by WriteBlobFileAtomic, returning the
+/// payload bytes. Corruption (bad magic, bad CRC, truncation, trailing
+/// bytes) is distinguished from filesystem errors. Carries the
+/// `sketch_io.read` failpoint.
+Result<std::string> ReadBlobFileVerified(const std::string& path,
+                                         uint64_t magic);
+
+/// Writes `sketch` to `path` atomically (kSketchFileMagic framing).
 Status WriteSketchFile(const std::string& path, const CountSketch& sketch);
 
 /// Reads a sketch written by WriteSketchFile. Corruption (bad magic, bad

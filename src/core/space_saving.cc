@@ -162,6 +162,40 @@ std::vector<ItemCount> SpaceSaving::GuaranteedAtLeast(Count threshold) const {
   return out;
 }
 
+std::vector<SpaceSavingEntry> SpaceSaving::Entries() const {
+  std::vector<SpaceSavingEntry> out;
+  out.reserve(heap_.size());
+  for (const Slot& s : heap_) out.push_back({s.item, s.count, s.error});
+  return out;
+}
+
+Result<SpaceSaving> SpaceSaving::FromEntries(
+    size_t capacity, std::span<const SpaceSavingEntry> entries) {
+  STREAMFREQ_ASSIGN_OR_RETURN(SpaceSaving summary, Make(capacity));
+  if (entries.size() > capacity) {
+    return Status::InvalidArgument(
+        "SpaceSaving::FromEntries: more entries than capacity");
+  }
+  for (const SpaceSavingEntry& e : entries) {
+    if (e.count == 0) {
+      return Status::InvalidArgument(
+          "SpaceSaving::FromEntries: zero-count entry");
+    }
+    if (e.count < e.error) {
+      return Status::InvalidArgument(
+          "SpaceSaving::FromEntries: count below error bound");
+    }
+    if (summary.position_.count(e.item) != 0) {
+      return Status::InvalidArgument(
+          "SpaceSaving::FromEntries: duplicate item");
+    }
+    summary.heap_.push_back({e.item, e.count, e.error});
+    summary.position_[e.item] = summary.heap_.size() - 1;
+    summary.SiftUp(summary.heap_.size() - 1);
+  }
+  return summary;
+}
+
 size_t SpaceSaving::SpaceBytes() const {
   return heap_.size() * sizeof(Slot) +
          position_.size() * (sizeof(ItemId) + sizeof(size_t) + sizeof(void*));

@@ -25,6 +25,16 @@
 
 namespace streamfreq {
 
+/// One monitored (item, count, error) triple, as exposed by Entries() and
+/// consumed by FromEntries(). Serializing these — rather than replaying the
+/// items as weighted Adds — preserves the error bounds, so GuaranteedAtLeast
+/// keeps its lower-bound meaning across a save/restore cycle.
+struct SpaceSavingEntry {
+  ItemId item;
+  Count count;
+  Count error;
+};
+
 /// Space-Saving summary.
 class SpaceSaving final : public StreamSummary {
  public:
@@ -72,6 +82,16 @@ class SpaceSaving final : public StreamSummary {
   /// counts remain upper bounds on union counts and count - error remains
   /// a lower bound. Requires equal capacities.
   Status Merge(const SpaceSaving& other);
+
+  /// Every monitored triple in unspecified order (heap order). Pair with
+  /// FromEntries for exact state round-trips (persistence, snapshots).
+  std::vector<SpaceSavingEntry> Entries() const;
+
+  /// Rebuilds a summary from previously captured Entries(). Rejects
+  /// duplicates, more entries than `capacity`, zero counts, and
+  /// count < error (each would silently corrupt the guarantees).
+  static Result<SpaceSaving> FromEntries(
+      size_t capacity, std::span<const SpaceSavingEntry> entries);
 
   size_t capacity() const { return capacity_; }
   size_t MonitoredCount() const { return heap_.size(); }

@@ -1,6 +1,8 @@
 #include "server/client.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/macros.h"
@@ -14,11 +16,44 @@ namespace {
 // to be meaningful.
 constexpr size_t kIngestChunkItems = 1 << 16;
 
+// splitmix64: the jitter stream. Seeded, so a failing run replays exactly.
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
-Result<SfqClient> SfqClient::Connect(const std::string& socket_path) {
-  STREAMFREQ_ASSIGN_OR_RETURN(OwnedFd fd, ConnectUnix(socket_path));
-  return SfqClient(std::move(fd));
+Result<SfqClient> SfqClient::Connect(const std::string& socket_path,
+                                     const RetryOptions& retry) {
+  uint64_t jitter_state = retry.seed;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<OwnedFd> fd = ConnectUnix(socket_path);
+    if (fd.ok()) {
+      SfqClient client(std::move(*fd));
+      client.retry_ = retry;
+      client.jitter_state_ = jitter_state;
+      // Remember the path only when retry is on: it is what arms the
+      // reconnect-and-resend path inside Ingest.
+      if (retry.retries > 0) client.socket_path_ = socket_path;
+      return client;
+    }
+    if (attempt >= retry.retries) return fd.status();
+    const uint64_t cap_ms = retry.backoff_ms
+                            << std::min<uint32_t>(attempt, 6);
+    const uint64_t half = cap_ms / 2;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        half + (cap_ms == 0 ? 0 : NextJitter(&jitter_state) % (half + 1))));
+  }
+}
+
+void SfqClient::BackoffSleep(uint32_t attempt) {
+  const uint64_t cap_ms = retry_.backoff_ms << std::min<uint32_t>(attempt, 6);
+  const uint64_t half = cap_ms / 2;
+  std::this_thread::sleep_for(std::chrono::milliseconds(
+      half + (cap_ms == 0 ? 0 : NextJitter(&jitter_state_) % (half + 1))));
 }
 
 Result<Response> SfqClient::Call(const Request& request) {
@@ -65,10 +100,29 @@ Status SfqClient::Ingest(const std::string& tenant,
     request.op = Opcode::kIngest;
     request.tenant = tenant;
     request.items.assign(items.begin(), items.begin() + take);
-    STREAMFREQ_RETURN_NOT_OK(CallChecked(request).status());
+    STREAMFREQ_RETURN_NOT_OK(IngestChunk(request));
     items = items.subspan(take);
   }
   return Status::OK();
+}
+
+Status SfqClient::IngestChunk(const Request& request) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<Response> response = Call(request);
+    // A decodable Response is a definitive server answer — success or a
+    // server-side rejection — and is never retried. Only a failed round
+    // trip (send/recv/framing) goes around again.
+    if (response.ok()) return response->ToStatus();
+    if (socket_path_.empty() || attempt >= retry_.retries) {
+      return response.status();
+    }
+    BackoffSleep(attempt);
+    // The old connection is dead after a transport error; reconnect. On
+    // failure the stale fd stays and the next Call fails fast, burning
+    // another attempt.
+    Result<OwnedFd> fd = ConnectUnix(socket_path_);
+    if (fd.ok()) fd_ = std::move(*fd);
+  }
 }
 
 Result<uint64_t> SfqClient::Seal(const std::string& tenant) {
@@ -127,6 +181,14 @@ Result<CountSketch> SfqClient::Export(const std::string& tenant,
   STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
   if (epoch != nullptr) *epoch = response.epoch;
   return CountSketch::Deserialize(response.blob);
+}
+
+Result<std::string> SfqClient::RecoveryInfo(const std::string& tenant) {
+  Request request;
+  request.op = Opcode::kRecoveryInfo;
+  request.tenant = tenant;
+  STREAMFREQ_ASSIGN_OR_RETURN(Response response, CallChecked(request));
+  return std::move(response.blob);
 }
 
 Result<std::string> SfqClient::Statsz() {

@@ -14,6 +14,16 @@
 // transport error should reconnect — the server may have applied the
 // request even when the ack never arrived (see docs/SERVER.md on
 // reconciliation).
+//
+// Optional retry (RetryOptions, off by default): Connect and Ingest can
+// retry transport-layer failures with exponential backoff and
+// deterministic jitter (seeded splitmix64, so a failing run replays
+// exactly). Only failures of the round trip itself are retried; a
+// server-side error Response is a definitive answer and is never retried.
+// Caveat: an Ingest retry is at-least-once — the server may have applied
+// the chunk before severing the ack, so a retried chunk can double-count.
+// Workloads that reconcile exact counters (the chaos harness) keep
+// retries off and trust server-side accounting instead.
 #pragma once
 
 #include <cstdint>
@@ -31,10 +41,20 @@
 
 namespace streamfreq {
 
+/// Client-side retry policy. Off by default (retries == 0).
+struct RetryOptions {
+  uint32_t retries = 0;      ///< extra attempts after the first failure
+  uint64_t backoff_ms = 50;  ///< base backoff; doubles per attempt (capped)
+  uint64_t seed = 1;         ///< jitter stream seed (deterministic replay)
+};
+
 class SfqClient {
  public:
-  /// Connects to a server's unix-domain socket.
-  static Result<SfqClient> Connect(const std::string& socket_path);
+  /// Connects to a server's unix-domain socket, retrying per `retry`
+  /// (a just-restarted server whose socket is not yet bound is the
+  /// intended customer).
+  static Result<SfqClient> Connect(const std::string& socket_path,
+                                   const RetryOptions& retry = {});
 
   SfqClient(SfqClient&&) = default;
   SfqClient& operator=(SfqClient&&) = default;
@@ -68,6 +88,9 @@ class SfqClient {
   /// Deserialized copy of the tenant's current snapshot sketch.
   Result<CountSketch> Export(const std::string& tenant,
                              uint64_t* epoch = nullptr);
+  /// Startup-recovery details for a tenant, as a JSON blob (empty-ish when
+  /// the tenant was freshly created rather than recovered).
+  Result<std::string> RecoveryInfo(const std::string& tenant);
   /// The server's /statsz JSON document.
   Result<std::string> Statsz();
   /// Asks the server to shut down (acknowledged before teardown starts).
@@ -76,7 +99,15 @@ class SfqClient {
  private:
   explicit SfqClient(OwnedFd fd) : fd_(std::move(fd)) {}
 
+  /// One ingest chunk with transport-level retry (reconnect + resend).
+  Status IngestChunk(const Request& request);
+  /// Sleeps the backoff for `attempt` and advances the jitter stream.
+  void BackoffSleep(uint32_t attempt);
+
   OwnedFd fd_;
+  std::string socket_path_;  ///< empty when retry is off (no reconnects)
+  RetryOptions retry_;
+  uint64_t jitter_state_ = 0;
 };
 
 }  // namespace streamfreq

@@ -27,6 +27,7 @@ constexpr OpcodeInfo kOpcodeTable[kOpcodeCount] = {
     {Opcode::kExport, "export", true},
     {Opcode::kStatsz, "statsz", false},
     {Opcode::kShutdown, "shutdown", false},
+    {Opcode::kRecoveryInfo, "recoveryinfo", true},
 };
 
 // Longest message / blob a response decoder will accept; both are bounded
@@ -176,21 +177,42 @@ bool ValidTenantName(std::string_view name) {
   return true;
 }
 
+void TenantSpec::EncodeTo(ByteWriter& w) const {
+  w.PutU64(depth);
+  w.PutU64(width);
+  w.PutU64(seed);
+  w.PutU64(threads);
+  w.PutU64(batch_items);
+  w.PutU64(queue_batches);
+  w.PutU64(publish_every_batches);
+  w.PutU64(push_timeout_ms);
+  w.PutU64(PolicyToWire(policy));
+  w.PutU64(sample_keep_one_in);
+  w.PutU64(tracked);
+}
+
+Status TenantSpec::DecodeFrom(ByteReader& r) {
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&depth));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&width));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&seed));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&threads));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&batch_items));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&queue_batches));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&publish_every_batches));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&push_timeout_ms));
+  uint64_t raw_policy;
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&raw_policy));
+  STREAMFREQ_ASSIGN_OR_RETURN(policy, PolicyFromWire(raw_policy));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&sample_keep_one_in));
+  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&tracked));
+  return Status::OK();
+}
+
 void Request::EncodeTo(std::string* out) const {
   ByteWriter w(out);
   w.PutU64(static_cast<uint64_t>(op));
   w.PutString(tenant);
-  w.PutU64(spec.depth);
-  w.PutU64(spec.width);
-  w.PutU64(spec.seed);
-  w.PutU64(spec.threads);
-  w.PutU64(spec.batch_items);
-  w.PutU64(spec.queue_batches);
-  w.PutU64(spec.publish_every_batches);
-  w.PutU64(spec.push_timeout_ms);
-  w.PutU64(PolicyToWire(spec.policy));
-  w.PutU64(spec.sample_keep_one_in);
-  w.PutU64(spec.tracked);
+  spec.EncodeTo(w);
   w.PutU64(k);
   w.PutU64(item);
   w.PutU64(items.size());
@@ -211,19 +233,7 @@ Result<Request> Request::Decode(std::string_view payload) {
   if (!req.tenant.empty() && !ValidTenantName(req.tenant)) {
     return Status::InvalidArgument("request: malformed tenant name");
   }
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.depth));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.width));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.seed));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.threads));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.batch_items));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.queue_batches));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.publish_every_batches));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.push_timeout_ms));
-  uint64_t raw_policy;
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&raw_policy));
-  STREAMFREQ_ASSIGN_OR_RETURN(req.spec.policy, PolicyFromWire(raw_policy));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.sample_keep_one_in));
-  STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.spec.tracked));
+  STREAMFREQ_RETURN_NOT_OK(req.spec.DecodeFrom(r));
   STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.k));
   STREAMFREQ_RETURN_NOT_OK(r.GetU64(&req.item));
   uint64_t count;

@@ -33,6 +33,7 @@
 #include "concurrent/parallel_ingestor.h"
 #include "stream/exact_counter.h"
 #include "stream/types.h"
+#include "util/bytes.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -53,10 +54,11 @@ enum class Opcode : uint8_t {
   kExport = 9,        ///< serialized sketch snapshot (sketch_io payload)
   kStatsz = 10,       ///< JSON server + per-tenant stats (no tenant needed)
   kShutdown = 11,     ///< stop the server after responding
+  kRecoveryInfo = 12, ///< JSON recovery report for one durable tenant
 };
 
 /// Number of registered opcodes; enumerators are dense in [0, kOpcodeCount).
-inline constexpr size_t kOpcodeCount = 12;
+inline constexpr size_t kOpcodeCount = 13;
 
 /// One row of the opcode registry.
 struct OpcodeInfo {
@@ -117,6 +119,12 @@ struct TenantSpec {
   OverflowPolicy policy = OverflowPolicy::kBlock;
   uint64_t sample_keep_one_in = 8;    ///< kSample keep rate
   uint64_t tracked = 64;              ///< top-k candidate slots (Space-Saving)
+
+  /// Fixed-layout wire codec (11 u64 fields, enumerator order). Shared by
+  /// the Request codec and the durable snapshot format so a spec always
+  /// round-trips identically on the wire and on disk.
+  void EncodeTo(ByteWriter& w) const;
+  Status DecodeFrom(ByteReader& r);
 
   friend bool operator==(const TenantSpec&, const TenantSpec&) = default;
 };

@@ -14,19 +14,24 @@ Result<std::unique_ptr<SfqServer>> SfqServer::Start(
   if (options.socket_path.empty()) {
     return Status::InvalidArgument("serve: socket_path is required");
   }
+  auto server = std::unique_ptr<SfqServer>(new SfqServer(options));
+  // Recover before binding: a data-dir-level failure (unreadable root,
+  // undecodable directory) refuses to serve rather than serving amnesia.
+  // Per-tenant failures land in recovery_failures() and keep only that
+  // tenant offline.
+  STREAMFREQ_RETURN_NOT_OK(server->service_.Recover());
   STREAMFREQ_ASSIGN_OR_RETURN(OwnedFd listener,
                               ListenUnix(options.socket_path,
                                          options.backlog));
-  return std::unique_ptr<SfqServer>(
-      new SfqServer(options, std::move(listener)));
+  server->listener_ = std::move(listener);
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
 }
 
-SfqServer::SfqServer(ServerOptions options, OwnedFd listener)
+SfqServer::SfqServer(ServerOptions options)
     : options_(std::move(options)),
-      listener_(std::move(listener)),
-      started_(std::chrono::steady_clock::now()) {
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-}
+      service_(options_.service),
+      started_(std::chrono::steady_clock::now()) {}
 
 SfqServer::~SfqServer() {
   RequestStop();
@@ -223,6 +228,10 @@ std::string SfqServer::StatszJson() const {
   out += ",\"accept_faults\":" + std::to_string(stats.accept_faults);
   out += ",\"read_faults\":" + std::to_string(stats.read_faults);
   out += ",\"write_faults\":" + std::to_string(stats.write_faults);
+  out += ",\"durable\":";
+  out += service_.durable() ? "true" : "false";
+  out += ",\"recovery_failures\":" +
+         std::to_string(service_.recovery_failures().size());
   out += "},\"tenants\":" + service_.TenantsJson();
   out += "}";
   return out;

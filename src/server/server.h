@@ -46,6 +46,9 @@ namespace streamfreq {
 struct ServerOptions {
   std::string socket_path;  ///< unix-domain socket to listen on (required)
   int backlog = 64;         ///< listen(2) backlog
+  /// Durability knobs (data_dir, fsync policy, snapshot cadence); an empty
+  /// data_dir serves in-memory tenants exactly as before.
+  ServiceOptions service;
 };
 
 /// Monotonic counters for the /statsz "server" section.
@@ -60,8 +63,10 @@ struct ServerStats {
 
 class SfqServer {
  public:
-  /// Binds the socket and starts the accept thread. The server is serving
-  /// when this returns.
+  /// Recovers durable tenants (when a data_dir is configured), then binds
+  /// the socket and starts the accept thread. The server is serving when
+  /// this returns — recovery completes before the socket exists, so any
+  /// client that can connect observes fully recovered state.
   static Result<std::unique_ptr<SfqServer>> Start(const ServerOptions& options);
 
   ~SfqServer();
@@ -93,7 +98,7 @@ class SfqServer {
     std::atomic<bool> done{false};
   };
 
-  SfqServer(ServerOptions options, OwnedFd listener);
+  explicit SfqServer(ServerOptions options);
 
   void AcceptLoop();
   void HandleConnection(Connection* conn);

@@ -34,20 +34,38 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "concurrent/parallel_ingestor.h"
 #include "core/count_sketch.h"
 #include "core/space_saving.h"
 #include "server/protocol.h"
+#include "server/snapshotter.h"
+#include "server/wal.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace streamfreq {
 
+/// Durability configuration. An empty data_dir runs the service exactly as
+/// before this layer existed: no journal, no snapshots, no recovery.
+struct ServiceOptions {
+  /// Root directory for per-tenant durable state (one subdirectory per
+  /// tenant). Empty = in-memory only.
+  std::string data_dir;
+  /// When journal appends are forced to stable storage.
+  WalFsync fsync = WalFsync::kAlways;
+  /// Snapshot (and truncate the journal) after this many journaled items.
+  /// 0 snapshots only at create/seal/recovery boundaries.
+  uint64_t snapshot_every_items = uint64_t{1} << 16;
+};
+
 class SketchService {
  public:
   SketchService() = default;
+  explicit SketchService(ServiceOptions options)
+      : options_(std::move(options)) {}
   ~SketchService() = default;
 
   SketchService(const SketchService&) = delete;
@@ -71,6 +89,22 @@ class SketchService {
   /// Number of registered tenants.
   size_t TenantCount() const;
 
+  /// Recovers every tenant directory under data_dir (no-op when the
+  /// service is not durable). Call once, before serving: loads the latest
+  /// snapshot, replays the journal tail with duplicate dedup, and seeds the
+  /// in-memory tenant — derived ledger, sketch, candidates, sealed flag —
+  /// so the conservation law holds across the crash. A tenant whose state
+  /// cannot be recovered is reported in recovery_failures(), never
+  /// silently re-created.
+  Status Recover() SFQ_EXCLUDES(mu_);
+
+  /// Tenants that failed recovery, name -> error detail.
+  std::map<std::string, std::string> recovery_failures() const
+      SFQ_EXCLUDES(mu_);
+
+  /// True when tenants persist under a data directory.
+  bool durable() const { return !options_.data_dir.empty(); }
+
  private:
   struct Tenant;
 
@@ -83,12 +117,23 @@ class SketchService {
   Response MarkEpoch(Tenant& tenant);
   Response MaxChange(Tenant& tenant, const Request& request);
   Response Export(Tenant& tenant);
+  Response RecoveryInfo(Tenant& tenant);
+
+  Status RecoverTenant(const std::string& name, const std::string& dir)
+      SFQ_EXCLUDES(mu_);
+  /// Captures the durable ledger + candidate triples, then publishes a
+  /// snapshot through the tenant's store. Failures degrade (counted in
+  /// snapshot_failures), they never fail the triggering request.
+  void MaybeSnapshot(Tenant& tenant);
 
   std::shared_ptr<Tenant> Find(const std::string& name) const
       SFQ_EXCLUDES(mu_);
 
+  const ServiceOptions options_;
+
   mutable Mutex mu_;
   std::map<std::string, std::shared_ptr<Tenant>> tenants_ SFQ_GUARDED_BY(mu_);
+  std::map<std::string, std::string> recovery_failures_ SFQ_GUARDED_BY(mu_);
 };
 
 }  // namespace streamfreq

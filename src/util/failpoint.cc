@@ -22,6 +22,9 @@ const std::vector<std::string>* BuildKnownSites() {
       "server.read",             // sever before reading a frame (error)
       "server.write",            // sever before writing a response (error)
       "server.publish",          // withhold a snapshot refresh (error)
+      "wal.append",              // journal record write (error, torn, crash)
+      "wal.fsync",               // journal durability barrier (error, crash)
+      "snapshot.publish",        // tenant snapshot commit (error, crash)
   };
 }
 
@@ -70,6 +73,8 @@ Status ParseUint(const std::string& what, const std::string& text,
 }
 
 }  // namespace
+
+std::atomic<bool> FailpointRegistry::crash_kills_process_{false};
 
 FailpointRegistry& FailpointRegistry::Global() {
   static FailpointRegistry* registry = new FailpointRegistry();

@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -106,6 +107,19 @@ class FailpointRegistry {
   /// True iff `site` is in KnownSites().
   static bool IsKnownSite(const std::string& site);
 
+  /// Process-crash mode: when enabled, a kCrash decision at a persistence
+  /// site (wal.*, snapshot.publish, sketch_io.*) terminates the whole
+  /// process via MaybeDieAtFailpoint instead of being interpreted as a
+  /// simulated worker death. Only `sfq serve` turns this on — in-process
+  /// tests and the library-level chaos harness must keep running, so the
+  /// default is off.
+  static void SetCrashKillsProcess(bool enabled) {
+    crash_kills_process_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool CrashKillsProcess() {
+    return crash_kills_process_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Clause {
     FailAction action = FailAction::kNone;
@@ -120,7 +134,20 @@ class FailpointRegistry {
   uint64_t rng_state_ SFQ_GUARDED_BY(mu_) = 0;
   // Fast disarmed check so un-armed evaluations never take the mutex.
   std::atomic<bool> armed_{false};
+  static std::atomic<bool> crash_kills_process_;
 };
+
+/// Kills the process (exit code 137, the SIGKILL convention) when `decision`
+/// is kCrash and process-crash mode is on. Persistence sites call this
+/// right after evaluating their failpoint so the kill-restart chaos
+/// campaign can SIGKILL a real daemon mid-write; everywhere else kCrash
+/// keeps its in-process meaning.
+inline void MaybeDieAtFailpoint(const FailDecision& decision) {
+  if (decision.action == FailAction::kCrash &&
+      FailpointRegistry::CrashKillsProcess()) {
+    std::_Exit(137);
+  }
+}
 
 /// RAII arming for tests and the chaos harness: configures the global
 /// registry on construction, disarms on destruction. Check status() before

@@ -1,6 +1,12 @@
 #include "verify/chaos.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -8,6 +14,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -231,6 +238,10 @@ struct ServerIterationResult {
   uint64_t stale_serves = 0;
   uint64_t dropped_items = 0;
   uint64_t worker_respawns = 0;
+  uint64_t restarts = 0;         ///< daemon relaunches (restart campaign)
+  uint64_t deaths = 0;           ///< failpoint exits + real SIGKILLs
+  uint64_t recoveries = 0;       ///< relaunches reporting recovered state
+  uint64_t identity_checks = 0;  ///< bit-identity verified this iteration
 };
 
 // One tenant's client-side ingest state: its own connection (SfqClient is
@@ -495,6 +506,406 @@ Result<ServerIterationResult> RunServerIteration(const ChaosOptions& options,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Kill-restart campaign (`sfq chaos --server-restart`): a real, durable
+// `sfq serve` process that keeps dying — at armed failpoints (crash ==
+// std::_Exit at the site) and under real SIGKILLs — and must keep coming
+// back with its ledger intact.
+// ---------------------------------------------------------------------------
+
+/// One forked `sfq serve` child.
+struct ChildServer {
+  pid_t pid = -1;
+  int last_wstatus = 0;
+
+  /// Non-blocking liveness probe; reaps the child when it has exited and
+  /// remembers how it died (for diagnostics on unexpected deaths).
+  bool Alive() {
+    if (pid < 0) return false;
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, WNOHANG) == pid) {
+      pid = -1;
+      last_wstatus = wstatus;
+      return false;
+    }
+    return true;
+  }
+
+  std::string DeathReason() const {
+    if (WIFEXITED(last_wstatus)) {
+      return "exit status " + std::to_string(WEXITSTATUS(last_wstatus));
+    }
+    if (WIFSIGNALED(last_wstatus)) {
+      return "signal " + std::to_string(WTERMSIG(last_wstatus));
+    }
+    return "unknown wait status " + std::to_string(last_wstatus);
+  }
+
+  /// SIGKILL + reap (no-op when already gone).
+  void Kill() {
+    if (pid < 0) return;
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    pid = -1;
+  }
+};
+
+/// Forks and execs `binary serve --socket ... --data-dir ...`. An empty
+/// failpoint spec launches a clean (recovery-only) server. Child output is
+/// routed to /dev/null so campaign output stays readable.
+pid_t SpawnServe(const std::string& binary, const std::string& socket_path,
+                 const std::string& data_dir, const std::string& failpoints,
+                 uint64_t seed) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int devnull = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+  if (devnull >= 0) {
+    ::dup2(devnull, STDOUT_FILENO);
+    ::dup2(devnull, STDERR_FILENO);
+    ::close(devnull);
+  }
+  std::vector<std::string> args = {binary,        "serve",
+                                   "--socket",    socket_path,
+                                   "--data-dir",  data_dir,
+                                   "--snapshot-every", "2048",
+                                   "--seed",      std::to_string(seed)};
+  if (!failpoints.empty()) {
+    args.push_back("--failpoints");
+    args.push_back(failpoints);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  ::execv(binary.c_str(), argv.data());
+  std::_Exit(127);
+}
+
+/// Polls until the socket accepts a connection. A child that dies before
+/// binding is an error — the caller decides whether that death was an armed
+/// crash (relaunch) or a bug (fail the iteration).
+Result<SfqClient> WaitReady(const std::string& socket_path,
+                            ChildServer* child) {
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    auto client = SfqClient::Connect(socket_path);
+    if (client.ok()) return client;
+    if (!child->Alive()) {
+      return Status::IoError("server process died before becoming ready (" +
+                             child->DeathReason() + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return Status::IoError("server never became ready on " + socket_path);
+}
+
+Result<ServerIterationResult> RunServerRestartIteration(
+    const ChaosOptions& options, const std::string& io_dir, uint64_t index) {
+  ServerIterationResult result;
+  const auto fail = [&result](std::string detail) {
+    result.outcome = ChaosOutcome::kGuaranteeFailure;
+    result.detail = std::move(detail);
+    return result;
+  };
+
+  // Seeded workload, sized so one iteration (including a couple of process
+  // restarts) stays well under a second.
+  Xoshiro256 rng(options.seed ^ ((index + 13) * kMix));
+  const size_t n = 4096 + static_cast<size_t>(rng.UniformBelow(4096));
+  auto gen = ZipfGenerator::Make(2000, 1.0,
+                                 options.seed ^ ((index + 17) * kMix));
+  STREAMFREQ_RETURN_NOT_OK(gen.status());
+  const Stream stream = gen->Take(n);
+  const Oracle oracle(stream);
+  const VerifySetup setup = MakeVerifySetup(
+      /*k=*/10, /*epsilon=*/0.2, /*width_scale=*/1.0,
+      options.seed ^ ((index + 19) * kMix), oracle);
+  STREAMFREQ_ASSIGN_OR_RETURN(VerifySketchPlan plan,
+                              PlanVerifyCountSketch(setup));
+
+  const std::string base = io_dir + "/sfq_chaos_rst_" +
+                           std::to_string(options.seed) + "_" +
+                           std::to_string(index);
+  const std::string data_dir = base + ".data";
+  const std::string socket_path = base + ".sock";
+  std::error_code ec;
+  std::filesystem::remove_all(data_dir, ec);
+  std::remove(socket_path.c_str());
+
+  const std::string schedule =
+      options.failpoints.empty()
+          ? ServerRestartScheduleForIteration(options.seed, index)
+          : options.failpoints;
+
+  ChildServer child;
+  // Masked to 63 bits: the CLI seed flag parses as a signed integer.
+  child.pid = SpawnServe(options.server_binary, socket_path, data_dir,
+                         schedule,
+                         (options.seed ^ ((index + 1) * kMix)) >> 1);
+  if (child.pid < 0) return Status::Internal("chaos: fork failed");
+
+  const std::string tenant = "dur";
+  uint64_t acked_items = 0;
+  uint64_t last_epoch = 0;
+
+  // Relaunches the daemon WITHOUT failpoints over the same data dir, waits
+  // for it, and records what recovery reported. Epochs reset with the
+  // process, so the monotonicity baseline resets too.
+  auto relaunch = [&]() -> Result<SfqClient> {
+    ++result.deaths;
+    ++result.restarts;
+    std::remove(socket_path.c_str());
+    child.pid = SpawnServe(options.server_binary, socket_path, data_dir,
+                           /*failpoints=*/"", 0);
+    if (child.pid < 0) return Status::Internal("chaos: fork failed");
+    STREAMFREQ_ASSIGN_OR_RETURN(SfqClient client,
+                                WaitReady(socket_path, &child));
+    last_epoch = 0;
+    // A crash before the create was applied leaves no tenant — that is
+    // the correct recovery of an unacknowledged create, not an error.
+    auto info = client.RecoveryInfo(tenant);
+    if (info.ok() && info->find("\"recovered\":true") != std::string::npos) {
+      ++result.recoveries;
+    }
+    return client;
+  };
+
+  // After a sever: the child may be mid-exit (connection already dropped,
+  // process not yet reapable), so poll liveness and the socket together
+  // instead of trusting one snapshot of either.
+  auto reconnect = [&]() -> Result<SfqClient> {
+    for (int attempt = 0; attempt < 400; ++attempt) {
+      if (!child.Alive()) return relaunch();
+      auto conn = SfqClient::Connect(socket_path);
+      if (conn.ok()) return conn;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return Status::IoError("server alive but unreachable on " + socket_path);
+  };
+
+  auto ready = WaitReady(socket_path, &child);
+  if (!ready.ok()) {
+    // Fresh dir, no tenants: nothing can fire before the bind, so a death
+    // here is a bug, not an armed crash.
+    child.Kill();
+    return fail("server never came up: " + ready.status().ToString());
+  }
+  SfqClient client = std::move(*ready);
+
+  // Create the durable tenant, surviving severs and armed crashes; a
+  // create applied before the ack was lost answers "already exists" on the
+  // retry, which is success.
+  TenantSpec spec;
+  spec.depth = plan.params.depth;
+  spec.width = plan.params.width;
+  spec.seed = plan.params.seed;
+  spec.threads = 2;
+  spec.batch_items = 512;
+  spec.queue_batches = 4;
+  spec.push_timeout_ms = 2;
+  spec.policy = OverflowPolicy::kShed;
+  spec.tracked = 256;
+  bool created = false;
+  for (int attempt = 0; attempt < 16 && !created; ++attempt) {
+    const Status status = client.CreateTenant(tenant, spec);
+    if (status.ok() ||
+        (status.IsInvalidArgument() &&
+         status.message().find("already exists") != std::string::npos)) {
+      created = true;
+    } else if (IsSever(status)) {
+      ++result.severs;
+      auto next = reconnect();
+      if (!next.ok()) {
+        return fail("reconnect failed during create: " +
+                    next.status().ToString());
+      }
+      client = std::move(*next);
+    } else {
+      return fail("create failed: " + status.ToString());
+    }
+  }
+  if (!created) return fail("create never succeeded through the faults");
+
+  // At-most-once ingest: a severed chunk is never resent (retrying could
+  // double-count an applied-but-unacked batch); reconciliation trusts the
+  // server ledger. One randomized chunk boundary also takes a REAL SIGKILL
+  // (50% of iterations), on top of whatever the armed schedule does.
+  constexpr size_t kChunkItems = 512;
+  const size_t total_chunks = (stream.size() + kChunkItems - 1) / kChunkItems;
+  const uint64_t kill_at = rng.UniformBelow(total_chunks * 2);
+  size_t chunk_index = 0;
+  for (size_t begin = 0; begin < stream.size();
+       begin += kChunkItems, ++chunk_index) {
+    if (chunk_index == kill_at && child.Alive()) {
+      child.Kill();
+      auto next = relaunch();
+      if (!next.ok()) {
+        return fail("relaunch failed after SIGKILL: " +
+                    next.status().ToString());
+      }
+      client = std::move(*next);
+    }
+    const size_t len = std::min(kChunkItems, stream.size() - begin);
+    const std::span<const ItemId> chunk(stream.data() + begin, len);
+    const Status status = client.Ingest(tenant, chunk);
+    if (status.ok()) {
+      acked_items += len;
+    } else if (IsSever(status)) {
+      ++result.severs;
+      auto next = reconnect();
+      if (!next.ok()) {
+        return fail("reconnect failed mid-ingest: " +
+                    next.status().ToString());
+      }
+      client = std::move(*next);
+    }
+    // else: an explicit server-side rejection (admission control or a
+    // poisoned journal) — accounted in rejected_items, move on.
+
+    if (chunk_index % 4 == 3) {
+      uint64_t epoch = 0;
+      auto top = client.TopK(tenant, 5, &epoch);
+      if (top.ok()) {
+        if (epoch < last_epoch) {
+          return fail("epoch went backwards within one server process");
+        }
+        last_epoch = epoch;
+      } else if (IsSever(top.status())) {
+        ++result.severs;
+        auto next = reconnect();
+        if (!next.ok()) {
+          return fail("reconnect failed mid-query: " +
+                      next.status().ToString());
+        }
+        client = std::move(*next);
+      } else {
+        return fail("query failed: " + top.status().ToString());
+      }
+    }
+  }
+
+  // Seal + reconcile, surviving the schedule (the first process may still
+  // be alive with benign faults armed).
+  bool sealed = false;
+  std::string statsz;
+  for (int attempt = 0; attempt < 16 && !sealed; ++attempt) {
+    auto epoch = client.Seal(tenant);
+    if (epoch.ok()) {
+      auto stats = client.Statsz();
+      if (stats.ok()) {
+        statsz = std::move(*stats);
+        sealed = true;
+        break;
+      }
+    }
+    const Status bad = epoch.ok() ? Status::IoError("statsz severed")
+                                  : epoch.status();
+    if (!IsSever(bad)) return fail("seal failed: " + bad.ToString());
+    ++result.severs;
+    auto next = reconnect();
+    if (!next.ok()) {
+      return fail("reconnect failed during seal: " + next.status().ToString());
+    }
+    client = std::move(*next);
+  }
+  if (!sealed) return fail("seal never succeeded through the faults");
+
+  // Conservation across every crash: the recovered prefix sits in
+  // base_ingested, the post-recovery live ingest in items_ingested.
+  const int64_t offered = TenantJsonField(statsz, tenant, "offered_items");
+  const int64_t rejected = TenantJsonField(statsz, tenant, "rejected_items");
+  const int64_t ingested = TenantJsonField(statsz, tenant, "items_ingested");
+  const int64_t dropped = TenantJsonField(statsz, tenant, "dropped_items");
+  const int64_t base_ingested =
+      TenantJsonField(statsz, tenant, "base_ingested");
+  const int64_t stale = TenantJsonField(statsz, tenant, "stale_serves");
+  if (offered < 0 || rejected < 0 || ingested < 0 || dropped < 0 ||
+      base_ingested < 0) {
+    return fail("tenant missing from statsz: " + statsz);
+  }
+  result.dropped_items += static_cast<uint64_t>(dropped);
+  if (stale > 0) result.stale_serves += static_cast<uint64_t>(stale);
+  if (offered - rejected != base_ingested + ingested + dropped) {
+    return fail("conservation broken across restarts: offered " +
+                std::to_string(offered) + " - rejected " +
+                std::to_string(rejected) + " != base " +
+                std::to_string(base_ingested) + " + ingested " +
+                std::to_string(ingested) + " + dropped " +
+                std::to_string(dropped));
+  }
+  // fsync=always: every acked batch was journaled to stable storage before
+  // the ack, so no crash can make acks exceed the durable offer.
+  if (static_cast<int64_t>(acked_items) > offered) {
+    return fail("acked items exceed recovered offers: acked " +
+                std::to_string(acked_items) + ", offered " +
+                std::to_string(offered));
+  }
+  if (offered > static_cast<int64_t>(stream.size())) {
+    return fail("offers exceed the stream (duplicated replay?): offered " +
+                std::to_string(offered) + ", sent " +
+                std::to_string(stream.size()));
+  }
+
+  // Loss-free iterations (every chunk applied exactly once, nothing shed)
+  // must serve a sketch bit-identical to the uninterrupted sequential run —
+  // Count-Sketch linearity makes recovery exact, not approximate.
+  if (offered == static_cast<int64_t>(stream.size()) && rejected == 0 &&
+      dropped == 0) {
+    // The schedule can still sever the connection (or crash the daemon)
+    // between the seal ack and this export; the seal snapshot is already
+    // durable at that point, so reconnect and re-ask the recovered server.
+    auto exported = client.Export(tenant);
+    for (int attempt = 0;
+         attempt < 16 && !exported.ok() && IsSever(exported.status());
+         ++attempt) {
+      ++result.severs;
+      auto next = reconnect();
+      if (!next.ok()) {
+        return fail("reconnect failed during export: " +
+                    next.status().ToString());
+      }
+      client = std::move(*next);
+      exported = client.Export(tenant);
+    }
+    if (!exported.ok()) {
+      return fail("export failed after seal: " +
+                  exported.status().ToString());
+    }
+    auto reference = CountSketch::Make(plan.params);
+    STREAMFREQ_RETURN_NOT_OK(reference.status());
+    for (const ItemId q : stream) reference->Add(q, 1);
+    std::string exported_bytes;
+    std::string reference_bytes;
+    exported->SerializeTo(&exported_bytes);
+    reference->SerializeTo(&reference_bytes);
+    if (exported_bytes != reference_bytes) {
+      return fail("recovered sketch is not bit-identical to the sequential "
+                  "reference");
+    }
+    const std::vector<Violation> violations = CheckCountSketchAgainstOracle(
+        *exported, oracle, setup, plan.lemma_width);
+    if (!violations.empty()) {
+      return fail(violations.front().guarantee + std::string(": ") +
+                  violations.front().detail);
+    }
+    ++result.identity_checks;
+  }
+
+  result.requests = static_cast<uint64_t>(
+      std::max<int64_t>(0, TenantJsonField(statsz, "server", "requests")));
+
+  // Teardown: ask nicely, then make sure.
+  const Status bye = client.Shutdown();
+  (void)bye;
+  for (int i = 0; i < 400 && child.Alive(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  child.Kill();
+  std::filesystem::remove_all(data_dir, ec);
+  std::remove(socket_path.c_str());
+  return result;
+}
+
 }  // namespace
 
 std::string ChaosScheduleForIteration(uint64_t seed, uint64_t index) {
@@ -652,6 +1063,97 @@ Result<ChaosReport> RunServerChaosCampaign(const ChaosOptions& options) {
         failure.schedule =
             options.failpoints.empty()
                 ? ServerChaosScheduleForIteration(options.seed, index)
+                : options.failpoints;
+        failure.detail = iteration.detail;
+        report.failures.push_back(std::move(failure));
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+std::string ServerRestartScheduleForIteration(uint64_t seed, uint64_t index) {
+  Xoshiro256 rng(seed ^ kScheduleSalt ^ ((index + 9) * kMix));
+  const auto chance = [&rng](uint64_t percent) {
+    return rng.UniformBelow(100) < percent;
+  };
+  // Exactly one process-death clause, probability-throttled and *1-budgeted
+  // (each iteration dies at most once at a failpoint; the real SIGKILL in
+  // the driver is on top). Each site leaves a different on-disk shape:
+  //   wal.append       death before the record hits the journal
+  //   wal.fsync        record written but not yet forced (page cache)
+  //   snapshot.publish death before the snapshot's commit rename
+  //   sketch_io.write  death mid-blob-write (temp file only)
+  //   sketch_io.rename temp fully written, rename never happened
+  static constexpr const char* kDeathSites[] = {
+      "wal.append", "wal.fsync", "snapshot.publish", "sketch_io.write",
+      "sketch_io.rename"};
+  const char* death = kDeathSites[rng.UniformBelow(5)];
+  std::vector<std::string> clauses;
+  clauses.push_back(std::string(death) + "=crash@0.08*1");
+  // Benign companions: severed acks (the applied-but-unacked ambiguity)
+  // and, when the death site leaves wal.append free, one torn journal
+  // record — which poisons the store into loud rejections, not corruption.
+  if (chance(25)) clauses.push_back("server.write=error@0.02");
+  if (chance(15) && std::string(death) != "wal.append") {
+    clauses.push_back("wal.append=torn@0.05*1");
+  }
+
+  std::string spec;
+  for (const std::string& clause : clauses) {
+    if (!spec.empty()) spec += ';';
+    spec += clause;
+  }
+  return spec;
+}
+
+Result<ChaosReport> RunServerRestartCampaign(const ChaosOptions& options) {
+  if (options.iterations == 0) {
+    return Status::InvalidArgument("chaos: iterations must be >= 1");
+  }
+  if (options.server_binary.empty()) {
+    return Status::InvalidArgument(
+        "chaos: --server-restart needs the sfq binary path");
+  }
+  std::string io_dir = options.io_dir;
+  if (io_dir.empty()) {
+    std::error_code ec;
+    const std::filesystem::path tmp =
+        std::filesystem::temp_directory_path(ec);
+    if (ec) return Status::IoError("chaos: no temp directory: " + ec.message());
+    io_dir = tmp.string();
+  }
+
+  ChaosReport report;
+  for (uint64_t index = 0; index < options.iterations; ++index) {
+    STREAMFREQ_ASSIGN_OR_RETURN(
+        ServerIterationResult iteration,
+        RunServerRestartIteration(options, io_dir, index));
+    ++report.iterations;
+    if (iteration.deaths > 0) ++report.faulted_iterations;
+    report.dropped_items += iteration.dropped_items;
+    report.server_requests += iteration.requests;
+    report.server_severs += iteration.severs;
+    report.stale_serves += iteration.stale_serves;
+    report.server_restarts += iteration.restarts;
+    report.crash_kills += iteration.deaths;
+    report.recoveries += iteration.recoveries;
+    report.identity_checks += iteration.identity_checks;
+    switch (iteration.outcome) {
+      case ChaosOutcome::kVerified:
+        ++report.verified;
+        break;
+      case ChaosOutcome::kCleanError:
+        ++report.clean_errors;
+        break;
+      case ChaosOutcome::kGuaranteeFailure: {
+        ++report.guarantee_failures;
+        ChaosFailure failure;
+        failure.index = index;
+        failure.schedule =
+            options.failpoints.empty()
+                ? ServerRestartScheduleForIteration(options.seed, index)
                 : options.failpoints;
         failure.detail = iteration.detail;
         report.failures.push_back(std::move(failure));

@@ -49,6 +49,9 @@ struct ChaosOptions {
   bool exercise_io = true;
   /// Directory for round-trip files; empty = the system temp directory.
   std::string io_dir;
+  /// Path to the `sfq` binary, required by the kill-restart campaign
+  /// (`sfq chaos --server-restart` passes its own image).
+  std::string server_binary;
 };
 
 /// What one iteration ended as.
@@ -81,6 +84,10 @@ struct ChaosReport {
   uint64_t server_requests = 0;   ///< requests processed (server campaign)
   uint64_t server_severs = 0;     ///< client-visible connection severs
   uint64_t stale_serves = 0;      ///< queries served a withheld snapshot
+  uint64_t server_restarts = 0;   ///< daemon relaunches (restart campaign)
+  uint64_t crash_kills = 0;       ///< process deaths: failpoint or SIGKILL
+  uint64_t recoveries = 0;        ///< relaunches that reported recovered state
+  uint64_t identity_checks = 0;   ///< loss-free runs verified bit-identical
   std::vector<ChaosFailure> failures;  ///< guarantee failures only
 
   bool Passed() const { return guarantee_failures == 0; }
@@ -117,5 +124,33 @@ std::string ServerChaosScheduleForIteration(uint64_t seed, uint64_t index);
 /// the campaign fails only on broken accounting, epoch regression, a dead
 /// server, or a bad surviving sketch.
 Result<ChaosReport> RunServerChaosCampaign(const ChaosOptions& options);
+
+/// The deterministic schedule for the kill-restart campaign: exactly one
+/// process-death clause (probability-throttled, *1-budgeted) drawn from the
+/// durability sites — journal append/fsync, snapshot publish, blob
+/// write/rename — each of which leaves a different on-disk shape behind,
+/// plus optional benign companions (severed writes, a torn journal record).
+std::string ServerRestartScheduleForIteration(uint64_t seed, uint64_t index);
+
+/// The kill-restart campaign (`sfq chaos --server-restart`): each iteration
+/// forks a real `sfq serve --data-dir` process with a crash failpoint
+/// schedule armed (crash = std::_Exit at the site, a faithful power-cut for
+/// everything except the page cache), drives a durable tenant through
+/// at-most-once ingest chunks, and — whenever the daemon dies at a
+/// failpoint or is SIGKILLed at a randomized chunk boundary — relaunches it
+/// clean and continues against the recovered state. The invariant:
+///
+///   after recovery, offered - rejected == base_ingested + items_ingested
+///   + dropped (the conservation law, with the recovered prefix in
+///   base_ingested), client-acked items never exceed server-offered items
+///   (fsync=always makes every acked batch durable), epochs are monotone
+///   within each server process, and when no batch was lost in flight the
+///   exported sketch is bit-identical to a sequential reference and clean
+///   under the Lemma 4/5 check.
+///
+/// Requires ChaosOptions::server_binary. A dead server that cannot be
+/// relaunched, broken accounting, or a bad surviving sketch fails the
+/// iteration; process deaths themselves are the point.
+Result<ChaosReport> RunServerRestartCampaign(const ChaosOptions& options);
 
 }  // namespace streamfreq

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 
 #include "util/failpoint.h"
@@ -112,6 +113,37 @@ TEST(ChaosTest, ServerSchedulesAreDeterministicBoundedAndParseable) {
     ScopedFailpoints fp(a, 1);
     EXPECT_TRUE(fp.status().ok()) << a << ": " << fp.status().ToString();
   }
+}
+
+TEST(ChaosTest, RestartSchedulesAreDeterministicBoundedAndParseable) {
+  for (uint64_t index = 0; index < 64; ++index) {
+    const std::string a = ServerRestartScheduleForIteration(11, index);
+    EXPECT_EQ(a, ServerRestartScheduleForIteration(11, index));
+    EXPECT_FALSE(a.empty());
+    // Every crash clause is budgeted: an unbounded always-crash daemon
+    // would die at the same site forever and the iteration could never
+    // finish its stream.
+    for (size_t pos = a.find("crash"); pos != std::string::npos;
+         pos = a.find("crash", pos + 1)) {
+      EXPECT_EQ(a.substr(pos + 5, 7), "@0.08*1") << a;
+    }
+    // At most one clause per site (two clauses on one site would make the
+    // later one win silently), and the whole spec must parse.
+    std::set<std::string> sites;
+    size_t begin = 0;
+    while (begin <= a.size()) {
+      const size_t end = std::min(a.find(';', begin), a.size());
+      const std::string clause = a.substr(begin, end - begin);
+      const std::string site = clause.substr(0, clause.find('='));
+      EXPECT_TRUE(sites.insert(site).second)
+          << "duplicate clause for " << site << " in " << a;
+      begin = end + 1;
+    }
+    ScopedFailpoints fp(a, 1);
+    EXPECT_TRUE(fp.status().ok()) << a << ": " << fp.status().ToString();
+  }
+  EXPECT_NE(ServerRestartScheduleForIteration(11, 1),
+            ServerRestartScheduleForIteration(12, 1));
 }
 
 // The server-side acceptance campaign: real connections severed at

@@ -1,0 +1,22 @@
+// sfq-lint-path: src/server/bad_persist.cc
+// sfq-lint-expect: durable-write
+//
+// A server-side persist that hand-rolls its own file I/O: the ofstream
+// write can be torn by a crash mid-buffer, and the rename publishes
+// whatever bytes made it. Recovery has no framing to reject the result —
+// unlike the WAL (CRC-framed records, src/server/wal.cc) or a sketch_io
+// snapshot (write-temp-then-rename, fsync before the commit rename).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace streamfreq {
+
+void PersistLedger(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path + ".tmp", std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  std::rename((path + ".tmp").c_str(), path.c_str());
+}
+
+}  // namespace streamfreq

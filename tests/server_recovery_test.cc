@@ -1,0 +1,554 @@
+// Crash-recovery battery for the durable tenant layer (PR "durable
+// tenants"): WAL framing and replay (torn tails at every truncation
+// boundary, bit flips, duplicate sequences, gaps), TenantStore
+// snapshot+journal recovery, and whole-service recovery with the
+// conservation ledger and bit-identical sketches.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/count_sketch.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "server/snapshotter.h"
+#include "server/wal.h"
+#include "util/bytes.h"
+#include "util/crc32.h"
+
+namespace streamfreq {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+/// Appends `batches` as records 1..N and returns the journal path.
+std::string WriteJournal(const std::string& dir,
+                         const std::vector<std::vector<ItemId>>& batches) {
+  const std::string path = dir + "/journal.sfw";
+  auto wal = WalWriter::Open(path, WalFsync::kNever);
+  EXPECT_TRUE(wal.ok()) << wal.status().ToString();
+  uint64_t seqno = 0;
+  for (const std::vector<ItemId>& batch : batches) {
+    EXPECT_TRUE(wal->Append(++seqno, batch).ok());
+  }
+  return path;
+}
+
+struct Replayed {
+  std::vector<uint64_t> seqnos;
+  std::vector<ItemId> items;
+};
+
+Result<WalReplayStats> Replay(const std::string& path, uint64_t base,
+                              Replayed* out) {
+  return ReplayWal(path, base,
+                   [out](uint64_t seqno, std::span<const ItemId> items) {
+                     out->seqnos.push_back(seqno);
+                     out->items.insert(out->items.end(), items.begin(),
+                                       items.end());
+                     return Status::OK();
+                   });
+}
+
+TEST(WalTest, RoundTrip) {
+  const std::string dir = TempDir("wal_roundtrip");
+  const std::string path =
+      WriteJournal(dir, {{1, 2, 3}, {4, 5}, {6}});
+  Replayed got;
+  auto stats = Replay(path, 0, &got);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records_applied, 3u);
+  EXPECT_EQ(stats->last_seqno, 3u);
+  EXPECT_FALSE(stats->torn_tail);
+  EXPECT_EQ(stats->duplicates_skipped, 0u);
+  EXPECT_EQ(got.seqnos, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(got.items, (std::vector<ItemId>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(WalTest, MissingJournalIsEmpty) {
+  Replayed got;
+  auto stats = Replay(TempDir("wal_missing") + "/nope.sfw", 7, &got);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_applied, 0u);
+  EXPECT_EQ(stats->last_seqno, 7u);
+  EXPECT_FALSE(stats->torn_tail);
+  EXPECT_TRUE(got.seqnos.empty());
+}
+
+// The load-bearing property: truncation at EVERY byte boundary — through
+// the magic, the length, the CRC, and each payload byte of the final
+// record — yields the intact prefix plus a reported torn tail. Replay
+// never errors and never mis-applies on a torn write.
+TEST(WalTest, TornTailAtEveryTruncationBoundary) {
+  const std::string dir = TempDir("wal_torn");
+  const std::string path = WriteJournal(dir, {{10, 11}, {20}, {30, 31, 32}});
+  const std::string full = ReadFileBytes(path);
+  // Record sizes: header 20 + payload (16 + 8*count).
+  const size_t rec1 = 20 + 16 + 8 * 2;
+  const size_t rec2 = 20 + 16 + 8 * 1;
+  ASSERT_EQ(full.size(), rec1 + rec2 + (20 + 16 + 8 * 3));
+
+  for (size_t keep = 0; keep <= full.size(); ++keep) {
+    WriteFileBytes(path, full.substr(0, keep));
+    Replayed got;
+    auto stats = Replay(path, 0, &got);
+    ASSERT_TRUE(stats.ok()) << "keep=" << keep << ": "
+                            << stats.status().ToString();
+    const size_t expect_records =
+        keep >= full.size() ? 3 : keep >= rec1 + rec2 ? 2 : keep >= rec1 ? 1
+                                                                         : 0;
+    EXPECT_EQ(stats->records_applied, expect_records) << "keep=" << keep;
+    const bool boundary =
+        keep == 0 || keep == rec1 || keep == rec1 + rec2 || keep == full.size();
+    EXPECT_EQ(stats->torn_tail, !boundary) << "keep=" << keep;
+    if (!boundary) {
+      EXPECT_GT(stats->discarded_bytes, 0u) << "keep=" << keep;
+    }
+    // The applied prefix is byte-exact, never partial.
+    std::vector<ItemId> expect_items;
+    if (expect_records >= 1) expect_items.insert(expect_items.end(), {10, 11});
+    if (expect_records >= 2) expect_items.push_back(20);
+    if (expect_records >= 3) {
+      expect_items.insert(expect_items.end(), {30, 31, 32});
+    }
+    EXPECT_EQ(got.items, expect_items) << "keep=" << keep;
+  }
+}
+
+// A flipped byte in the middle record ends replay there — even though a
+// fully intact record follows. Skipping over damage would silently reorder
+// history.
+TEST(WalTest, BitFlipStopsReplayAtTheDamage) {
+  const std::string dir = TempDir("wal_bitflip");
+  const std::string path = WriteJournal(dir, {{1, 2}, {3, 4}, {5, 6}});
+  std::string data = ReadFileBytes(path);
+  const size_t rec = 20 + 16 + 8 * 2;
+  for (const size_t victim : {rec + 25, rec + 5, rec}) {  // payload, len, magic
+    std::string damaged = data;
+    damaged[victim] ^= 0x40;
+    WriteFileBytes(path, damaged);
+    Replayed got;
+    auto stats = Replay(path, 0, &got);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->records_applied, 1u);
+    EXPECT_TRUE(stats->torn_tail);
+    EXPECT_EQ(stats->discarded_bytes, data.size() - rec);
+    EXPECT_EQ(got.items, (std::vector<ItemId>{1, 2}));
+  }
+}
+
+// Records at or below the snapshot's base seqno are the crash window
+// between snapshot publish and journal truncation: skipped exactly-once.
+TEST(WalTest, DuplicateSequencesBelowBaseAreSkipped) {
+  const std::string dir = TempDir("wal_dup");
+  const std::string path =
+      WriteJournal(dir, {{1}, {2}, {3}, {4}});
+  Replayed got;
+  auto stats = Replay(path, 2, &got);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->duplicates_skipped, 2u);
+  EXPECT_EQ(stats->records_applied, 2u);
+  EXPECT_EQ(stats->last_seqno, 4u);
+  EXPECT_EQ(got.seqnos, (std::vector<uint64_t>{3, 4}));
+
+  // Base beyond the whole journal: everything is a duplicate.
+  Replayed none;
+  auto all_dup = Replay(path, 10, &none);
+  ASSERT_TRUE(all_dup.ok());
+  EXPECT_EQ(all_dup->duplicates_skipped, 4u);
+  EXPECT_EQ(all_dup->records_applied, 0u);
+  EXPECT_EQ(all_dup->last_seqno, 10u);
+}
+
+TEST(WalTest, SequenceGapIsCorruption) {
+  const std::string dir = TempDir("wal_gap");
+  const std::string path = dir + "/journal.sfw";
+  {
+    auto wal = WalWriter::Open(path, WalFsync::kNever);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(1, std::vector<ItemId>{1}).ok());
+    ASSERT_TRUE(wal->Append(3, std::vector<ItemId>{3}).ok());  // gap: no 2
+  }
+  Replayed got;
+  EXPECT_TRUE(Replay(path, 0, &got).status().IsCorruption());
+}
+
+// A CRC-valid record whose payload is malformed was written whole — that
+// is not a torn tail, it is a bug or tampering, and it fails loudly.
+TEST(WalTest, CrcValidMalformedPayloadIsCorruption) {
+  const std::string dir = TempDir("wal_malformed");
+  const std::string path = dir + "/journal.sfw";
+  std::string payload;
+  ByteWriter pw(&payload);
+  pw.PutU64(1);  // seqno
+  pw.PutU64(5);  // claims 5 items...
+  pw.PutU64(42);  // ...but carries 1
+  std::string record;
+  ByteWriter w(&record);
+  w.PutU64(kWalMagic);
+  w.PutU64(payload.size());
+  const uint32_t crc =
+      crc32c::Mask(crc32c::Value(payload.data(), payload.size()));
+  w.PutBytes(&crc, sizeof(crc));
+  record += payload;
+  WriteFileBytes(path, record);
+  Replayed got;
+  EXPECT_TRUE(Replay(path, 0, &got).status().IsCorruption());
+}
+
+TEST(WalTest, TruncateDiscardsEverything) {
+  const std::string dir = TempDir("wal_truncate");
+  const std::string path = dir + "/journal.sfw";
+  auto wal = WalWriter::Open(path, WalFsync::kAlways);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(1, std::vector<ItemId>{1, 2, 3}).ok());
+  ASSERT_TRUE(wal->Truncate().ok());
+  ASSERT_TRUE(wal->Append(2, std::vector<ItemId>{9}).ok());
+  Replayed got;
+  auto stats = Replay(path, 1, &got);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->records_applied, 1u);
+  EXPECT_EQ(got.items, (std::vector<ItemId>{9}));
+}
+
+// ---------------------------------------------------------------------------
+// TenantStore: snapshot + journal recovery.
+// ---------------------------------------------------------------------------
+
+TenantSpec TestSpec() {
+  TenantSpec spec;
+  spec.depth = 4;
+  spec.width = 256;
+  spec.seed = 77;
+  spec.threads = 2;
+  spec.batch_items = 128;
+  spec.queue_batches = 4;
+  spec.push_timeout_ms = 0;
+  spec.policy = OverflowPolicy::kShed;
+  spec.tracked = 32;
+  return spec;
+}
+
+CountSketchParams TestParams() {
+  CountSketchParams params;
+  params.depth = 4;
+  params.width = 256;
+  params.seed = 77;
+  return params;
+}
+
+TEST(TenantStoreTest, CreateAppendReopenReplays) {
+  const std::string dir = TempDir("store_roundtrip") + "/t";
+  {
+    auto store = TenantStore::Create(dir, TestSpec(), TestParams(),
+                                     WalFsync::kAlways, /*every=*/1 << 20);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Append(std::vector<ItemId>{1, 2, 3}).ok());
+    ASSERT_TRUE((*store)->Append(std::vector<ItemId>{2, 3, 4, 4}).ok());
+    EXPECT_EQ((*store)->last_seqno(), 2u);
+    EXPECT_EQ((*store)->durable_items(), 7u);
+  }  // "crash": no snapshot since create, the journal carries everything
+
+  auto opened = TenantStore::Open(dir, WalFsync::kAlways, 1 << 20);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->recovery.recovered);
+  EXPECT_EQ(opened->recovery.snapshot_seqno, 0u);
+  EXPECT_EQ(opened->recovery.replayed_records, 2u);
+  EXPECT_EQ(opened->recovery.replayed_items, 7u);
+  EXPECT_EQ(opened->recovery.base_items, 7u);
+  EXPECT_FALSE(opened->recovery.torn_tail);
+
+  // The recovered sketch is the exact linear accumulation of the journal.
+  auto reference = CountSketch::Make(TestParams());
+  ASSERT_TRUE(reference.ok());
+  for (const ItemId q : {1, 2, 3, 2, 3, 4, 4}) reference->Add(q, 1);
+  std::string got_bytes, want_bytes;
+  opened->sketch.SerializeTo(&got_bytes);
+  reference->SerializeTo(&want_bytes);
+  EXPECT_EQ(got_bytes, want_bytes);
+
+  // Recovery re-snapshots and truncates: a second open replays nothing.
+  opened->store.reset();
+  auto again = TenantStore::Open(dir, WalFsync::kAlways, 1 << 20);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->recovery.snapshot_seqno, 2u);
+  EXPECT_EQ(again->recovery.replayed_records, 0u);
+  EXPECT_EQ(again->recovery.base_items, 7u);
+  got_bytes.clear();
+  again->sketch.SerializeTo(&got_bytes);
+  EXPECT_EQ(got_bytes, want_bytes);
+}
+
+TEST(TenantStoreTest, SnapshotWithNoJournalRecovers) {
+  const std::string dir = TempDir("store_nojournal") + "/t";
+  {
+    auto store = TenantStore::Create(dir, TestSpec(), TestParams(),
+                                     WalFsync::kAlways, 1 << 20);
+    ASSERT_TRUE(store.ok());
+  }
+  ASSERT_TRUE(std::filesystem::remove(TenantStore::JournalPath(dir)));
+  auto opened = TenantStore::Open(dir, WalFsync::kAlways, 1 << 20);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->recovery.replayed_records, 0u);
+  EXPECT_EQ(opened->recovery.base_items, 0u);
+}
+
+// A journal with no snapshot has no base state: silent re-creation would
+// hide data loss, so recovery must refuse.
+TEST(TenantStoreTest, JournalWithoutSnapshotIsRefused) {
+  const std::string dir = TempDir("store_nosnap") + "/t";
+  std::filesystem::create_directories(dir);
+  WriteJournal(dir, {{1, 2, 3}});
+  EXPECT_FALSE(TenantStore::Open(dir, WalFsync::kAlways, 1 << 20).ok());
+}
+
+TEST(TenantStoreTest, CreateRefusesExistingSnapshot) {
+  const std::string dir = TempDir("store_exists") + "/t";
+  ASSERT_TRUE(TenantStore::Create(dir, TestSpec(), TestParams(),
+                                  WalFsync::kAlways, 1 << 20)
+                  .ok());
+  auto second = TenantStore::Create(dir, TestSpec(), TestParams(),
+                                    WalFsync::kAlways, 1 << 20);
+  EXPECT_TRUE(second.status().IsInvalidArgument());
+}
+
+TEST(TenantStoreTest, TornJournalTailRecoversPrefixThenHeals) {
+  const std::string dir = TempDir("store_torn") + "/t";
+  {
+    auto store = TenantStore::Create(dir, TestSpec(), TestParams(),
+                                     WalFsync::kAlways, 1 << 20);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Append(std::vector<ItemId>{1, 2}).ok());
+    ASSERT_TRUE((*store)->Append(std::vector<ItemId>{3}).ok());
+  }
+  const std::string journal = TenantStore::JournalPath(dir);
+  const std::string full = ReadFileBytes(journal);
+  WriteFileBytes(journal, full.substr(0, full.size() - 3));  // tear record 2
+
+  auto opened = TenantStore::Open(dir, WalFsync::kAlways, 1 << 20);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->recovery.torn_tail);
+  EXPECT_EQ(opened->recovery.replayed_records, 1u);
+  EXPECT_EQ(opened->recovery.base_items, 2u);
+  EXPECT_GT(opened->recovery.discarded_bytes, 0u);
+
+  // Recovery re-snapshotted and truncated: the torn bytes are gone, new
+  // appends land on a clean journal.
+  ASSERT_TRUE(opened->store->Append(std::vector<ItemId>{7}).ok());
+  opened->store.reset();
+  auto again = TenantStore::Open(dir, WalFsync::kAlways, 1 << 20);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE(again->recovery.torn_tail);
+  EXPECT_EQ(again->recovery.replayed_records, 1u);
+  EXPECT_EQ(again->recovery.base_items, 3u);
+}
+
+TEST(TenantStoreTest, BitFlippedSnapshotIsRefused) {
+  const std::string dir = TempDir("store_snapflip") + "/t";
+  ASSERT_TRUE(TenantStore::Create(dir, TestSpec(), TestParams(),
+                                  WalFsync::kAlways, 1 << 20)
+                  .ok());
+  const std::string snap = TenantStore::SnapshotPath(dir);
+  std::string data = ReadFileBytes(snap);
+  data[data.size() / 2] ^= 0x20;
+  WriteFileBytes(snap, data);
+  EXPECT_FALSE(TenantStore::Open(dir, WalFsync::kAlways, 1 << 20).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-service recovery: ledger conservation + bit-identity across a
+// simulated crash (the service object dies, the data dir survives).
+// ---------------------------------------------------------------------------
+
+int64_t JsonField(const std::string& json, const std::string& scope,
+                  const std::string& field) {
+  const size_t at = json.find("\"" + scope + "\":{");
+  if (at == std::string::npos) return -1;
+  const size_t field_at = json.find("\"" + field + "\":", at);
+  if (field_at == std::string::npos || field_at > json.find('}', at)) {
+    return -1;
+  }
+  return std::strtoll(json.c_str() + field_at + field.size() + 3, nullptr, 10);
+}
+
+Response Handle1(SketchService& svc, Opcode op, const std::string& tenant,
+                 std::vector<ItemId> items = {}) {
+  Request req;
+  req.op = op;
+  req.tenant = tenant;
+  req.items = std::move(items);
+  if (op == Opcode::kCreateTenant) req.spec = TestSpec();
+  if (op == Opcode::kTopK) req.k = 5;
+  return svc.Handle(req);
+}
+
+TEST(ServiceRecoveryTest, RecoverReplaysLedgerAndSketchExactly) {
+  const std::string data_dir = TempDir("svc_recover");
+  ServiceOptions options;
+  options.data_dir = data_dir;
+  options.fsync = WalFsync::kAlways;
+  options.snapshot_every_items = 1 << 20;  // force journal-tail recovery
+
+  std::vector<ItemId> stream;
+  for (ItemId q = 0; q < 3000; ++q) stream.push_back(q % 97);
+
+  {
+    SketchService svc(options);
+    ASSERT_TRUE(svc.Recover().ok());
+    ASSERT_TRUE(Handle1(svc, Opcode::kCreateTenant, "t").ok());
+    for (size_t begin = 0; begin < stream.size(); begin += 500) {
+      const size_t len = std::min<size_t>(500, stream.size() - begin);
+      ASSERT_TRUE(Handle1(svc, Opcode::kIngest, "t",
+                          std::vector<ItemId>(stream.begin() + begin,
+                                              stream.begin() + begin + len))
+                      .ok());
+    }
+  }  // service dies without sealing; the journal carries every batch
+
+  SketchService svc(options);
+  ASSERT_TRUE(svc.Recover().ok());
+  EXPECT_TRUE(svc.recovery_failures().empty());
+  EXPECT_EQ(svc.TenantCount(), 1u);
+
+  const Response info = Handle1(svc, Opcode::kRecoveryInfo, "t");
+  ASSERT_TRUE(info.ok()) << info.message;
+  EXPECT_NE(info.blob.find("\"recovered\":true"), std::string::npos);
+  EXPECT_NE(info.blob.find("\"replayed_records\":6"), std::string::npos);
+
+  // Conservation across the crash: the recovered prefix is base_ingested.
+  const std::string tenants = svc.TenantsJson();
+  const int64_t offered = JsonField(tenants, "t", "offered_items");
+  const int64_t rejected = JsonField(tenants, "t", "rejected_items");
+  const int64_t ingested = JsonField(tenants, "t", "items_ingested");
+  const int64_t dropped = JsonField(tenants, "t", "dropped_items");
+  const int64_t base = JsonField(tenants, "t", "base_ingested");
+  EXPECT_EQ(base, 3000);
+  EXPECT_EQ(offered - rejected, base + ingested + dropped);
+
+  // Bit-identity: the recovered serving sketch equals a sequential run.
+  const Response exported = Handle1(svc, Opcode::kExport, "t");
+  ASSERT_TRUE(exported.ok()) << exported.message;
+  auto recovered = CountSketch::Deserialize(exported.blob);
+  ASSERT_TRUE(recovered.ok());
+  auto reference = CountSketch::Make(TestParams());
+  ASSERT_TRUE(reference.ok());
+  for (const ItemId q : stream) reference->Add(q, 1);
+  std::string got_bytes, want_bytes;
+  recovered->SerializeTo(&got_bytes);
+  reference->SerializeTo(&want_bytes);
+  EXPECT_EQ(got_bytes, want_bytes);
+
+  // The recovered tenant keeps serving and ingesting.
+  ASSERT_TRUE(Handle1(svc, Opcode::kIngest, "t", {1, 2, 3}).ok());
+  EXPECT_TRUE(Handle1(svc, Opcode::kTopK, "t").ok());
+}
+
+TEST(ServiceRecoveryTest, SealedTenantRecoversReadOnly) {
+  const std::string data_dir = TempDir("svc_sealed");
+  ServiceOptions options;
+  options.data_dir = data_dir;
+
+  {
+    SketchService svc(options);
+    ASSERT_TRUE(svc.Recover().ok());
+    ASSERT_TRUE(Handle1(svc, Opcode::kCreateTenant, "t").ok());
+    ASSERT_TRUE(Handle1(svc, Opcode::kIngest, "t", {5, 5, 6}).ok());
+    ASSERT_TRUE(Handle1(svc, Opcode::kSeal, "t").ok());
+  }
+
+  SketchService svc(options);
+  ASSERT_TRUE(svc.Recover().ok());
+  EXPECT_TRUE(Handle1(svc, Opcode::kTopK, "t").ok());
+  const Response rejected = Handle1(svc, Opcode::kIngest, "t", {7});
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.message.find("sealed"), std::string::npos);
+}
+
+TEST(ServiceRecoveryTest, CorruptTenantIsReportedNotRecreated) {
+  const std::string data_dir = TempDir("svc_corrupt");
+  ServiceOptions options;
+  options.data_dir = data_dir;
+
+  {
+    SketchService svc(options);
+    ASSERT_TRUE(svc.Recover().ok());
+    ASSERT_TRUE(Handle1(svc, Opcode::kCreateTenant, "t").ok());
+    ASSERT_TRUE(Handle1(svc, Opcode::kIngest, "t", {1, 2, 3}).ok());
+  }
+  const std::string snap = TenantStore::SnapshotPath(data_dir + "/t");
+  std::string data = ReadFileBytes(snap);
+  data[data.size() - 5] ^= 0x01;
+  WriteFileBytes(snap, data);
+
+  SketchService svc(options);
+  ASSERT_TRUE(svc.Recover().ok());  // service survives; the tenant does not
+  EXPECT_EQ(svc.TenantCount(), 0u);
+  const auto failures = svc.recovery_failures();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_TRUE(failures.count("t"));
+  // The damaged directory still holds a snapshot, so re-creating the name
+  // is refused instead of silently shadowing the broken state.
+  EXPECT_FALSE(Handle1(svc, Opcode::kCreateTenant, "t").ok());
+}
+
+TEST(ServiceRecoveryTest, DuplicateJournalRecordsAreDedupedOnReplay) {
+  // Simulate the crash window between snapshot publish and journal
+  // truncation: the snapshot covers seqnos 1..2, the journal still holds
+  // 1..3. Only record 3 may be applied.
+  const std::string dir = TempDir("svc_dup") + "/t";
+  {
+    auto store = TenantStore::Create(dir, TestSpec(), TestParams(),
+                                     WalFsync::kAlways, 1 << 20);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Append(std::vector<ItemId>{1}).ok());
+    ASSERT_TRUE((*store)->Append(std::vector<ItemId>{2}).ok());
+    LedgerSample ledger;
+    ledger.candidate_capacity = TestSpec().tracked;
+    ASSERT_TRUE((*store)->WriteSnapshot(ledger).ok());
+    // WriteSnapshot truncated the journal; re-append records 1..3 as the
+    // pre-truncation file would have held them.
+  }
+  {
+    auto wal = WalWriter::Open(TenantStore::JournalPath(dir),
+                               WalFsync::kAlways);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(1, std::vector<ItemId>{1}).ok());
+    ASSERT_TRUE(wal->Append(2, std::vector<ItemId>{2}).ok());
+    ASSERT_TRUE(wal->Append(3, std::vector<ItemId>{3}).ok());
+  }
+  auto opened = TenantStore::Open(dir, WalFsync::kAlways, 1 << 20);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened->recovery.duplicates_skipped, 2u);
+  EXPECT_EQ(opened->recovery.replayed_records, 1u);
+  EXPECT_EQ(opened->recovery.base_items, 3u);
+
+  auto reference = CountSketch::Make(TestParams());
+  ASSERT_TRUE(reference.ok());
+  for (const ItemId q : {1, 2, 3}) reference->Add(q, 1);
+  std::string got_bytes, want_bytes;
+  opened->sketch.SerializeTo(&got_bytes);
+  reference->SerializeTo(&want_bytes);
+  EXPECT_EQ(got_bytes, want_bytes);
+}
+
+}  // namespace
+}  // namespace streamfreq

@@ -18,18 +18,27 @@
 //              a clean error Status or a sketch passing its guarantee
 //              checker over the effective stream (docs/ROBUSTNESS.md);
 //              --server runs the campaign against an in-process sketch
-//              server instead (the server.* failpoint sites)
+//              server instead (the server.* failpoint sites);
+//              --server-restart forks real durable `sfq serve` processes,
+//              kills them at durability failpoints and with real SIGKILLs,
+//              and asserts crash recovery (WAL replay + snapshots) keeps
+//              the conservation ledger and the exact sketch
 //   serve      run the long-lived multi-tenant sketch server on a local
-//              socket (src/server/; protocol in docs/SERVER.md)
+//              socket (src/server/; protocol in docs/SERVER.md);
+//              --data-dir makes tenants durable: every accepted batch is
+//              journaled (WAL) before it is applied, epoch snapshots bound
+//              replay, and startup recovers all tenants before serving
 //   client     one request against a running server (ping, create, ingest,
-//              topk, estimate, mark, maxchange, seal, export, statsz,
-//              shutdown)
+//              topk, estimate, mark, maxchange, seal, export, recoveryinfo,
+//              statsz, shutdown); --retries N arms transport-level retry
+//              with deterministic backoff
 //
 // Examples:
 //   sfq generate --kind zipf --z 1.1 --m 100000 --n 1000000 --out q.trace
 //   sfq topk --trace q.trace --k 10 --width 4096
 //   sfq maxchange --before day1.trace --after day2.trace --k 20
 //   sfq sketch --trace q.trace --out q.skf && sfq inspect --sketch q.skf
+#include <filesystem>
 #include <iostream>
 #include <span>
 #include <string>
@@ -53,6 +62,7 @@
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "server/wal.h"
 #include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/table_printer.h"
@@ -95,16 +105,18 @@ void PrintUsage() {
       "            [--shrink BOOL] [--json FILE] [--program \"LINE\"]\n"
       "            (differential guarantee fuzzing; see docs/VERIFICATION.md)\n"
       "  chaos     [--seed S] [--iters N] [--failpoints SPEC] [--io BOOL]\n"
-      "            [--server BOOL] [--json FILE]\n"
+      "            [--server BOOL] [--server-restart BOOL] [--json FILE]\n"
       "            (fault-injection campaign; see docs/ROBUSTNESS.md)\n"
-      "  serve     --socket PATH [--failpoints SPEC] [--seed S]\n"
+      "  serve     --socket PATH [--data-dir DIR] [--fsync always|never]\n"
+      "            [--snapshot-every ITEMS] [--failpoints SPEC] [--seed S]\n"
       "            (multi-tenant sketch server; see docs/SERVER.md)\n"
       "  client    --socket PATH --op OP [--tenant T] [--trace FILE]\n"
       "            [--k K] [--item ID] [--depth T] [--width B] [--seed S]\n"
       "            [--threads N] [--overflow block|shed|sample]\n"
       "            [--push-timeout-ms MS] [--tracked L] [--out FILE]\n"
+      "            [--retries N] [--backoff-ms MS]\n"
       "            (OP: ping create drop ingest seal topk estimate mark\n"
-      "             maxchange export statsz shutdown)\n";
+      "             maxchange export recoveryinfo statsz shutdown)\n";
 }
 
 Result<CountSketchParams> SketchParamsFromFlags(const Flags& flags) {
@@ -559,8 +571,10 @@ int CmdChaos(const Flags& flags) {
   auto iters = flags.GetInt("iters", 200);
   auto io = flags.GetBool("io", true);
   auto server = flags.GetBool("server", false);
+  auto restart = flags.GetBool("server-restart", false);
   for (const Status& s :
-       {seed.status(), iters.status(), io.status(), server.status()}) {
+       {seed.status(), iters.status(), io.status(), server.status(),
+        restart.status()}) {
     if (!s.ok()) return Fail(s);
   }
   if (*iters <= 0) {
@@ -572,8 +586,20 @@ int CmdChaos(const Flags& flags) {
   options.iterations = static_cast<uint64_t>(*iters);
   options.failpoints = flags.GetString("failpoints", "");
   options.exercise_io = *io;
-  auto report = *server ? RunServerChaosCampaign(options)
-                        : RunChaosCampaign(options);
+  if (*restart) {
+    // The campaign forks fresh `sfq serve` processes from this very image.
+    std::error_code ec;
+    const std::filesystem::path self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (ec) {
+      return Fail(Status::IoError(
+          "chaos: cannot resolve /proc/self/exe: " + ec.message()));
+    }
+    options.server_binary = self.string();
+  }
+  auto report = *restart ? RunServerRestartCampaign(options)
+                : *server ? RunServerChaosCampaign(options)
+                          : RunChaosCampaign(options);
   if (!report.ok()) return Fail(report.status());
 
   TablePrinter table({"metric", "value"});
@@ -585,7 +611,14 @@ int CmdChaos(const Flags& flags) {
   table.AddRowValues("faulted iterations", report->faulted_iterations);
   table.AddRowValues("worker respawns", report->worker_respawns);
   table.AddRowValues("dropped items", report->dropped_items);
-  if (*server) {
+  if (*restart) {
+    table.AddRowValues("server requests", report->server_requests);
+    table.AddRowValues("connection severs", report->server_severs);
+    table.AddRowValues("server restarts", report->server_restarts);
+    table.AddRowValues("process deaths", report->crash_kills);
+    table.AddRowValues("recoveries", report->recoveries);
+    table.AddRowValues("identity checks", report->identity_checks);
+  } else if (*server) {
     table.AddRowValues("server requests", report->server_requests);
     table.AddRowValues("connection severs", report->server_severs);
     table.AddRowValues("stale serves", report->stale_serves);
@@ -598,7 +631,9 @@ int CmdChaos(const Flags& flags) {
     std::cout << "FAIL iteration " << failure.index << ": " << failure.detail
               << "\n  schedule: " << failure.schedule
               << "\n  replay: sfq chaos --seed " << *seed
-              << " --iters " << (failure.index + 1) << (*server ? " --server true" : "")
+              << " --iters " << (failure.index + 1)
+              << (*restart ? " --server-restart true"
+                           : *server ? " --server true" : "")
               << (options.failpoints.empty()
                       ? ""
                       : " --failpoints \"" + options.failpoints + "\"")
@@ -633,13 +668,23 @@ int CmdChaos(const Flags& flags) {
       "io_round_trips", static_cast<int64_t>(report->io_round_trips)));
   fields.push_back(JsonField::Integer(
       "io_faults", static_cast<int64_t>(report->io_faults)));
-  if (*server) {
+  if (*server || *restart) {
     fields.push_back(JsonField::Integer(
         "server_requests", static_cast<int64_t>(report->server_requests)));
     fields.push_back(JsonField::Integer(
         "server_severs", static_cast<int64_t>(report->server_severs)));
     fields.push_back(JsonField::Integer(
         "stale_serves", static_cast<int64_t>(report->stale_serves)));
+  }
+  if (*restart) {
+    fields.push_back(JsonField::Integer(
+        "server_restarts", static_cast<int64_t>(report->server_restarts)));
+    fields.push_back(JsonField::Integer(
+        "crash_kills", static_cast<int64_t>(report->crash_kills)));
+    fields.push_back(JsonField::Integer(
+        "recoveries", static_cast<int64_t>(report->recoveries)));
+    fields.push_back(JsonField::Integer(
+        "identity_checks", static_cast<int64_t>(report->identity_checks)));
   }
   const std::string json_path = flags.GetString("json", "");
   if (!json_path.empty()) {
@@ -658,16 +703,41 @@ int CmdServe(const Flags& flags) {
   }
   auto seed = flags.GetInt("seed", 1);
   if (!seed.ok()) return Fail(seed.status());
+  auto snapshot_every = flags.GetInt("snapshot-every", 1 << 16);
+  if (!snapshot_every.ok()) return Fail(snapshot_every.status());
+  if (*snapshot_every < 0) {
+    return Fail(Status::InvalidArgument("--snapshot-every must be >= 0"));
+  }
+  auto fsync = WalFsyncFromName(flags.GetString("fsync", "always"));
+  if (!fsync.ok()) return Fail(fsync.status());
   // Optional fault drills: arm the server.* (and any other) sites for the
-  // whole serving session, same spec grammar as `sfq chaos`.
+  // whole serving session, same spec grammar as `sfq chaos`. In the serve
+  // binary — and only here — a `crash` action is a real process death
+  // (std::_Exit at the site), which is what the kill-restart chaos
+  // campaign leans on.
+  FailpointRegistry::SetCrashKillsProcess(true);
   ScopedFailpoints failpoints(flags.GetString("failpoints", ""),
                               static_cast<uint64_t>(*seed));
   if (!failpoints.status().ok()) return Fail(failpoints.status());
 
   ServerOptions options;
   options.socket_path = socket;
+  options.service.data_dir = flags.GetString("data-dir", "");
+  options.service.fsync = *fsync;
+  options.service.snapshot_every_items = static_cast<uint64_t>(*snapshot_every);
   auto server = SfqServer::Start(options);
   if (!server.ok()) return Fail(server.status());
+  if (!options.service.data_dir.empty()) {
+    std::cout << "sfq serve: durable under " << options.service.data_dir
+              << " (fsync=" << WalFsyncName(*fsync) << ", "
+              << (*server)->service().TenantCount()
+              << " tenants recovered)\n";
+    for (const auto& [name, detail] :
+         (*server)->service().recovery_failures()) {
+      std::cout << "sfq serve: RECOVERY FAILED for tenant " << name << ": "
+                << detail << "\n";
+    }
+  }
   std::cout << "sfq serve: listening on " << socket << std::endl;
   (*server)->Wait();
   const ServerStats stats = (*server)->Stats();
@@ -691,7 +761,21 @@ int CmdClient(const Flags& flags) {
   if (!k.ok()) return Fail(k.status());
   if (!item.ok()) return Fail(item.status());
 
-  auto client = SfqClient::Connect(socket);
+  auto retries = flags.GetInt("retries", 0);
+  auto backoff = flags.GetInt("backoff-ms", 50);
+  if (!retries.ok()) return Fail(retries.status());
+  if (!backoff.ok()) return Fail(backoff.status());
+  if (*retries < 0 || *backoff < 0) {
+    return Fail(Status::InvalidArgument(
+        "--retries and --backoff-ms must be >= 0"));
+  }
+  RetryOptions retry;
+  retry.retries = static_cast<uint32_t>(*retries);
+  retry.backoff_ms = static_cast<uint64_t>(*backoff);
+  auto retry_seed = flags.GetInt("seed", 1);
+  if (retry_seed.ok()) retry.seed = static_cast<uint64_t>(*retry_seed);
+
+  auto client = SfqClient::Connect(socket, retry);
   if (!client.ok()) return Fail(client.status());
 
   switch (*op) {
@@ -795,6 +879,12 @@ int CmdClient(const Flags& flags) {
       const Status status = WriteSketchFile(out, *sketch);
       if (!status.ok()) return Fail(status);
       std::cout << "exported " << tenant << " to " << out << "\n";
+      return 0;
+    }
+    case Opcode::kRecoveryInfo: {
+      auto info = client->RecoveryInfo(tenant);
+      if (!info.ok()) return Fail(info.status());
+      std::cout << *info << "\n";
       return 0;
     }
     case Opcode::kStatsz: {

@@ -37,6 +37,7 @@ RULE_IDS = [
     "nodiscard-decl",
     "failpoint-site",
     "server-opcode",
+    "durable-write",
     "simd-ifdef",
     "layer-dag",
     "lock-order",

@@ -1,4 +1,4 @@
-"""Per-file rules: the 11 v1 rules, ported onto the tokenizer.
+"""Per-file rules: the 11 v1 rules ported onto the tokenizer, plus durable-write.
 
 Behavior is intentionally identical to the v1 single-file linter on the
 fixture corpus (proven by `--fixtures` and lint_selfcheck_test); the only
@@ -58,6 +58,10 @@ class FileLinter:
                 self.check_failpoint_site()
             if not self.path.startswith("src/server/protocol"):
                 self.check_server_opcode_cast()
+        if self.path.startswith("src/server/") and not self.path.startswith(
+            "src/server/wal."
+        ):
+            self.check_durable_write()
         if (
             in_src or in_tools or self.path.startswith("bench/")
         ) and self.path != "src/util/simd.h":
@@ -279,6 +283,36 @@ class FileLinter:
                     "Opcode minted from a raw numeric literal; go through "
                     "LookupOpcode() (src/server/protocol.cc) so unregistered "
                     "opcodes stay unrepresentable.",
+                )
+
+    # -- durable-write -----------------------------------------------------
+    DURABLE_WRITE_RE = re.compile(
+        r"std::ofstream\b|\bfopen\s*\(|\bfwrite\s*\(|\bcreat\s*\("
+        r"|(?:std::filesystem::|std::|::)rename\s*\("
+        r"|::open\s*\([^;]*O_(?:WRONLY|RDWR|CREAT|APPEND|TRUNC)"
+    )
+
+    def check_durable_write(self):
+        """src/server/ persists state only through the two audited paths.
+
+        Tenant durability rests on exactly two write disciplines: the
+        sketch_io write-temp-then-rename snapshot path (one rename is one
+        commit point) and the CRC-framed WAL append in src/server/wal.cc
+        (torn tails are detected and discarded at replay). A raw ofstream,
+        fopen/fwrite, or rename anywhere else in the server can leave a
+        half-written file that recovery has no framing to reject.
+        """
+        for idx, code in enumerate(self.code):
+            m = self.DURABLE_WRITE_RE.search(code)
+            if m:
+                self.report(
+                    idx,
+                    "durable-write",
+                    f"raw file write '{m.group(0).strip()}' in src/server/; "
+                    "persist through core/sketch_io.h (write-temp-then-"
+                    "rename) or the WAL (src/server/wal.cc) so a crash "
+                    "cannot publish a half-written file recovery would "
+                    "trust.",
                 )
 
     # -- simd-ifdef --------------------------------------------------------
