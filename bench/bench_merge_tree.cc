@@ -1,0 +1,247 @@
+// bench_merge_tree: delta-shipping throughput across merge-tree shapes.
+//
+// Drives MergeTreeSim (src/dist/merge_tree.h) fault-free: every leaf
+// ingests a seeded zipf substream in delta-sized batches, with one
+// bottom-up shipping pass interleaved per batch wave and a Seal+Drain at
+// the end, then CheckInvariants() proves the run was exact before any
+// number is reported. What lands in the trajectory JSON
+// (streamfreq-bench-v1, gated by tools/bench_gate.py against the
+// committed BENCH_merge.json):
+//
+//   TreeShip/fanout:F  items_per_second = leaf items through the tree /
+//                      wall (the gate metric), plus deltas_per_second and
+//                      drain_rounds (root-query staleness in shipping
+//                      rounds after seal) as informational extras.
+//
+// Fanout 0 is the flat star (every worker under the root); wider interior
+// fanout trades per-node receiver fan-in against tree depth, and
+// drain_rounds makes the depth cost visible next to the throughput.
+//
+// Flags:
+//   --workers=N        leaves (default 16)
+//   --fanouts=0,2,4    interior fanout scenarios (default "0,2,4")
+//   --items=N          items per leaf (default 65536)
+//   --delta-every=N    items per shipped delta (default 4096)
+//   --reps=N           repetitions per scenario, best-of kept (default 3)
+//   --json FILE        write the trajectory JSON for bench_gate.py
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/count_sketch.h"
+#include "dist/merge_tree.h"
+#include "dist/tree.h"
+#include "stream/types.h"
+#include "stream/zipf.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace streamfreq {
+namespace {
+
+struct TreeBenchFlags {
+  uint64_t workers = 16;
+  std::vector<uint64_t> fanouts = {0, 2, 4};
+  uint64_t items_per_leaf = 65536;
+  uint64_t delta_every = 4096;
+  uint64_t reps = 3;
+  std::string json_path;  // empty = no trajectory JSON
+};
+
+TreeBenchFlags ParseTreeBenchFlags(int argc, char** argv) {
+  TreeBenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      flags.json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      flags.json_path = arg.substr(7);
+    } else if (arg.rfind("--fanouts=", 0) == 0) {
+      flags.fanouts.clear();
+      std::string list = arg.substr(10);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        const long v = std::strtol(tok.c_str(), nullptr, 10);
+        if (v >= 0) flags.fanouts.push_back(static_cast<uint64_t>(v));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      if (flags.fanouts.empty()) flags.fanouts = {0};
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 10, nullptr, 10);
+      if (v > 0) flags.workers = static_cast<uint64_t>(v);
+    } else if (arg.rfind("--items=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 8, nullptr, 10);
+      if (v > 0) flags.items_per_leaf = static_cast<uint64_t>(v);
+    } else if (arg.rfind("--delta-every=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 14, nullptr, 10);
+      if (v > 0) flags.delta_every = static_cast<uint64_t>(v);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      const long v = std::strtol(arg.c_str() + 7, nullptr, 10);
+      if (v > 0) flags.reps = static_cast<uint64_t>(v);
+    } else {
+      std::fprintf(stderr, "bench_merge_tree: unknown flag '%s'\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+struct ScenarioResult {
+  uint64_t fanout = 0;
+  uint64_t nodes = 0;
+  uint64_t depth = 0;
+  double items_per_second = 0;
+  double deltas_per_second = 0;
+  uint64_t drain_rounds = 0;
+};
+
+ScenarioResult RunScenario(const TreeBenchFlags& flags, uint64_t fanout,
+                           const std::vector<Stream>& leaf_streams) {
+  auto topo = BuildBalancedTree(flags.workers, fanout);
+  SFQ_CHECK_OK(topo.status());
+  CountSketchParams params;
+  params.depth = 5;
+  params.width = 2048;
+  params.seed = 11;
+  auto sim = MergeTreeSim::Make(*topo, params, /*tracked=*/64);
+  SFQ_CHECK_OK(sim.status());
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  // Batch waves: every leaf offers one delta-sized batch, then one
+  // bottom-up shipping pass moves the resulting deltas a hop — the
+  // steady-state cadence of the process deployment (sfq aggregate).
+  for (uint64_t off = 0; off < flags.items_per_leaf;
+       off += flags.delta_every) {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(flags.delta_every, flags.items_per_leaf - off));
+    for (size_t leaf = 0; leaf < topo->leaves.size(); ++leaf) {
+      const Stream& stream = leaf_streams[leaf];
+      SFQ_CHECK_OK(sim->Offer(
+          topo->leaves[leaf],
+          std::span<const ItemId>(stream.data() + off, n)));
+    }
+    SFQ_CHECK_OK(sim->ShipRound().status());
+  }
+  // Seal, then count the rounds to quiescence: how stale a root query is
+  // (in shipping rounds) after the last item entered a leaf.
+  sim->Seal();
+  uint64_t drain_rounds = 0;
+  while (!sim->Quiescent()) {
+    SFQ_CHECK_OK(sim->ShipRound().status());
+    ++drain_rounds;
+    SFQ_CHECK(drain_rounds <= 4 * (topo->max_depth() + 2))
+        << "merge tree failed to drain";
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // The run must have been exact before its rate means anything.
+  SFQ_CHECK_OK(sim->CheckInvariants());
+  const DistLedger root = sim->root_ledger();
+  SFQ_CHECK(root.ingested == flags.items_per_leaf * flags.workers)
+      << "fault-free run did not cover every item";
+
+  ScenarioResult result;
+  result.fanout = fanout;
+  result.nodes = topo->size();
+  result.depth = topo->max_depth();
+  result.items_per_second = static_cast<double>(root.ingested) / wall_s;
+  result.deltas_per_second =
+      static_cast<double>(sim->stats().deltas_shipped) / wall_s;
+  result.drain_rounds = drain_rounds;
+  return result;
+}
+
+bool WriteJson(const std::string& path, const TreeBenchFlags& flags,
+               const std::vector<ScenarioResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"streamfreq-bench-v1\",\n"
+               "  \"bench\": \"bench_merge_tree\",\n"
+               "  \"entries\": [");
+  bool first = true;
+  for (const ScenarioResult& r : results) {
+    std::fprintf(
+        f,
+        "%s\n    {\"name\": \"TreeShip/fanout:%llu\", "
+        "\"label\": \"workers=%llu delta_every=%llu\", "
+        "\"items_per_second\": %.6e, "
+        "\"deltas_per_second\": %.6e, \"drain_rounds\": %llu}",
+        first ? "" : ",", static_cast<unsigned long long>(r.fanout),
+        static_cast<unsigned long long>(flags.workers),
+        static_cast<unsigned long long>(flags.delta_every),
+        r.items_per_second, r.deltas_per_second,
+        static_cast<unsigned long long>(r.drain_rounds));
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  return std::fclose(f) == 0;
+}
+
+int Run(int argc, char** argv) {
+  const TreeBenchFlags flags = ParseTreeBenchFlags(argc, argv);
+  // Per-leaf zipf substreams, the same shape `sfq aggregate` workers
+  // stream, regenerated once and shared across scenarios/reps so every
+  // fanout ships exactly the same mass.
+  std::vector<Stream> leaf_streams;
+  leaf_streams.reserve(flags.workers);
+  for (uint64_t leaf = 0; leaf < flags.workers; ++leaf) {
+    auto gen = ZipfGenerator::Make(100000, 1.1, 42 + leaf);
+    SFQ_CHECK_OK(gen.status());
+    leaf_streams.push_back(
+        gen->Take(static_cast<size_t>(flags.items_per_leaf)));
+  }
+
+  std::vector<ScenarioResult> results;
+  results.reserve(flags.fanouts.size());
+  std::printf("%-20s %8s %6s %14s %14s %12s\n", "scenario", "nodes", "depth",
+              "items/s", "deltas/s", "drain rnds");
+  for (const uint64_t fanout : flags.fanouts) {
+    // Best-of-N, the same policy as the other gated benches: on a loaded
+    // box interference only slows a run down, so max rate is the least
+    // noisy estimate.
+    ScenarioResult r = RunScenario(flags, fanout, leaf_streams);
+    for (uint64_t rep = 1; rep < flags.reps; ++rep) {
+      const ScenarioResult again = RunScenario(flags, fanout, leaf_streams);
+      if (again.items_per_second > r.items_per_second) r = again;
+    }
+    results.push_back(r);
+    std::printf("%-20s %8llu %6llu %14.3e %14.3e %12llu\n",
+                ("tree/fanout:" + std::to_string(fanout)).c_str(),
+                static_cast<unsigned long long>(r.nodes),
+                static_cast<unsigned long long>(r.depth), r.items_per_second,
+                r.deltas_per_second,
+                static_cast<unsigned long long>(r.drain_rounds));
+  }
+
+  if (!flags.json_path.empty()) {
+    if (!WriteJson(flags.json_path, flags, results)) {
+      std::fprintf(stderr, "bench_merge_tree: cannot write %s\n",
+                   flags.json_path.c_str());
+      return 1;
+    }
+    std::printf("bench_merge_tree: trajectory written to %s\n",
+                flags.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamfreq
+
+int main(int argc, char** argv) { return streamfreq::Run(argc, argv); }

@@ -3,19 +3,22 @@
 #
 #   scripts/check.sh --quick    lint + build + ctest + TSan concurrent
 #                               re-check + 200-iteration chaos profile
-#                               (incl. server failpoints and the 200-
-#                               iteration kill-restart recovery campaign)
+#                               (incl. server failpoints, the 200-
+#                               iteration kill-restart recovery campaign,
+#                               and the 200-iteration merge-tree campaign)
 #                               + server smoke
 #   scripts/check.sh            the above, plus benchmarks, examples, an
 #                               ASan/UBSan build running the full suite,
 #                               a failpoints-compiled-out sanity build,
 #                               and nightly-scale `sfq verify` + `sfq chaos`
 #                               campaigns
-#   scripts/check.sh --bench    build bench_throughput + bench_serve,
-#                               regenerate the ingest trajectory and the
-#                               server latency/qps profile, and gate both
-#                               against the committed BENCH_throughput.json
-#                               and BENCH_serve.json via tools/bench_gate.py
+#   scripts/check.sh --bench    build bench_throughput + bench_serve +
+#                               bench_merge_tree, regenerate the ingest
+#                               trajectory, the server latency/qps profile,
+#                               and the merge-tree shipping profile, and
+#                               gate them against the committed
+#                               BENCH_throughput.json / BENCH_serve.json /
+#                               BENCH_merge.json via tools/bench_gate.py
 #                               (>15% regression fails; see
 #                               docs/PERFORMANCE.md and docs/SERVER.md)
 #
@@ -28,6 +31,8 @@
 #                    (default 0.15)
 #   SFQ_SERVE_BENCH_BUDGET  budget for the bench_serve gate (default 0.35;
 #                    socket RPC latency is noisier than in-process kernels)
+#   SFQ_MERGE_BENCH_BUDGET  budget for the bench_merge_tree gate
+#                    (default 0.25)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,10 +60,11 @@ fi
 # the budget.
 if [[ "$BENCH" -eq 1 ]]; then
   cmake -B build "${GEN[@]}" -DCMAKE_BUILD_TYPE=Release
-  cmake --build build --target bench_throughput bench_serve
+  cmake --build build --target bench_throughput bench_serve bench_merge_tree
   out="$(mktemp /tmp/sfq_bench.XXXXXX.json)"
   serve_out="$(mktemp /tmp/sfq_bench_serve.XXXXXX.json)"
-  trap 'rm -f "$out" "$serve_out"' EXIT
+  merge_out="$(mktemp /tmp/sfq_bench_merge.XXXXXX.json)"
+  trap 'rm -f "$out" "$serve_out" "$merge_out"' EXIT
   build/bench/bench_throughput \
     --benchmark_filter='BatchAddBackend|BM_Update' \
     --benchmark_min_time=0.1 \
@@ -73,6 +79,12 @@ if [[ "$BENCH" -eq 1 ]]; then
   build/bench/bench_serve --json "$serve_out"
   python3 tools/bench_gate.py "$serve_out" BENCH_serve.json \
     --budget "${SFQ_SERVE_BENCH_BUDGET:-0.35}"
+  # The merge-tree gate sits between the two: pure in-process compute,
+  # but whole-fleet wall times are more scheduler-sensitive than a single
+  # kernel loop.
+  build/bench/bench_merge_tree --json "$merge_out"
+  python3 tools/bench_gate.py "$merge_out" BENCH_merge.json \
+    --budget "${SFQ_MERGE_BENCH_BUDGET:-0.25}"
   echo "check.sh --bench: OK"
   exit 0
 fi
@@ -116,10 +128,14 @@ scripts/serve_smoke.sh build/tools/sfq
 # --server-restart SIGKILLs a real `sfq serve` daemon at armed crash
 # points and asserts WAL+snapshot recovery (conservation ledger, ack
 # durability, bit-identical sketches on loss-free runs; docs/SERVER.md).
+# --tree drives the distributed merge tree under the dist.* schedule:
+# clean error or a root bit-identical to the covered-prefix reference,
+# composed conservation, exact dedup (docs/DISTRIBUTED.md).
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 200
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 40 --server true
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 200 \
   --server-restart true
+build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" --iters 200 --tree true
 
 if [[ "$QUICK" -eq 1 ]]; then
   echo "check.sh --quick: OK"
@@ -164,5 +180,7 @@ build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
   --iters "$(( ${SFQ_CHAOS_ITERS:-2000} / 10 ))" --server true
 build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
   --iters "$(( ${SFQ_CHAOS_ITERS:-2000} / 4 ))" --server-restart true
+build/tools/sfq chaos --seed "${SFQ_CHAOS_SEED:-42}" \
+  --iters "${SFQ_CHAOS_ITERS:-2000}" --tree true
 
 echo "check.sh: OK"

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hash/pairwise.h"
@@ -46,6 +47,10 @@ class AmsF2Sketch {
   Status Merge(const AmsF2Sketch& other);
 
   size_t SpaceBytes() const;
+
+  /// Raw atom counters (row-major). Exposed for the merge-tree property
+  /// test, which asserts merge order cannot change any counter.
+  std::span<const int64_t> counters() const { return counters_; }
 
  private:
   AmsF2Sketch(const AmsF2Params& params);

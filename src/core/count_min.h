@@ -71,6 +71,12 @@ class CountMin {
   size_t width() const { return width_; }
   bool conservative() const { return params_.conservative; }
 
+  /// Raw counter at (row, bucket). The merge-tree property test compares
+  /// counter states cell by cell to prove tree-shape independence.
+  int64_t CounterAt(size_t row, size_t bucket) const noexcept {
+    return counters_.At(row, bucket);
+  }
+
   /// Bytes held (counters + hash parameters).
   size_t SpaceBytes() const;
 

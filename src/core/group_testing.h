@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hash/pairwise.h"
@@ -64,6 +65,10 @@ class GroupTestingSketch {
 
   size_t SpaceBytes() const;
   const GroupTestingParams& params() const { return params_; }
+
+  /// Raw counters ([total, bit0..bit63] per group, row-major). Exposed for
+  /// the merge-tree property test's cell-by-cell shape-independence check.
+  std::span<const int64_t> counters() const { return counters_; }
 
  private:
   explicit GroupTestingSketch(const GroupTestingParams& params);

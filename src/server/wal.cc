@@ -19,6 +19,8 @@ const char* WalFsyncName(WalFsync fsync) {
       return "always";
     case WalFsync::kNever:
       return "never";
+    case WalFsync::kBatch:
+      return "batch";
   }
   return "unknown";
 }
@@ -26,6 +28,7 @@ const char* WalFsyncName(WalFsync fsync) {
 Result<WalFsync> WalFsyncFromName(std::string_view name) {
   if (name == "always") return WalFsync::kAlways;
   if (name == "never") return WalFsync::kNever;
+  if (name == "batch") return WalFsync::kBatch;
   return Status::InvalidArgument("wal: unknown fsync policy: " +
                                  std::string(name));
 }
@@ -49,6 +52,8 @@ Status WalWriter::OpenStreams(bool truncate) {
     return Status::IoError("wal: cannot open sync descriptor: " + path_);
   }
   sync_fd_ = OwnedFd(fd);
+  fsyncs_ = 0;
+  unsynced_appends_ = 0;
   return Status::OK();
 }
 
@@ -86,20 +91,30 @@ Status WalWriter::Append(uint64_t seqno, std::span<const ItemId> items) {
   out_.write(record.data(), static_cast<std::streamsize>(record.size()));
   out_.flush();
   if (!out_) return Status::IoError("wal: append failed: " + path_);
+  ++unsynced_appends_;
 
-  if (fsync_ == WalFsync::kAlways) {
-    if (const FailDecision fp = SFQ_FAILPOINT("wal.fsync"); fp) {
-      // Death here is the interesting case: the record is in the page
-      // cache (a SIGKILL preserves it) but was never forced to disk.
-      MaybeDieAtFailpoint(fp);
-      if (fp.action == FailAction::kError) {
-        return Status::IoError("injected failure: wal.fsync: " + path_);
-      }
-    }
-    if (::fsync(sync_fd_.get()) != 0) {
-      return Status::IoError("wal: fsync failed: " + path_);
+  const bool barrier =
+      fsync_ == WalFsync::kAlways ||
+      (fsync_ == WalFsync::kBatch && unsynced_appends_ >= kWalBatchFsyncEvery);
+  if (barrier) return Fsync();
+  return Status::OK();
+}
+
+Status WalWriter::Fsync() {
+  if (const FailDecision fp = SFQ_FAILPOINT("wal.fsync"); fp) {
+    // Death here is the interesting case: every unsynced record — one
+    // under kAlways, up to kWalBatchFsyncEvery under kBatch — is in the
+    // page cache (a SIGKILL preserves it) but was never forced to disk.
+    MaybeDieAtFailpoint(fp);
+    if (fp.action == FailAction::kError) {
+      return Status::IoError("injected failure: wal.fsync: " + path_);
     }
   }
+  if (::fsync(sync_fd_.get()) != 0) {
+    return Status::IoError("wal: fsync failed: " + path_);
+  }
+  ++fsyncs_;
+  unsynced_appends_ = 0;
   return Status::OK();
 }
 

@@ -25,7 +25,13 @@
 // Durability knob: WalFsync::kAlways fsyncs after every append (a crashed
 // *machine* loses nothing that was acknowledged); kNever leaves flushing to
 // the page cache (a crashed *process* still loses nothing, since the bytes
-// survive in the kernel — the chaos kill-restart campaign runs both).
+// survive in the kernel); kBatch fsyncs every kWalBatchFsyncEvery-th append
+// — the middle ground, with an ack-durability window of at most
+// kWalBatchFsyncEvery - 1 acknowledged records against a machine crash and
+// still zero against a process crash. The chaos kill-restart campaign runs
+// all three (process kills preserve the page cache, so acked <= offered
+// must hold for every policy); the arithmetic window itself is asserted at
+// the WalWriter level in tests/server_recovery_test.cc.
 //
 // Lint note: writes go through std::ofstream (the blocking-under-lock rule
 // whitelists method-call writes); the separate descriptor exists only for
@@ -55,7 +61,12 @@ inline constexpr uint64_t kWalMaxPayloadBytes = uint64_t{1} << 26;
 enum class WalFsync : uint8_t {
   kAlways = 0,  ///< fsync after every append (survives machine crash)
   kNever = 1,   ///< page-cache only (survives process crash)
+  kBatch = 2,   ///< fsync every kWalBatchFsyncEvery appends (bounded window)
 };
+
+/// Batch-fsync cadence: under WalFsync::kBatch an fsync lands on every
+/// N-th append, so at most N-1 acknowledged records sit in the page cache.
+inline constexpr uint64_t kWalBatchFsyncEvery = 8;
 
 const char* WalFsyncName(WalFsync fsync);
 Result<WalFsync> WalFsyncFromName(std::string_view name);
@@ -93,16 +104,28 @@ class WalWriter {
 
   const std::string& path() const { return path_; }
 
+  /// fsync(2) calls issued since Open/Truncate. Under kBatch this is
+  /// floor(appends / kWalBatchFsyncEvery) — the cadence the recovery test
+  /// asserts.
+  uint64_t fsyncs() const { return fsyncs_; }
+
+  /// Appends not yet covered by an fsync — the ack-durability window a
+  /// machine crash could lose (always 0 under kAlways).
+  uint64_t unsynced_appends() const { return unsynced_appends_; }
+
  private:
   WalWriter(std::string path, WalFsync fsync) noexcept
       : path_(std::move(path)), fsync_(fsync) {}
 
   Status OpenStreams(bool truncate);
+  Status Fsync();
 
   std::string path_;
   WalFsync fsync_;
   std::ofstream out_;
   OwnedFd sync_fd_;  ///< separate descriptor for fsync(2) only
+  uint64_t fsyncs_ = 0;
+  uint64_t unsynced_appends_ = 0;
 };
 
 /// Applies one journal record during recovery.

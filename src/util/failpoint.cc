@@ -25,6 +25,11 @@ const std::vector<std::string>* BuildKnownSites() {
       "wal.append",              // journal record write (error, torn, crash)
       "wal.fsync",               // journal durability barrier (error, crash)
       "snapshot.publish",        // tenant snapshot commit (error, crash)
+      "dist.ingest",             // leaf admission (error, torn, crash)
+      "dist.ship",               // uplink frame (error, torn, bitflip)
+      "dist.deliver",            // parent apply (error = drop, old ack)
+      "dist.ack",                // downlink ack (error = lost)
+      "dist.node",               // merge-tree node (crash = permanent loss)
   };
 }
 

@@ -21,6 +21,8 @@
 #include "concurrent/parallel_ingestor.h"
 #include "core/count_sketch.h"
 #include "core/sketch_io.h"
+#include "dist/merge_tree.h"
+#include "dist/tree.h"
 #include "hash/random.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -556,7 +558,7 @@ struct ChildServer {
 /// routed to /dev/null so campaign output stays readable.
 pid_t SpawnServe(const std::string& binary, const std::string& socket_path,
                  const std::string& data_dir, const std::string& failpoints,
-                 uint64_t seed) {
+                 uint64_t seed, const std::string& fsync_policy = "always") {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   const int devnull = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
@@ -569,6 +571,7 @@ pid_t SpawnServe(const std::string& binary, const std::string& socket_path,
                                    "--socket",    socket_path,
                                    "--data-dir",  data_dir,
                                    "--snapshot-every", "2048",
+                                   "--fsync",     fsync_policy,
                                    "--seed",      std::to_string(seed)};
   if (!failpoints.empty()) {
     args.push_back("--failpoints");
@@ -637,11 +640,19 @@ Result<ServerIterationResult> RunServerRestartIteration(
           ? ServerRestartScheduleForIteration(options.seed, index)
           : options.failpoints;
 
+  // Rotate the WAL durability policy across iterations. Process kills (the
+  // only death this campaign inflicts) preserve the page cache, so acked <=
+  // offered must hold under every policy — including kBatch, whose bounded
+  // ack-durability window only matters against a machine crash.
+  const char* kFsyncPolicies[] = {"always", "never", "batch"};
+  const std::string fsync_policy = kFsyncPolicies[rng.UniformBelow(3)];
+
   ChildServer child;
   // Masked to 63 bits: the CLI seed flag parses as a signed integer.
   child.pid = SpawnServe(options.server_binary, socket_path, data_dir,
                          schedule,
-                         (options.seed ^ ((index + 1) * kMix)) >> 1);
+                         (options.seed ^ ((index + 1) * kMix)) >> 1,
+                         fsync_policy);
   if (child.pid < 0) return Status::Internal("chaos: fork failed");
 
   const std::string tenant = "dur";
@@ -656,7 +667,7 @@ Result<ServerIterationResult> RunServerRestartIteration(
     ++result.restarts;
     std::remove(socket_path.c_str());
     child.pid = SpawnServe(options.server_binary, socket_path, data_dir,
-                           /*failpoints=*/"", 0);
+                           /*failpoints=*/"", 0, fsync_policy);
     if (child.pid < 0) return Status::Internal("chaos: fork failed");
     STREAMFREQ_ASSIGN_OR_RETURN(SfqClient client,
                                 WaitReady(socket_path, &child));
@@ -1106,6 +1117,275 @@ std::string ServerRestartScheduleForIteration(uint64_t seed, uint64_t index) {
     spec += clause;
   }
   return spec;
+}
+
+std::string TreeChaosScheduleForIteration(uint64_t seed, uint64_t index) {
+  Xoshiro256 rng(seed ^ kScheduleSalt ^ ((index + 13) * kMix));
+  const auto chance = [&rng](uint64_t percent) {
+    return rng.UniformBelow(100) < percent;
+  };
+  std::vector<std::string> clauses;
+  // Admission faults at the leaves: rejected batches and recorded sheds —
+  // the mass the conservation ledger must carry up the tree.
+  if (chance(30)) {
+    clauses.push_back("dist.ingest=error@0.05");
+  } else if (chance(25)) {
+    clauses.push_back("dist.ingest=torn@0.05");
+  }
+  // Uplink frame faults: severed, torn, or bit-flipped in flight. Torn and
+  // flipped frames must die at the CRC and count as severs, never as
+  // applied garbage.
+  if (chance(35)) {
+    clauses.push_back("dist.ship=error@0.08");
+  } else if (chance(25)) {
+    clauses.push_back("dist.ship=torn@0.06");
+  } else if (chance(20)) {
+    clauses.push_back("dist.ship=bitflip@0.05");
+  }
+  // Dropped deliveries re-ack the OLD seqno; lost acks force verbatim
+  // resends — both must dedup exactly.
+  if (chance(30)) clauses.push_back("dist.deliver=error@0.08");
+  if (chance(35)) clauses.push_back("dist.ack=error@0.1");
+  // Node loss ALWAYS carries a budget: an unbounded crash clause would
+  // eventually kill every node and leave nothing to assert.
+  if (chance(30)) {
+    clauses.push_back("dist.node=crash@0.02*" +
+                      std::to_string(1 + rng.UniformBelow(2)));
+  }
+  if (clauses.empty()) clauses.push_back("dist.ack=error@0.1");
+
+  std::string spec;
+  for (const std::string& clause : clauses) {
+    if (!spec.empty()) spec += ';';
+    spec += clause;
+  }
+  return spec;
+}
+
+namespace {
+
+struct TreeIterationResult {
+  ChaosOutcome outcome = ChaosOutcome::kVerified;
+  std::string detail;
+  MergeTreeStats stats;
+  uint64_t fires = 0;
+  uint64_t dropped_items = 0;
+  bool identity_checked = false;
+};
+
+Result<TreeIterationResult> RunTreeIteration(const ChaosOptions& options,
+                                             uint64_t index) {
+  const FuzzProgram program =
+      ProgramFromSeed(options.seed ^ kProgramSalt, index);
+  STREAMFREQ_ASSIGN_OR_RETURN(Stream stream, MaterializeStream(program));
+
+  // Size the sketch for the full stream; degraded runs are judged against
+  // the covered (effective) stream, same discipline as RunIteration.
+  const Oracle full_oracle(stream);
+  const VerifySetup sizing = MakeVerifySetup(
+      program.k, program.epsilon, program.width_scale, program.seed,
+      full_oracle);
+  STREAMFREQ_ASSIGN_OR_RETURN(VerifySketchPlan plan,
+                              PlanVerifyCountSketch(sizing));
+
+  // Randomized topology: flat star, balanced, or ragged random tree over
+  // fanout 1..8 and depth 1..4.
+  Xoshiro256 rng(options.seed ^ ((index + 11) * kMix));
+  const uint64_t workers = 2 + rng.UniformBelow(7);
+  Result<TreeTopology> topo_result = [&]() -> Result<TreeTopology> {
+    const uint64_t shape = rng.UniformBelow(3);
+    if (shape == 0) return BuildBalancedTree(workers, 0);  // flat star
+    if (shape == 1) return BuildBalancedTree(workers, 2 + rng.UniformBelow(3));
+    return BuildRandomTree(workers, 1 + rng.UniformBelow(8),
+                           1 + rng.UniformBelow(4), &rng);
+  }();
+  STREAMFREQ_RETURN_NOT_OK(topo_result.status());
+  const TreeTopology& topo = *topo_result;
+
+  const size_t tracked = std::max<size_t>(16, 2 * program.k);
+  Result<MergeTreeSim> sim_result =
+      MergeTreeSim::Make(*topo_result, plan.params, tracked);
+  STREAMFREQ_RETURN_NOT_OK(sim_result.status());
+  MergeTreeSim& sim = *sim_result;
+
+  const std::string schedule =
+      options.failpoints.empty()
+          ? TreeChaosScheduleForIteration(options.seed, index)
+          : options.failpoints;
+  ScopedFailpoints failpoints(schedule,
+                              options.seed ^ ((index + 1) * kMix));
+  STREAMFREQ_RETURN_NOT_OK(failpoints.status());
+
+  TreeIterationResult result;
+  auto finish = [&result, &sim] {
+    result.stats = sim.stats();
+    result.fires = FailpointRegistry::Global().TotalFires();
+    const DistLedger root = sim.root_ledger();
+    result.dropped_items = root.rejected + root.dropped;
+  };
+  auto fail = [&](std::string detail) {
+    result.outcome = ChaosOutcome::kGuaranteeFailure;
+    result.detail = std::move(detail);
+    finish();
+    return result;
+  };
+
+  // Stripe the stream across the leaves in contiguous slices, then offer
+  // interleaved batches with shipping rounds mixed in — deltas are in
+  // flight while other leaves are still ingesting.
+  const uint64_t leaves = topo.leaves.size();
+  const uint64_t slice = (stream.size() + leaves - 1) / leaves;
+  std::vector<uint64_t> offsets(leaves, 0);
+  const uint64_t batch = 128 + rng.UniformBelow(4) * 128;
+  const uint64_t epoch_at = rng.UniformBelow(stream.size() + 1);
+  uint64_t offered_so_far = 0;
+  bool epoch_marked = false;
+  bool exhausted = false;
+  while (!exhausted) {
+    exhausted = true;
+    for (uint64_t li = 0; li < leaves; ++li) {
+      const uint64_t begin = li * slice;
+      const uint64_t end = std::min<uint64_t>(begin + slice, stream.size());
+      const uint64_t len = end > begin ? end - begin : 0;
+      if (offsets[li] >= len) continue;
+      exhausted = false;
+      const uint64_t leaf = topo.leaves[li];
+      const uint64_t n = std::min<uint64_t>(batch, len - offsets[li]);
+      if (!sim.alive(leaf)) {
+        offsets[li] = len;  // a dead leaf's remaining slice is never offered
+        continue;
+      }
+      const Status offer = sim.Offer(
+          leaf, std::span<const ItemId>(stream.data() + begin + offsets[li],
+                                        n));
+      offsets[li] += n;
+      offered_so_far += n;
+      if (!offer.ok() && !offer.IsNotFound()) {
+        result.outcome = ChaosOutcome::kCleanError;
+        result.detail = offer.ToString();
+        finish();
+        return result;
+      }
+      if (!epoch_marked && offered_so_far >= epoch_at) {
+        sim.MarkEpoch();
+        epoch_marked = true;
+      }
+    }
+    if (rng.UniformBelow(2) == 0) {
+      const Result<bool> round = sim.ShipRound();
+      if (!round.ok()) return fail("ship round: " + round.status().ToString());
+    }
+  }
+  sim.Seal();
+  const Status drained = sim.Drain(64 + 8 * topo.max_depth());
+  if (!drained.ok()) return fail("drain: " + drained.ToString());
+
+  // Exercise the root query surface (crash = failure; values are checked
+  // below through the guarantee machinery).
+  (void)sim.ApproxTop(program.k);
+  const Result<std::vector<ItemCount>> change = sim.MaxChange(program.k);
+  if (!change.ok()) return fail("max-change: " + change.status().ToString());
+
+  // Law 1+2: conservation and composition at every node, and bit-identity
+  // of every node's sketch against its covered-prefix reference.
+  if (const Status invariants = sim.CheckInvariants(); !invariants.ok()) {
+    return fail(invariants.ToString());
+  }
+
+  // Guarantee check over the effective (covered) stream: bounds widen by
+  // exactly the composed shed mass.
+  Stream effective;
+  for (const CoverageEntry& cov : sim.RootCovered()) {
+    const std::vector<ItemId>& items = sim.LeafIngested(cov.leaf_id);
+    effective.insert(effective.end(), items.begin(),
+                     items.begin() + static_cast<ptrdiff_t>(cov.count));
+  }
+  if (!effective.empty()) {
+    const Oracle effective_oracle(effective);
+    const VerifySetup check_setup = MakeVerifySetup(
+        program.k, program.epsilon, program.width_scale, program.seed,
+        effective_oracle);
+    const std::vector<Violation> violations = CheckCountSketchAgainstOracle(
+        sim.root_sketch(), effective_oracle, check_setup, plan.lemma_width);
+    if (!violations.empty()) {
+      return fail(violations.front().guarantee + std::string(": ") +
+                  violations.front().detail);
+    }
+  }
+
+  // Loss-free runs must be bit-identical to a flat one-shot Merge of all
+  // leaf sketches over the full stream.
+  const DistLedger root_ledger = sim.root_ledger();
+  const bool loss_free = root_ledger.offered == stream.size() &&
+                         root_ledger.rejected == 0 &&
+                         root_ledger.dropped == 0 &&
+                         root_ledger.ingested == stream.size();
+  if (loss_free) {
+    Result<CountSketch> flat = CountSketch::Make(plan.params);
+    STREAMFREQ_RETURN_NOT_OK(flat.status());
+    for (uint64_t leaf : topo.leaves) {
+      Result<CountSketch> leaf_sketch = CountSketch::Make(plan.params);
+      STREAMFREQ_RETURN_NOT_OK(leaf_sketch.status());
+      leaf_sketch->BatchAdd(
+          std::span<const ItemId>(sim.LeafIngested(leaf)));
+      STREAMFREQ_RETURN_NOT_OK(flat->Merge(*leaf_sketch));
+    }
+    std::string want, got;
+    flat->SerializeTo(&want);
+    sim.root_sketch().SerializeTo(&got);
+    if (want != got) {
+      return fail("loss-free root sketch differs from flat one-shot merge");
+    }
+    result.identity_checked = true;
+  }
+
+  finish();
+  return result;
+}
+
+}  // namespace
+
+Result<ChaosReport> RunTreeChaosCampaign(const ChaosOptions& options) {
+  if (options.iterations == 0) {
+    return Status::InvalidArgument("chaos: iterations must be >= 1");
+  }
+  ChaosReport report;
+  for (uint64_t index = 0; index < options.iterations; ++index) {
+    STREAMFREQ_ASSIGN_OR_RETURN(TreeIterationResult iteration,
+                                RunTreeIteration(options, index));
+    ++report.iterations;
+    report.fault_fires += iteration.fires;
+    if (iteration.fires > 0) ++report.faulted_iterations;
+    report.dropped_items += iteration.dropped_items;
+    report.deltas_shipped += iteration.stats.deltas_shipped;
+    report.delta_dedups += iteration.stats.delta_dedups;
+    report.severed_links += iteration.stats.severed_links;
+    report.nodes_lost += iteration.stats.nodes_lost;
+    if (iteration.identity_checked) ++report.identity_checks;
+    switch (iteration.outcome) {
+      case ChaosOutcome::kVerified:
+        ++report.verified;
+        break;
+      case ChaosOutcome::kCleanError:
+        ++report.clean_errors;
+        break;
+      case ChaosOutcome::kGuaranteeFailure: {
+        ++report.guarantee_failures;
+        ChaosFailure failure;
+        failure.index = index;
+        failure.program =
+            FormatProgram(ProgramFromSeed(options.seed ^ kProgramSalt, index));
+        failure.schedule =
+            options.failpoints.empty()
+                ? TreeChaosScheduleForIteration(options.seed, index)
+                : options.failpoints;
+        failure.detail = iteration.detail;
+        report.failures.push_back(std::move(failure));
+        break;
+      }
+    }
+  }
+  return report;
 }
 
 Result<ChaosReport> RunServerRestartCampaign(const ChaosOptions& options) {

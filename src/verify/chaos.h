@@ -88,6 +88,10 @@ struct ChaosReport {
   uint64_t crash_kills = 0;       ///< process deaths: failpoint or SIGKILL
   uint64_t recoveries = 0;        ///< relaunches that reported recovered state
   uint64_t identity_checks = 0;   ///< loss-free runs verified bit-identical
+  uint64_t deltas_shipped = 0;    ///< tree campaign: frames sent (+resends)
+  uint64_t delta_dedups = 0;      ///< tree campaign: re-deliveries skipped
+  uint64_t severed_links = 0;     ///< tree campaign: frames lost in flight
+  uint64_t nodes_lost = 0;        ///< tree campaign: permanent node deaths
   std::vector<ChaosFailure> failures;  ///< guarantee failures only
 
   bool Passed() const { return guarantee_failures == 0; }
@@ -152,5 +156,28 @@ std::string ServerRestartScheduleForIteration(uint64_t seed, uint64_t index);
 /// relaunched, broken accounting, or a bad surviving sketch fails the
 /// iteration; process deaths themselves are the point.
 Result<ChaosReport> RunServerRestartCampaign(const ChaosOptions& options);
+
+/// The deterministic schedule for the merge-tree campaign: the five dist.*
+/// sites (docs/ROBUSTNESS.md) — admission faults, severed/torn/bit-flipped
+/// uplink frames, dropped deliveries, lost acks — plus node-loss crash
+/// clauses that ALWAYS carry a *N budget so most of the tree stays alive.
+std::string TreeChaosScheduleForIteration(uint64_t seed, uint64_t index);
+
+/// The merge-tree campaign (`sfq chaos --tree`): each iteration builds a
+/// randomized topology (flat star, balanced, or ragged random tree) over a
+/// seeded fuzz-program stream striped across the leaves, then drives
+/// ingest and delta shipping (src/dist/merge_tree.h) under the dist.*
+/// failpoint schedule. The invariant:
+///
+///   every iteration ends in a clean error Status, or in a root sketch
+///   that is bit-identical to the sketch of exactly the covered prefix of
+///   every leaf stream AND passes the Lemma 4/5 check against the oracle
+///   of that covered (effective) stream — the bounds widen by exactly the
+///   composed shed mass, nothing more. The conservation ledger
+///   (offered − rejected == ingested + dropped) must hold at every node
+///   and compose hop by hop, re-delivered deltas must dedup exactly, and
+///   loss-free runs must be bit-identical to a flat one-shot Merge of all
+///   leaf sketches.
+Result<ChaosReport> RunTreeChaosCampaign(const ChaosOptions& options);
 
 }  // namespace streamfreq

@@ -1,0 +1,16 @@
+// sfq-lint-path: src/dist/cli_probe.cc
+// sfq-lint-expect: layer-dag
+//
+// The dist layer reaching *up* into the CLI layer: tools/ sits at the top
+// of the declared order in tools/layers.toml, so a dist file pulling a
+// CLI helper is a back-edge — the aggregation engine must stay drivable
+// without the `sfq` front end (the chaos harness and tests link it
+// directly). The layer-DAG pass must flag the include.
+
+#include "tools/usage_probe.h"
+
+namespace streamfreq {
+
+int UsesCliFromDist() { return 1; }
+
+}  // namespace streamfreq

@@ -18,6 +18,7 @@
 #include "server/wal.h"
 #include "util/bytes.h"
 #include "util/crc32.h"
+#include "util/failpoint.h"
 
 namespace streamfreq {
 namespace {
@@ -231,6 +232,71 @@ TEST(WalTest, TruncateDiscardsEverything) {
 }
 
 // ---------------------------------------------------------------------------
+// WalFsync::kBatch: the bounded ack-durability window.
+// ---------------------------------------------------------------------------
+
+TEST(WalBatchFsyncTest, PolicyNameRoundTrips) {
+  EXPECT_STREQ(WalFsyncName(WalFsync::kBatch), "batch");
+  auto parsed = WalFsyncFromName("batch");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, WalFsync::kBatch);
+  EXPECT_TRUE(WalFsyncFromName("sometimes").status().IsInvalidArgument());
+}
+
+TEST(WalBatchFsyncTest, FsyncsOnTheBatchCadenceExactly) {
+  const std::string dir = TempDir("wal_batch_cadence");
+  auto wal = WalWriter::Open(dir + "/journal.sfw", WalFsync::kBatch);
+  ASSERT_TRUE(wal.ok());
+  const uint64_t appends = 2 * kWalBatchFsyncEvery + 4;  // 20 when every=8
+  for (uint64_t seqno = 1; seqno <= appends; ++seqno) {
+    ASSERT_TRUE(wal->Append(seqno, std::vector<ItemId>{seqno}).ok());
+    // The window invariant after EVERY append, not just at the end: the
+    // page cache never holds a full batch of acknowledged records.
+    ASSERT_LT(wal->unsynced_appends(), kWalBatchFsyncEvery) << seqno;
+    ASSERT_EQ(wal->fsyncs(), seqno / kWalBatchFsyncEvery) << seqno;
+  }
+  EXPECT_EQ(wal->fsyncs(), appends / kWalBatchFsyncEvery);
+  EXPECT_EQ(wal->unsynced_appends(), appends % kWalBatchFsyncEvery);
+}
+
+TEST(WalBatchFsyncTest, AlwaysAndNeverAreTheCadenceExtremes) {
+  const std::string dir = TempDir("wal_batch_extremes");
+  auto always = WalWriter::Open(dir + "/always.sfw", WalFsync::kAlways);
+  auto never = WalWriter::Open(dir + "/never.sfw", WalFsync::kNever);
+  ASSERT_TRUE(always.ok() && never.ok());
+  for (uint64_t seqno = 1; seqno <= 5; ++seqno) {
+    ASSERT_TRUE(always->Append(seqno, std::vector<ItemId>{seqno}).ok());
+    ASSERT_TRUE(never->Append(seqno, std::vector<ItemId>{seqno}).ok());
+  }
+  EXPECT_EQ(always->fsyncs(), 5u);
+  EXPECT_EQ(always->unsynced_appends(), 0u);
+  EXPECT_EQ(never->fsyncs(), 0u);
+  EXPECT_EQ(never->unsynced_appends(), 5u);
+}
+
+TEST(WalBatchFsyncTest, FsyncFailpointFiresAtTheBatchBoundaryOnly) {
+  const std::string dir = TempDir("wal_batch_failpoint");
+  auto wal = WalWriter::Open(dir + "/journal.sfw", WalFsync::kBatch);
+  ASSERT_TRUE(wal.ok());
+  ScopedFailpoints failpoints("wal.fsync=error*1", /*seed=*/1);
+  ASSERT_TRUE(failpoints.status().ok());
+  // The first batch-1 appends never reach the fsync site; the batch-th
+  // does and eats the injected error.
+  for (uint64_t seqno = 1; seqno < kWalBatchFsyncEvery; ++seqno) {
+    ASSERT_TRUE(wal->Append(seqno, std::vector<ItemId>{seqno}).ok()) << seqno;
+  }
+  const Status boundary =
+      wal->Append(kWalBatchFsyncEvery, std::vector<ItemId>{8});
+  EXPECT_TRUE(boundary.IsIoError()) << boundary.ToString();
+  // Every record was written and flushed before the failed barrier: the
+  // journal itself replays cleanly (the caller poisons the store instead).
+  Replayed got;
+  auto stats = Replay(dir + "/journal.sfw", 0, &got);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_applied, kWalBatchFsyncEvery);
+}
+
+// ---------------------------------------------------------------------------
 // TenantStore: snapshot + journal recovery.
 // ---------------------------------------------------------------------------
 
@@ -295,6 +361,37 @@ TEST(TenantStoreTest, CreateAppendReopenReplays) {
   EXPECT_EQ(again->recovery.base_items, 7u);
   got_bytes.clear();
   again->sketch.SerializeTo(&got_bytes);
+  EXPECT_EQ(got_bytes, want_bytes);
+}
+
+TEST(TenantStoreTest, CreateWithBatchFsyncReplays) {
+  // The full durability path under kBatch: appends land in the journal
+  // (flushed, possibly unsynced), a process "crash" preserves them, and
+  // recovery replays the exact sketch — kBatch's weaker window only
+  // matters against machine crashes, which tests cannot fake.
+  const std::string dir = TempDir("store_batch") + "/t";
+  const uint64_t appends = 2 * kWalBatchFsyncEvery + 3;
+  {
+    auto store = TenantStore::Create(dir, TestSpec(), TestParams(),
+                                     WalFsync::kBatch, /*every=*/1 << 20);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (uint64_t seqno = 1; seqno <= appends; ++seqno) {
+      ASSERT_TRUE((*store)->Append(std::vector<ItemId>{seqno % 5}).ok());
+    }
+  }  // crash with a partially-unsynced tail in the page cache
+
+  auto opened = TenantStore::Open(dir, WalFsync::kBatch, 1 << 20);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened->recovery.recovered);
+  EXPECT_EQ(opened->recovery.replayed_records, appends);
+  auto reference = CountSketch::Make(TestParams());
+  ASSERT_TRUE(reference.ok());
+  for (uint64_t seqno = 1; seqno <= appends; ++seqno) {
+    reference->Add(seqno % 5, 1);
+  }
+  std::string got_bytes, want_bytes;
+  opened->sketch.SerializeTo(&got_bytes);
+  reference->SerializeTo(&want_bytes);
   EXPECT_EQ(got_bytes, want_bytes);
 }
 

@@ -22,7 +22,15 @@
 //              --server-restart forks real durable `sfq serve` processes,
 //              kills them at durability failpoints and with real SIGKILLs,
 //              and asserts crash recovery (WAL replay + snapshots) keeps
-//              the conservation ledger and the exact sketch
+//              the conservation ledger and the exact sketch;
+//              --tree drives the distributed merge tree (src/dist/) under
+//              the dist.* failpoint sites: severed/torn uplinks, dropped
+//              deliveries, lost acks, permanent node loss — every
+//              iteration must end clean or with a root sketch bit-equal
+//              to the covered-prefix reference (docs/DISTRIBUTED.md)
+//   aggregate  fork a merge-tree fleet of ingest workers and relays that
+//              ship Count-Sketch deltas over unix sockets up to a root in
+//              this process, then answer global top-k (docs/DISTRIBUTED.md)
 //   serve      run the long-lived multi-tenant sketch server on a local
 //              socket (src/server/; protocol in docs/SERVER.md);
 //              --data-dir makes tenants durable: every accepted batch is
@@ -38,6 +46,8 @@
 //   sfq topk --trace q.trace --k 10 --width 4096
 //   sfq maxchange --before day1.trace --after day2.trace --k 20
 //   sfq sketch --trace q.trace --out q.skf && sfq inspect --sketch q.skf
+#include <unistd.h>
+
 #include <filesystem>
 #include <iostream>
 #include <span>
@@ -45,6 +55,7 @@
 
 #include "concurrent/parallel_ingestor.h"
 #include "core/count_sketch.h"
+#include "dist/aggregate.h"
 #include "core/max_change.h"
 #include "core/sketch_io.h"
 #include "core/top_k_tracker.h"
@@ -105,9 +116,16 @@ void PrintUsage() {
       "            [--shrink BOOL] [--json FILE] [--program \"LINE\"]\n"
       "            (differential guarantee fuzzing; see docs/VERIFICATION.md)\n"
       "  chaos     [--seed S] [--iters N] [--failpoints SPEC] [--io BOOL]\n"
-      "            [--server BOOL] [--server-restart BOOL] [--json FILE]\n"
-      "            (fault-injection campaign; see docs/ROBUSTNESS.md)\n"
-      "  serve     --socket PATH [--data-dir DIR] [--fsync always|never]\n"
+      "            [--server BOOL] [--server-restart BOOL] [--tree BOOL]\n"
+      "            [--json FILE]\n"
+      "            (fault-injection campaign; see docs/ROBUSTNESS.md and,\n"
+      "             for --tree, docs/DISTRIBUTED.md)\n"
+      "  aggregate [--workers N] [--fanout F] [--items N] [--m M] [--z Z]\n"
+      "            [--seed S] [--delta-every N] [--tracked L] [--k K]\n"
+      "            [--depth T] [--width B] [--json FILE]\n"
+      "            (forked merge-tree fleet; see docs/DISTRIBUTED.md)\n"
+      "  serve     --socket PATH [--data-dir DIR]\n"
+      "            [--fsync always|never|batch]\n"
       "            [--snapshot-every ITEMS] [--failpoints SPEC] [--seed S]\n"
       "            (multi-tenant sketch server; see docs/SERVER.md)\n"
       "  client    --socket PATH --op OP [--tenant T] [--trace FILE]\n"
@@ -572,9 +590,10 @@ int CmdChaos(const Flags& flags) {
   auto io = flags.GetBool("io", true);
   auto server = flags.GetBool("server", false);
   auto restart = flags.GetBool("server-restart", false);
+  auto tree = flags.GetBool("tree", false);
   for (const Status& s :
        {seed.status(), iters.status(), io.status(), server.status(),
-        restart.status()}) {
+        restart.status(), tree.status()}) {
     if (!s.ok()) return Fail(s);
   }
   if (*iters <= 0) {
@@ -599,6 +618,7 @@ int CmdChaos(const Flags& flags) {
   }
   auto report = *restart ? RunServerRestartCampaign(options)
                 : *server ? RunServerChaosCampaign(options)
+                : *tree   ? RunTreeChaosCampaign(options)
                           : RunChaosCampaign(options);
   if (!report.ok()) return Fail(report.status());
 
@@ -622,6 +642,12 @@ int CmdChaos(const Flags& flags) {
     table.AddRowValues("server requests", report->server_requests);
     table.AddRowValues("connection severs", report->server_severs);
     table.AddRowValues("stale serves", report->stale_serves);
+  } else if (*tree) {
+    table.AddRowValues("deltas shipped", report->deltas_shipped);
+    table.AddRowValues("delta dedups", report->delta_dedups);
+    table.AddRowValues("severed links", report->severed_links);
+    table.AddRowValues("nodes lost", report->nodes_lost);
+    table.AddRowValues("identity checks", report->identity_checks);
   } else {
     table.AddRowValues("io round trips", report->io_round_trips);
     table.AddRowValues("io faults", report->io_faults);
@@ -633,7 +659,8 @@ int CmdChaos(const Flags& flags) {
               << "\n  replay: sfq chaos --seed " << *seed
               << " --iters " << (failure.index + 1)
               << (*restart ? " --server-restart true"
-                           : *server ? " --server true" : "")
+                  : *server ? " --server true"
+                  : *tree   ? " --tree true" : "")
               << (options.failpoints.empty()
                       ? ""
                       : " --failpoints \"" + options.failpoints + "\"")
@@ -686,6 +713,18 @@ int CmdChaos(const Flags& flags) {
     fields.push_back(JsonField::Integer(
         "identity_checks", static_cast<int64_t>(report->identity_checks)));
   }
+  if (*tree) {
+    fields.push_back(JsonField::Integer(
+        "deltas_shipped", static_cast<int64_t>(report->deltas_shipped)));
+    fields.push_back(JsonField::Integer(
+        "delta_dedups", static_cast<int64_t>(report->delta_dedups)));
+    fields.push_back(JsonField::Integer(
+        "severed_links", static_cast<int64_t>(report->severed_links)));
+    fields.push_back(JsonField::Integer(
+        "nodes_lost", static_cast<int64_t>(report->nodes_lost)));
+    fields.push_back(JsonField::Integer(
+        "identity_checks", static_cast<int64_t>(report->identity_checks)));
+  }
   const std::string json_path = flags.GetString("json", "");
   if (!json_path.empty()) {
     const Status s = WriteJsonReport(json_path, "chaos", fields);
@@ -694,6 +733,108 @@ int CmdChaos(const Flags& flags) {
   }
   EmitJsonReport("chaos", fields, std::cout);
   return report->Passed() ? 0 : 1;
+}
+
+int CmdAggregate(const Flags& flags) {
+  AggregateOptions options;
+  auto workers = flags.GetInt("workers", 4);
+  auto fanout = flags.GetInt("fanout", 0);
+  auto items = flags.GetInt("items", 200000);
+  auto universe = flags.GetInt("m", 1 << 20);
+  auto z = flags.GetDouble("z", 1.1);
+  auto seed = flags.GetInt("seed", 42);
+  auto delta_every = flags.GetInt("delta-every", 16384);
+  auto tracked = flags.GetInt("tracked", 64);
+  auto topk = flags.GetInt("k", 10);
+  for (const Status& s :
+       {workers.status(), fanout.status(), items.status(), universe.status(),
+        z.status(), seed.status(), delta_every.status(), tracked.status(),
+        topk.status()}) {
+    if (!s.ok()) return Fail(s);
+  }
+  if (*workers <= 0 || *items < 0 || *universe <= 0 || *delta_every <= 0 ||
+      *tracked <= 0 || *topk <= 0 || *fanout < 0) {
+    return Fail(Status::InvalidArgument("aggregate: flags must be positive"));
+  }
+  options.workers = static_cast<uint64_t>(*workers);
+  options.fanout = static_cast<uint64_t>(*fanout);
+  options.items = static_cast<uint64_t>(*items);
+  options.universe = static_cast<uint64_t>(*universe);
+  options.zipf_z = *z;
+  options.seed = static_cast<uint64_t>(*seed);
+  options.delta_every = static_cast<uint64_t>(*delta_every);
+  options.tracked = static_cast<size_t>(*tracked);
+  options.topk = static_cast<size_t>(*topk);
+  auto params = SketchParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+  options.params = *params;
+
+  std::error_code ec;
+  const std::filesystem::path socket_dir =
+      std::filesystem::temp_directory_path(ec) /
+      ("sfq_agg_" + std::to_string(::getpid()));
+  if (ec) return Fail(Status::IoError("aggregate: no temp dir"));
+  std::filesystem::create_directories(socket_dir, ec);
+  if (ec) {
+    return Fail(Status::IoError("aggregate: cannot create socket dir: " +
+                                socket_dir.string()));
+  }
+  options.socket_dir = socket_dir.string();
+  auto report = RunAggregate(options);
+  std::filesystem::remove_all(socket_dir, ec);
+  if (!report.ok()) return Fail(report.status());
+
+  // Score the root's answers: the per-worker substreams are deterministic
+  // in (seed, leaf), so the exact global counts are recomputable here.
+  ExactCounter exact;
+  for (uint64_t leaf = 0; leaf < report->leaves; ++leaf) {
+    auto stream = WorkerStreamItems(options, leaf);
+    if (!stream.ok()) return Fail(stream.status());
+    for (const ItemId id : *stream) exact.Add(id);
+  }
+
+  TablePrinter table({"rank", "item", "root estimate", "exact"});
+  int rank = 1;
+  for (const ItemCount& entry : report->topk) {
+    table.AddRowValues(rank++, entry.item, entry.count,
+                       exact.CountOf(entry.item));
+  }
+  EmitTable(table, "aggregate", std::cout);
+
+  uint64_t covered_total = 0;
+  for (const CoverageEntry& c : report->covered) covered_total += c.count;
+  std::cout << "aggregate: " << report->nodes << " nodes (" << report->leaves
+            << " leaves, depth " << report->depth << "), ingested "
+            << report->ledger.ingested << "/" << report->ledger.offered
+            << " offered, " << report->deltas_applied
+            << " deltas applied at the root (" << report->delta_dedups
+            << " dedups)\n";
+
+  std::vector<JsonField> fields;
+  fields.push_back(JsonField::Integer("workers", *workers));
+  fields.push_back(JsonField::Integer("fanout", *fanout));
+  fields.push_back(JsonField::Integer(
+      "nodes", static_cast<int64_t>(report->nodes)));
+  fields.push_back(JsonField::Integer(
+      "depth", static_cast<int64_t>(report->depth)));
+  fields.push_back(JsonField::Integer(
+      "offered", static_cast<int64_t>(report->ledger.offered)));
+  fields.push_back(JsonField::Integer(
+      "ingested", static_cast<int64_t>(report->ledger.ingested)));
+  fields.push_back(JsonField::Integer(
+      "covered", static_cast<int64_t>(covered_total)));
+  fields.push_back(JsonField::Integer(
+      "deltas_applied", static_cast<int64_t>(report->deltas_applied)));
+  fields.push_back(JsonField::Integer(
+      "delta_dedups", static_cast<int64_t>(report->delta_dedups)));
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    const Status s = WriteJsonReport(json_path, "aggregate", fields);
+    if (!s.ok()) return Fail(s);
+    std::cout << "(json: " << json_path << ")\n";
+  }
+  EmitJsonReport("aggregate", fields, std::cout);
+  return 0;
 }
 
 int CmdServe(const Flags& flags) {
@@ -922,6 +1063,7 @@ int Main(int argc, char** argv) {
   if (command == "hh") return CmdHeavyHitters(*flags);
   if (command == "verify") return CmdVerify(*flags);
   if (command == "chaos") return CmdChaos(*flags);
+  if (command == "aggregate") return CmdAggregate(*flags);
   if (command == "serve") return CmdServe(*flags);
   if (command == "client") return CmdClient(*flags);
   PrintUsage();
